@@ -1,0 +1,272 @@
+// Package chipletqc reproduces "Scaling Superconducting Quantum
+// Computers with Chiplet Architectures" (Smith, Ravi, Baker, Chong —
+// MICRO 2022): a simulation framework for fixed-frequency transmon
+// devices that models frequency-collision yield, quantum chiplet
+// multi-chip modules (MCMs), gate-error assignment from empirical
+// calibration data, and application-level fidelity.
+//
+// The package is a curated facade over the internal simulation engine.
+// The typical flow mirrors the paper:
+//
+//	// 1. Build architectures.
+//	mono := chipletqc.Monolithic(180)
+//	mcmDev, _ := chipletqc.MCM(3, 3, 20) // 3x3 MCM of 20-qubit chiplets
+//
+//	// 2. Estimate collision-free yield (Fig. 4).
+//	res := chipletqc.SimulateYield(mono, chipletqc.YieldOptions{Batch: 1000, Seed: 1})
+//
+//	// 3. Fabricate chiplets and assemble MCMs (Figs. 8-9).
+//	batch := chipletqc.FabricateBatch(20, 10000, chipletqc.BatchOptions{Seed: 1})
+//	mods, stats := chipletqc.AssembleMCMs(batch, 3, 3, chipletqc.AssembleOptions{Seed: 1})
+//
+//	// 4. Compile a benchmark and estimate its success (Fig. 10).
+//	circ := chipletqc.Benchmarks()[0].Generate(chipletqc.UtilizedQubits(mcmDev.N), 1)
+//	compiled, _ := chipletqc.Compile(circ, mcmDev)
+//
+// Every figure and table of the paper's evaluation is regenerable
+// through the Experiments API (see experiments.go) and the cmd/figures
+// binary.
+package chipletqc
+
+import (
+	"math/rand"
+
+	"chipletqc/internal/assembly"
+	"chipletqc/internal/collision"
+	"chipletqc/internal/compiler"
+	"chipletqc/internal/fab"
+	"chipletqc/internal/mcm"
+	"chipletqc/internal/noise"
+	"chipletqc/internal/qbench"
+	"chipletqc/internal/topo"
+	"chipletqc/internal/yield"
+)
+
+// Re-exported core types. Aliases keep the internal packages as the
+// single source of truth while giving users one import path.
+type (
+	// Device is an assembled quantum computer: coupling graph, frequency
+	// classes, chip membership, and inter-chip links.
+	Device = topo.Device
+	// ChipSpec parameterises the heavy-hex chip family (r dense rows of
+	// width w; N = 5rw/4 qubits).
+	ChipSpec = topo.ChipSpec
+	// Chip is a generated heavy-hex chiplet.
+	Chip = topo.Chip
+	// FreqPlan maps frequency classes to GHz targets.
+	FreqPlan = topo.FreqPlan
+	// Class is an ideal frequency class (F0 < F1 < F2).
+	Class = topo.Class
+	// Grid describes a k x m MCM of identical chiplets.
+	Grid = mcm.Grid
+	// FabModel is a fabrication process: frequency plan + precision.
+	FabModel = fab.Model
+	// CollisionParams holds the Table I thresholds.
+	CollisionParams = collision.Params
+	// Violation is one triggered collision criterion.
+	Violation = collision.Violation
+	// Chiplet is a fabricated, characterised, collision-free die.
+	Chiplet = assembly.Chiplet
+	// Batch is a chiplet fabrication run with its collision-free bin.
+	Batch = assembly.Batch
+	// AssembledMCM is a complete, collision-free multi-chip module.
+	AssembledMCM = assembly.AssembledMCM
+	// AssemblyStats summarises an assembly run.
+	AssemblyStats = assembly.Stats
+	// DetuningModel is the empirical on-chip gate error model.
+	DetuningModel = noise.DetuningModel
+	// LinkModel is the inter-chip link error distribution.
+	LinkModel = noise.LinkModel
+	// CompileResult is a compiled circuit with its layout bookkeeping.
+	CompileResult = compiler.Result
+	// BenchmarkSpec names one of the paper's seven benchmarks.
+	BenchmarkSpec = qbench.Spec
+	// YieldResult is the outcome of a Monte Carlo yield simulation.
+	YieldResult = yield.Result
+)
+
+// Frequency classes.
+const (
+	F0 = topo.F0
+	F1 = topo.F1
+	F2 = topo.F2
+)
+
+// Published fabrication precision values (GHz).
+const (
+	SigmaAsFabricated = fab.SigmaAsFabricated // 0.1323, raw JJ spread
+	SigmaLaserTuned   = fab.SigmaLaserTuned   // 0.014, post laser annealing
+	SigmaScalingGoal  = fab.SigmaScalingGoal  // 0.006, >10^3-qubit threshold
+)
+
+// ChipletSizes returns the catalog of paper chiplet sizes (10..250).
+func ChipletSizes() []int {
+	out := make([]int, len(topo.Catalog))
+	for i, c := range topo.Catalog {
+		out[i] = c.Qubits
+	}
+	return out
+}
+
+// ChipletSpec returns the heavy-hex spec of the catalog chiplet with
+// exactly q qubits.
+func ChipletSpec(q int) (ChipSpec, error) { return topo.SpecForQubits(q) }
+
+// BuildChiplet generates the heavy-hex chip for a spec, exposing its
+// coordinates, frequency classes, and intra-chip coupling graph.
+func BuildChiplet(s ChipSpec) *Chip { return topo.BuildChip(s) }
+
+// Monolithic builds a single-chip device with approximately n qubits
+// (exact for any n in the 5rw/4 family, which includes every MCM size).
+func Monolithic(n int) *Device {
+	return topo.MonolithicDevice(topo.MonolithicSpec(n))
+}
+
+// MCM builds a rows x cols multi-chip module of catalog chiplets with
+// chipletQubits qubits each.
+func MCM(rows, cols, chipletQubits int) (*Device, error) {
+	spec, err := topo.SpecForQubits(chipletQubits)
+	if err != nil {
+		return nil, err
+	}
+	return mcm.Build(mcm.Grid{Rows: rows, Cols: cols, Spec: spec})
+}
+
+// DefaultFabModel is the paper's forward-looking baseline: laser-tuned
+// precision on the optimal 0.06 GHz frequency step.
+func DefaultFabModel() FabModel { return fab.DefaultModel() }
+
+// DefaultCollisionParams returns the Table I thresholds.
+func DefaultCollisionParams() CollisionParams { return collision.DefaultParams() }
+
+// SampleFrequencies realises one fabrication outcome for a device.
+func SampleFrequencies(seed int64, m FabModel, d *Device) []float64 {
+	return m.Sample(rand.New(rand.NewSource(seed)), d)
+}
+
+// CollisionFree evaluates the Table I criteria on a device with realised
+// frequencies f.
+func CollisionFree(d *Device, f []float64) bool {
+	return collision.NewChecker(d, collision.DefaultParams()).Free(f)
+}
+
+// Collisions lists every triggered Table I criterion.
+func Collisions(d *Device, f []float64) []Violation {
+	return collision.NewChecker(d, collision.DefaultParams()).Violations(f)
+}
+
+// YieldOptions parameterises SimulateYield.
+type YieldOptions struct {
+	Batch   int     // devices simulated (default 1000)
+	Sigma   float64 // fabrication precision (default SigmaLaserTuned)
+	Step    float64 // frequency plan step (default 0.06)
+	Seed    int64
+	Workers int
+}
+
+// SimulateYield estimates the collision-free yield of a device via Monte
+// Carlo simulation (paper Section IV-B).
+func SimulateYield(d *Device, opts YieldOptions) YieldResult {
+	return simulateYield(d, yieldConfigFromOptions(opts))
+}
+
+// yieldConfigFromOptions translates facade options into the internal
+// simulation configuration.
+func yieldConfigFromOptions(opts YieldOptions) yield.Config {
+	cfg := yield.DefaultConfig()
+	if opts.Batch > 0 {
+		cfg.Batch = opts.Batch
+	}
+	if opts.Sigma > 0 {
+		cfg.Model.Sigma = opts.Sigma
+	}
+	if opts.Step > 0 {
+		cfg.Model.Plan.Step = opts.Step
+	}
+	cfg.Seed = opts.Seed
+	cfg.Workers = opts.Workers
+	return cfg
+}
+
+func simulateYield(d *Device, cfg yield.Config) YieldResult {
+	return yield.Simulate(d, cfg)
+}
+
+// BatchOptions parameterises chiplet fabrication.
+type BatchOptions struct {
+	Seed  int64
+	Sigma float64 // default SigmaLaserTuned
+	Det   *DetuningModel
+}
+
+// FabricateBatch fabricates and characterises a batch of catalog
+// chiplets, returning the sorted collision-free bin (Section VII-B).
+func FabricateBatch(chipletQubits, size int, opts BatchOptions) (*Batch, error) {
+	spec, err := topo.SpecForQubits(chipletQubits)
+	if err != nil {
+		return nil, err
+	}
+	cfg := assembly.DefaultBatchConfig(opts.Seed)
+	if opts.Sigma > 0 {
+		cfg.Fab.Sigma = opts.Sigma
+	}
+	if opts.Det != nil {
+		cfg.Det = opts.Det
+	}
+	return assembly.Fabricate(spec, size, cfg), nil
+}
+
+// AssembleOptions parameterises MCM assembly.
+type AssembleOptions struct {
+	Seed             int64
+	MaxReshuffles    int     // default 100
+	BondFailureScale float64 // default 1
+	LinkMean         float64 // default 0.075 (state-of-art)
+}
+
+// AssembleMCMs stitches as many rows x cols MCMs as possible from the
+// batch, best chiplets first, with collision-driven reshuffles and
+// bump-bond yield accounting.
+func AssembleMCMs(b *Batch, rows, cols int, opts AssembleOptions) ([]*AssembledMCM, AssemblyStats) {
+	cfg := assembly.DefaultAssembleConfig(opts.Seed)
+	if opts.MaxReshuffles > 0 {
+		cfg.MaxReshuffles = opts.MaxReshuffles
+	}
+	if opts.BondFailureScale > 0 {
+		cfg.BondFailureScale = opts.BondFailureScale
+	}
+	if opts.LinkMean > 0 {
+		cfg.Link = cfg.Link.WithMean(opts.LinkMean)
+	}
+	return assembly.Assemble(b, mcm.Grid{Rows: rows, Cols: cols, Spec: b.Spec}, cfg)
+}
+
+// NewDetuningModel builds the empirical on-chip error model from the
+// synthetic Washington calibration dataset (Section VI-A).
+func NewDetuningModel(seed int64) *DetuningModel {
+	return noise.DefaultDetuningModel(seed)
+}
+
+// DefaultLinkModel is the state-of-art inter-chip link error
+// distribution (mean 7.5%, median 5.6%; Section VI-B).
+func DefaultLinkModel() LinkModel { return noise.DefaultLinkModel() }
+
+// AssignErrors realises per-coupling two-qubit gate errors for a device
+// with realised frequencies f: intra-chip couplings sample the empirical
+// detuning model, inter-chip links the state-of-art link model.
+func AssignErrors(seed int64, d *Device, f []float64, det *DetuningModel) ErrorAssignment {
+	return noise.Assign(rand.New(rand.NewSource(seed)), d, f, det, noise.DefaultLinkModel())
+}
+
+// Benchmarks returns the paper's seven-benchmark suite in Table II
+// order, lowered to the native {1q, CX} basis.
+func Benchmarks() []BenchmarkSpec { return qbench.Suite() }
+
+// UtilizedQubits returns the benchmark width for a device of n qubits
+// (80% utilisation, Section VII-A).
+func UtilizedQubits(deviceQubits int) int { return qbench.UtilizedQubits(deviceQubits) }
+
+// Compile maps a logical circuit onto a device (layout + SWAP routing).
+func Compile(c *Circuit, d *Device) (*CompileResult, error) {
+	return compiler.Compile(c, d)
+}

@@ -1,0 +1,188 @@
+package chipletqc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChipletSizes(t *testing.T) {
+	want := []int{10, 20, 40, 60, 90, 120, 160, 200, 250}
+	got := ChipletSizes()
+	if len(got) != len(want) {
+		t.Fatalf("sizes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sizes[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMonolithicAndMCMConstruction(t *testing.T) {
+	mono := Monolithic(180)
+	if mono.N != 180 {
+		t.Errorf("Monolithic(180) has %d qubits", mono.N)
+	}
+	if err := mono.Validate(); err != nil {
+		t.Errorf("monolithic device invalid: %v", err)
+	}
+	dev, err := MCM(3, 3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.N != 180 || dev.Chips != 9 {
+		t.Errorf("MCM(3,3,20): N=%d chips=%d", dev.N, dev.Chips)
+	}
+	if err := dev.Validate(); err != nil {
+		t.Errorf("MCM device invalid: %v", err)
+	}
+	if _, err := MCM(2, 2, 33); err == nil {
+		t.Error("expected error for non-catalog chiplet size")
+	}
+}
+
+func TestFacadeYieldPipeline(t *testing.T) {
+	mono := Monolithic(100)
+	res := SimulateYield(mono, YieldOptions{Batch: 500, Seed: 1})
+	if f := res.Fraction(); f < 0.03 || f > 0.30 {
+		t.Errorf("100q yield = %v, want ~0.11", f)
+	}
+	// Perfect fabrication yields everything.
+	perfect := SimulateYield(mono, YieldOptions{Batch: 50, Seed: 1, Sigma: 1e-9})
+	if perfect.Fraction() < 0.99 {
+		t.Errorf("near-zero sigma yield = %v", perfect.Fraction())
+	}
+}
+
+func TestFacadeCollisionChecks(t *testing.T) {
+	dev := Monolithic(20)
+	f := SampleFrequencies(7, DefaultFabModel(), dev)
+	free := CollisionFree(dev, f)
+	vs := Collisions(dev, f)
+	if free != (len(vs) == 0) {
+		t.Error("CollisionFree and Collisions disagree")
+	}
+}
+
+func TestFacadeAssemblyPipeline(t *testing.T) {
+	batch, err := FabricateBatch(20, 400, BatchOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Yield() < 0.45 || batch.Yield() > 0.85 {
+		t.Errorf("batch yield = %v", batch.Yield())
+	}
+	mods, st := AssembleMCMs(batch, 2, 2, AssembleOptions{Seed: 3})
+	if st.MCMs == 0 || len(mods) != st.MCMs {
+		t.Fatalf("assembled %d MCMs, stats %d", len(mods), st.MCMs)
+	}
+	if mods[0].EAvg() <= 0 {
+		t.Error("EAvg should be positive")
+	}
+	// Improved links lower EAvg on re-assembly.
+	modsGood, _ := AssembleMCMs(batch, 2, 2, AssembleOptions{Seed: 3, LinkMean: 0.001})
+	if modsGood[0].EAvg() >= mods[0].EAvg() {
+		t.Errorf("better links should lower EAvg: %v vs %v",
+			modsGood[0].EAvg(), mods[0].EAvg())
+	}
+	if _, err := FabricateBatch(33, 10, BatchOptions{}); err == nil {
+		t.Error("expected error for unknown chiplet size")
+	}
+}
+
+func TestFacadeCompileAndFidelity(t *testing.T) {
+	dev, err := MCM(2, 2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	circ := GHZ(UtilizedQubits(dev.N))
+	res, err := Compile(DecomposeCircuit(circ), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := FabricateBatch(20, 300, BatchOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mods, _ := AssembleMCMs(batch, 2, 2, AssembleOptions{Seed: 5})
+	if len(mods) == 0 {
+		t.Fatal("no modules")
+	}
+	chip, err := ChipletSpec(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = chip
+	a := mods[0].Errors(dev, buildChipFor(t))
+	lf := LogFidelity(res, a)
+	if lf >= 0 || math.IsInf(lf, -1) {
+		t.Errorf("log fidelity = %v, want finite negative", lf)
+	}
+	if fp := FidelityProduct(res, a); fp <= 0 || fp >= 1 {
+		t.Errorf("fidelity product = %v, want in (0,1)", fp)
+	}
+}
+
+// buildChipFor constructs the 20q chiplet topology via the facade types.
+func buildChipFor(t *testing.T) *Chip {
+	t.Helper()
+	spec, err := ChipletSpec(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildChiplet(spec)
+}
+
+func TestFacadeSimulatorValidation(t *testing.T) {
+	s := Simulate(GHZ(3))
+	if p := s.Probability(0b111); math.Abs(p-0.5) > 1e-9 {
+		t.Errorf("GHZ(3) P(111) = %v", p)
+	}
+}
+
+func TestFacadeBenchmarkSuite(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 7 {
+		t.Fatalf("suite = %d benchmarks", len(bs))
+	}
+	for _, b := range bs {
+		c := b.Generate(16, 1)
+		if c.TwoQubitGates() == 0 {
+			t.Errorf("%s has no 2q gates", b.Name)
+		}
+	}
+}
+
+func TestFacadeExperimentEntryPoints(t *testing.T) {
+	cfg := QuickExperimentConfig(20)
+	cfg.MonoBatch = 100
+	cfg.ChipletBatch = 100
+
+	if rows := Fig1(cfg); len(rows) != 9 {
+		t.Errorf("Fig1 rows = %d", len(rows))
+	}
+	if r := Fig2(9, 4, 7); r.ChipletGood <= r.MonoGood {
+		t.Error("Fig2 should favour chiplets")
+	}
+	if s := Fig3b(cfg); len(s) != 3 {
+		t.Errorf("Fig3b = %d summaries", len(s))
+	}
+	if cells := Fig4(cfg, 60); len(cells) != 12 {
+		t.Errorf("Fig4 cells = %d", len(cells))
+	}
+	if res := Fig6(cfg, 500, 3); len(res.Rows) != 2 {
+		t.Errorf("Fig6 rows = %d", len(res.Rows))
+	}
+	if res := Fig7(cfg); len(res.Points) == 0 {
+		t.Error("Fig7 empty")
+	}
+	if rows, err := Table2(cfg); err != nil || len(rows) != 35 {
+		t.Errorf("Table2 = %d rows, err %v", len(rows), err)
+	}
+	if grids := EnumerateMCMs(500); len(grids) < 60 {
+		t.Errorf("EnumerateMCMs = %d", len(grids))
+	}
+	if sq := SquareMCMs(500); len(sq) == 0 {
+		t.Error("SquareMCMs empty")
+	}
+}

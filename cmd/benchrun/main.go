@@ -1,0 +1,116 @@
+// Command benchrun compiles the paper's benchmark suite onto MCM and
+// monolithic architectures and reports compiled gate counts (Table II)
+// and application fidelity ratios (Fig. 10).
+//
+// Usage examples:
+//
+//	benchrun -table2                       # Table II gate counts
+//	benchrun -chiplet 40 -rows 2 -cols 2   # Fig. 10 for one system
+//	benchrun -all -max 300                 # Fig. 10 over enumerated systems
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"chipletqc/internal/eval"
+	"chipletqc/internal/mcm"
+	"chipletqc/internal/report"
+	"chipletqc/internal/topo"
+)
+
+func main() {
+	var (
+		table2  = flag.Bool("table2", false, "print Table II compiled benchmark details")
+		all     = flag.Bool("all", false, "evaluate Fig. 10 over all enumerated systems")
+		square  = flag.Bool("square", false, "restrict -all to square systems (Fig. 10b)")
+		chiplet = flag.Int("chiplet", 20, "chiplet size for single-system evaluation")
+		rows    = flag.Int("rows", 2, "MCM rows")
+		cols    = flag.Int("cols", 2, "MCM cols")
+		maxQ    = flag.Int("max", 500, "largest system size for -all")
+		batch   = flag.Int("batch", 2000, "chiplet batch size")
+		mono    = flag.Int("mono", 2000, "monolithic batch size")
+		samples = flag.Int("samples", 3, "device instances averaged per architecture")
+		seed    = flag.Int64("seed", 1, "RNG seed")
+		csv     = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+
+	cfg := eval.DefaultConfig(*seed)
+	cfg.ChipletBatch = *batch
+	cfg.MonoBatch = *mono
+	cfg.MaxQubits = *maxQ
+
+	if *table2 {
+		rowsOut, err := eval.Table2(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		tb := report.New("Table II: compiled benchmarks (1q / 2q / 2q critical)",
+			"chiplet", "dim", "qubits", "bench", "1q", "2q", "2q_critical")
+		for _, r := range rowsOut {
+			tb.Add(r.ChipletQubits, r.Dim, r.SystemQubits, r.Bench,
+				r.Counts.OneQ, r.Counts.TwoQ, r.Counts.TwoQCritical)
+		}
+		emit(tb, *csv)
+		return
+	}
+
+	var grids []mcm.Grid
+	switch {
+	case *all && *square:
+		grids = mcm.SquareGrids(*maxQ)
+	case *all:
+		grids = mcm.EnumerateGrids(*maxQ)
+	default:
+		spec, err := topo.SpecForQubits(*chiplet)
+		if err != nil {
+			fatal(err)
+		}
+		grids = []mcm.Grid{{Rows: *rows, Cols: *cols, Spec: spec}}
+	}
+
+	pts, err := eval.Fig10(cfg, grids, *samples)
+	if err != nil {
+		fatal(err)
+	}
+	tb := report.New("Fig. 10: benchmark fidelity ratio (MCM / monolithic)",
+		"chiplet", "dim", "qubits", "bench", "log_ratio", "ratio", "note")
+	for _, p := range pts {
+		note := ""
+		logS, ratioS := report.F(p.LogRatio, 3), ""
+		switch {
+		case p.MonoZero:
+			note = "mono 0% yield (paper red X)"
+			logS, ratioS = "+inf", "inf"
+		case math.IsNaN(p.LogRatio):
+			note = "no MCM instances"
+			logS, ratioS = "nan", "nan"
+		default:
+			ratioS = fmt.Sprintf("%.3g", p.Ratio())
+		}
+		tb.Add(p.Grid.Spec.Qubits(),
+			fmt.Sprintf("%dx%d", p.Grid.Rows, p.Grid.Cols),
+			p.Qubits, p.Bench, logS, ratioS, note)
+	}
+	emit(tb, *csv)
+}
+
+func emit(tb *report.Table, csv bool) {
+	var err error
+	if csv {
+		err = tb.WriteCSV(os.Stdout)
+	} else {
+		err = tb.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,158 @@
+// Command mcmsim fabricates chiplet batches, assembles multi-chip
+// modules, and compares them against monolithic devices in yield and
+// average two-qubit infidelity (paper Sections V, VII-C1/C2; Figs. 8-9).
+//
+// Usage examples:
+//
+//	mcmsim -chiplet 20 -rows 3 -cols 3            # one MCM configuration
+//	mcmsim -fig8 -batch 2000 -max 500             # full yield comparison
+//	mcmsim -fig9 -batch 2000 -max 500             # E_avg ratio heatmaps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"chipletqc/internal/assembly"
+	"chipletqc/internal/eval"
+	"chipletqc/internal/mcm"
+	"chipletqc/internal/report"
+	"chipletqc/internal/topo"
+)
+
+func main() {
+	var (
+		chiplet = flag.Int("chiplet", 20, "chiplet size in qubits (catalog: 10..250)")
+		rows    = flag.Int("rows", 2, "MCM rows")
+		cols    = flag.Int("cols", 2, "MCM cols")
+		batch   = flag.Int("batch", 10000, "chiplet fabrication batch size")
+		mono    = flag.Int("mono", 10000, "monolithic Monte Carlo batch size")
+		maxQ    = flag.Int("max", 500, "largest system size for -fig8/-fig9")
+		seed    = flag.Int64("seed", 1, "RNG seed")
+		fig8    = flag.Bool("fig8", false, "run the full Fig. 8 yield comparison")
+		fig9    = flag.Bool("fig9", false, "run the Fig. 9 E_avg ratio heatmaps")
+		csv     = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+
+	cfg := eval.DefaultConfig(*seed)
+	cfg.ChipletBatch = *batch
+	cfg.MonoBatch = *mono
+	cfg.MaxQubits = *maxQ
+
+	switch {
+	case *fig8:
+		runFig8(cfg, *csv)
+	case *fig9:
+		runFig9(cfg, *csv)
+	default:
+		runSingle(cfg, *chiplet, *rows, *cols, *csv)
+	}
+}
+
+func runSingle(cfg eval.Config, chiplet, rows, cols int, csv bool) {
+	spec, err := topo.SpecForQubits(chiplet)
+	if err != nil {
+		fatal(err)
+	}
+	grid := mcm.Grid{Rows: rows, Cols: cols, Spec: spec}
+	b := assembly.Fabricate(spec, cfg.ChipletBatch, assembly.DefaultBatchConfig(cfg.Seed))
+	mods, st := assembly.Assemble(b, grid, assembly.DefaultAssembleConfig(cfg.Seed))
+
+	tb := report.New(fmt.Sprintf("MCM assembly: %s", grid), "metric", "value")
+	tb.Add("chiplets fabricated", st.BatchSize)
+	tb.Add("collision-free chiplets", st.FreeChiplets)
+	tb.Add("chiplet yield", report.F(st.ChipletYield, 4))
+	tb.Add("complete MCMs", st.MCMs)
+	tb.Add("chips used", st.ChipsUsed)
+	tb.Add("leftover chiplets", st.Leftover)
+	tb.Add("linked qubits per MCM", st.LinkedQubits)
+	tb.Add("assembly yield", report.F(st.AssemblyYield, 4))
+	tb.Add("post-assembly yield", report.F(st.PostAssemblyYield, 4))
+	if len(mods) > 0 {
+		var sum float64
+		for _, m := range mods {
+			sum += m.EAvg()
+		}
+		tb.Add("mean E_avg across MCMs", report.F(sum/float64(len(mods)), 5))
+		tb.Add("best MCM E_avg", report.F(mods[0].EAvg(), 5))
+		tb.Add("worst MCM E_avg", report.F(mods[len(mods)-1].EAvg(), 5))
+	}
+	emit(tb, csv)
+}
+
+func runFig8(cfg eval.Config, csv bool) {
+	res := eval.Fig8(cfg)
+	tb := report.New("Fig. 8(a): yield vs qubits, MCM vs monolithic",
+		"chiplet", "grid", "qubits", "mcm_yield", "mcm_yield_100x", "mono_yield")
+	for _, p := range res.Points {
+		tb.Add(p.Grid.Spec.Qubits(),
+			fmt.Sprintf("%dx%d", p.Grid.Rows, p.Grid.Cols),
+			p.Qubits,
+			report.F(p.MCMYield, 4), report.F(p.MCMYield100x, 4), report.F(p.MonoYield, 4))
+	}
+	emit(tb, csv)
+
+	fmt.Println()
+	cy := report.New("Fig. 8(b): chiplet yields", "chiplet", "yield")
+	for _, cs := range topo.Catalog {
+		cy.Add(cs.Qubits, report.F(res.ChipletYields[cs.Qubits], 4))
+	}
+	emit(cy, csv)
+
+	fmt.Println()
+	imp := report.New("Average MCM vs monolithic yield improvement",
+		"chiplet", "improvement_x")
+	for _, cs := range topo.Catalog {
+		if v, ok := res.Improvements[cs.Qubits]; ok {
+			imp.Add(cs.Qubits, report.F(v, 2))
+		} else {
+			imp.Add(cs.Qubits, "inf (0% mono yield)")
+		}
+	}
+	emit(imp, csv)
+}
+
+func runFig9(cfg eval.Config, csv bool) {
+	res := eval.Fig9(cfg)
+	for _, name := range eval.Fig9Ratios {
+		tb := report.New(fmt.Sprintf("Fig. 9 (%s): E_avg,MCM / E_avg,Mono", name),
+			"chiplet", "dim", "qubits", "eavg_mcm", "eavg_mono", "ratio")
+		for _, c := range res[name] {
+			ratio := "n/a (0% mono yield)"
+			monoS := "-"
+			if c.MonoAvailable {
+				ratio = report.F(c.Ratio, 4)
+				monoS = report.F(c.EAvgMono, 5)
+			}
+			mcmS := "-"
+			if !math.IsNaN(c.EAvgMCM) {
+				mcmS = report.F(c.EAvgMCM, 5)
+			}
+			tb.Add(c.Grid.Spec.Qubits(),
+				fmt.Sprintf("%dx%d", c.Grid.Rows, c.Grid.Cols),
+				c.Qubits, mcmS, monoS, ratio)
+		}
+		emit(tb, csv)
+		fmt.Println()
+	}
+}
+
+func emit(tb *report.Table, csv bool) {
+	var err error
+	if csv {
+		err = tb.WriteCSV(os.Stdout)
+	} else {
+		err = tb.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcmsim:", err)
+	os.Exit(1)
+}

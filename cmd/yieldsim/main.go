@@ -1,0 +1,125 @@
+// Command yieldsim runs the collision-free yield Monte Carlo simulation
+// of paper Section IV-B / Fig. 4: heavy-hex devices fabricated with
+// per-qubit frequency noise, evaluated against the Table I collision
+// criteria.
+//
+// Usage examples:
+//
+//	yieldsim                                # Fig. 4 sweep at defaults
+//	yieldsim -sigma 0.014 -step 0.06 -max 500
+//	yieldsim -chiplets                      # catalog chiplet yields
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	analyticpkg "chipletqc/internal/analytic"
+	"chipletqc/internal/fab"
+	"chipletqc/internal/report"
+	"chipletqc/internal/topo"
+	"chipletqc/internal/yield"
+)
+
+func main() {
+	var (
+		batch    = flag.Int("batch", 1000, "devices per Monte Carlo batch")
+		sigma    = flag.Float64("sigma", 0, "fabrication precision in GHz (0 = sweep the paper's three values)")
+		step     = flag.Float64("step", 0, "frequency plan step in GHz (0 = sweep 0.04-0.07)")
+		maxQ     = flag.Int("max", 1000, "largest device size in qubits")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+		chiplets = flag.Bool("chiplets", false, "report catalog chiplet yields instead of the size sweep")
+		analytic = flag.Bool("analytic", false, "add the closed-form yield estimate next to Monte Carlo")
+		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	flag.Parse()
+
+	cfg := yield.DefaultConfig()
+	cfg.Batch = *batch
+	cfg.Seed = *seed
+
+	if *chiplets {
+		if *sigma > 0 {
+			cfg.Model.Sigma = *sigma
+		}
+		if *step > 0 {
+			cfg.Model.Plan.Step = *step
+		}
+		tb := report.New("Collision-free chiplet yields (Fig. 8b)", "chiplet", "yield")
+		for _, r := range yield.ChipletYields(cfg) {
+			tb.Add(r.Qubits, report.F(r.Fraction(), 4))
+		}
+		emit(tb, *csv)
+		return
+	}
+
+	steps := []float64{0.04, 0.05, 0.06, 0.07}
+	if *step > 0 {
+		steps = []float64{*step}
+	}
+	sigmas := []float64{fab.SigmaAsFabricated, fab.SigmaLaserTuned, fab.SigmaScalingGoal}
+	if *sigma > 0 {
+		sigmas = []float64{*sigma}
+	}
+	sizes := yield.SizeLadder(*maxQ)
+	cells := yield.Sweep(steps, sigmas, sizes, cfg)
+
+	headers := []string{"step_GHz", "sigma_GHz", "qubits", "yield"}
+	if *analytic {
+		headers = append(headers, "analytic")
+	}
+	tb := report.New(
+		fmt.Sprintf("Collision-free yield vs qubits (Fig. 4; batch %d)", *batch),
+		headers...)
+	for _, c := range cells {
+		for _, p := range c.Points {
+			row := []interface{}{
+				report.F(c.Step, 3), report.F(c.Sigma, 4), p.Qubits, report.F(p.Yield, 4),
+			}
+			if *analytic {
+				dev := topo.MonolithicDevice(topo.MonolithicSpec(p.Qubits))
+				plan := topo.FreqPlan{Base: 5.0, Step: c.Step}
+				row = append(row, report.F(
+					analyticpkg.DeviceYield(dev, plan, c.Sigma, cfg.Params), 4))
+			}
+			tb.Add(row...)
+		}
+	}
+	emit(tb, *csv)
+
+	// Summarise the optimum step at each precision for quick reading.
+	best := report.New("Optimal frequency step per precision (100-qubit device)",
+		"sigma_GHz", "best_step_GHz", "yield")
+	for _, s := range sigmas {
+		bestStep, bestY := 0.0, -1.0
+		for _, c := range cells {
+			if c.Sigma != s {
+				continue
+			}
+			for _, p := range c.Points {
+				if p.Qubits >= 95 && p.Qubits <= 110 && p.Yield > bestY {
+					bestY, bestStep = p.Yield, c.Step
+				}
+			}
+		}
+		if bestY >= 0 {
+			best.Add(report.F(s, 4), report.F(bestStep, 3), report.F(bestY, 4))
+		}
+	}
+	fmt.Println()
+	emit(best, *csv)
+}
+
+func emit(tb *report.Table, csv bool) {
+	var err error
+	if csv {
+		err = tb.WriteCSV(os.Stdout)
+	} else {
+		err = tb.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "yieldsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,106 @@
+// Benchmarkfidelity reproduces the paper's application-level analysis
+// for one system pair: it compiles all seven benchmarks onto a 2x2 MCM
+// of 40-qubit chiplets and onto the equivalent 160-qubit monolithic
+// device, assigns realistic gate errors to both, and reports the
+// fidelity-product ratio (Fig. 10's y-axis) per benchmark.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"chipletqc"
+)
+
+const (
+	chipletQubits = 40
+	rows, cols    = 2, 2
+	seed          = 21
+	batch         = 4000 // wafer-scaled chiplet batch
+	monoBatch     = 4000
+	instances     = 3
+)
+
+func main() {
+	mcmDev, err := chipletqc.MCM(rows, cols, chipletQubits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := chipletqc.ChipletSpec(chipletQubits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	chip := chipletqc.BuildChiplet(spec)
+	mono := chipletqc.Monolithic(mcmDev.N)
+	fmt.Printf("comparing %s vs %s on the 7-benchmark suite\n\n", mcmDev.Name, mono.Name)
+
+	// MCM instances: best modules from a fabricated batch.
+	b, err := chipletqc.FabricateBatch(chipletQubits, batch, chipletqc.BatchOptions{Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mods, st := chipletqc.AssembleMCMs(b, rows, cols, chipletqc.AssembleOptions{Seed: seed})
+	if len(mods) == 0 {
+		log.Fatal("no MCMs assembled")
+	}
+	if len(mods) > instances {
+		mods = mods[:instances]
+	}
+	fmt.Printf("MCM instances: best %d of %d assembled modules (chiplet yield %.3f)\n",
+		len(mods), st.MCMs, st.ChipletYield)
+
+	// Monolithic instances: collision-free survivors with sampled gate
+	// errors.
+	det := chipletqc.NewDetuningModel(seed)
+	monoInstances := collectMonoInstances(mono, det)
+	fmt.Printf("monolithic instances: %d collision-free of %d fabricated\n\n",
+		len(monoInstances), monoBatch)
+
+	width := chipletqc.UtilizedQubits(mcmDev.N)
+	fmt.Printf("%-24s %12s %12s %10s\n", "benchmark", "logF_mcm", "logF_mono", "ratio")
+	for _, bs := range chipletqc.Benchmarks() {
+		circ := bs.Generate(width, seed)
+		mcmCompiled, err := chipletqc.Compile(circ, mcmDev)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var mcmLog float64
+		for _, m := range mods {
+			mcmLog += chipletqc.LogFidelity(mcmCompiled, m.Errors(mcmDev, chip))
+		}
+		mcmLog /= float64(len(mods))
+
+		if len(monoInstances) == 0 {
+			fmt.Printf("%-24s %12.2f %12s %10s\n", bs.Name, mcmLog, "-inf", "inf")
+			continue
+		}
+		monoCompiled, err := chipletqc.Compile(circ, mono)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var monoLog float64
+		for _, a := range monoInstances {
+			monoLog += chipletqc.LogFidelity(monoCompiled, a)
+		}
+		monoLog /= float64(len(monoInstances))
+		fmt.Printf("%-24s %12.2f %12.2f %10.3g\n",
+			bs.Name, mcmLog, monoLog, math.Exp(mcmLog-monoLog))
+	}
+	fmt.Println("\nratio > 1 means the MCM runs the benchmark with higher estimated success")
+}
+
+// collectMonoInstances fabricates monolithic devices until `instances`
+// collision-free ones are found, assigning each its gate errors.
+func collectMonoInstances(mono *chipletqc.Device, det *chipletqc.DetuningModel) []chipletqc.ErrorAssignment {
+	fabModel := chipletqc.DefaultFabModel()
+	var out []chipletqc.ErrorAssignment
+	for i := int64(0); i < monoBatch && len(out) < instances; i++ {
+		f := chipletqc.SampleFrequencies(seed+i, fabModel, mono)
+		if !chipletqc.CollisionFree(mono, f) {
+			continue
+		}
+		out = append(out, chipletqc.AssignErrors(seed+i, mono, f, det))
+	}
+	return out
+}

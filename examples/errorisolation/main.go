@@ -1,0 +1,42 @@
+// Errorisolation quantifies the paper's Section V argument that MCMs
+// confine correlated error events (stray radiation, cosmic rays): each
+// chiplet is physically buffered from its neighbours, so an impact that
+// would blanket a monolithic die corrupts at most one chiplet.
+//
+// The program sweeps the blast radius and prints the mean corrupted
+// qubit fraction for a 3x3 MCM of 20-qubit chiplets versus the
+// equivalent 180-qubit monolithic device, plus the isolation factor.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chipletqc"
+)
+
+func main() {
+	mcmDev, err := chipletqc.MCM(3, 3, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mono := chipletqc.Monolithic(180)
+	fmt.Printf("correlated-error campaign: %s vs %s (2000 impacts per radius)\n\n",
+		mcmDev.Name, mono.Name)
+
+	fmt.Printf("%10s %16s %16s %12s %18s\n",
+		"radius", "mcm_corrupted", "mono_corrupted", "isolation", "mono_wipeouts")
+	for _, radius := range []float64{1, 2, 4, 6, 8, 12, 20, 40} {
+		cfg := chipletqc.RayConfig{Radius: radius, Events: 2000, Seed: 7}
+		mcmRes, monoRes, isolation := chipletqc.CompareRays(mcmDev, mono, cfg)
+		fmt.Printf("%10.0f %16.4f %16.4f %11.2fx %18d\n",
+			radius, mcmRes.MeanCorrupted, monoRes.MeanCorrupted,
+			isolation, monoRes.WholeDeviceEvents)
+	}
+
+	fmt.Println("\nreadout:")
+	fmt.Println("  - small events are local on both architectures (isolation ~1x)")
+	fmt.Println("  - as the blast radius approaches the die size, the monolithic")
+	fmt.Println("    device suffers whole-chip corruption while the MCM caps the")
+	fmt.Println("    damage at one chiplet (isolation -> number of chiplets)")
+}

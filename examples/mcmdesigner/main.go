@@ -1,0 +1,128 @@
+// Mcmdesigner answers the architect's question the paper poses: for a
+// target machine size, which chiplet size and MCM dimension should you
+// build? It scores every catalog configuration reaching the target on
+// manufacturing output (Eq. 1 with assembly losses) and device quality
+// (E_avg of the assembled modules), then recommends the dominant choice.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"chipletqc"
+)
+
+const (
+	targetQubits = 240
+	batchSize    = 1500
+	seed         = 11
+)
+
+type candidate struct {
+	chiplet    int
+	rows, cols int
+	qubits     int
+	mcms       int
+	postYield  float64
+	bestEAvg   float64
+	meanEAvg   float64
+}
+
+func main() {
+	fmt.Printf("designing a ~%d-qubit machine from catalog chiplets\n\n", targetQubits)
+
+	var cands []candidate
+	for _, cq := range chipletqc.ChipletSizes() {
+		rows, cols, ok := dimensionsFor(targetQubits, cq)
+		if !ok {
+			continue
+		}
+		batch, err := chipletqc.FabricateBatch(cq, batchSize, chipletqc.BatchOptions{Seed: seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mods, st := chipletqc.AssembleMCMs(batch, rows, cols, chipletqc.AssembleOptions{Seed: seed})
+		c := candidate{
+			chiplet: cq, rows: rows, cols: cols,
+			qubits:    rows * cols * cq,
+			mcms:      st.MCMs,
+			postYield: st.PostAssemblyYield,
+		}
+		if len(mods) > 0 {
+			c.bestEAvg = mods[0].EAvg()
+			var sum float64
+			for _, m := range mods {
+				sum += m.EAvg()
+			}
+			c.meanEAvg = sum / float64(len(mods))
+		}
+		cands = append(cands, c)
+	}
+	if len(cands) == 0 {
+		log.Fatalf("no configuration reaches %d qubits", targetQubits)
+	}
+
+	// Monolithic baseline.
+	mono := chipletqc.Monolithic(targetQubits)
+	monoYield := chipletqc.SimulateYield(mono, chipletqc.YieldOptions{Batch: batchSize, Seed: seed})
+
+	fmt.Printf("%8s %6s %7s %6s %11s %10s %10s\n",
+		"chiplet", "dim", "qubits", "MCMs", "post_yield", "best_Eavg", "mean_Eavg")
+	for _, c := range cands {
+		fmt.Printf("%7dq %3dx%-2d %7d %6d %11.4f %10.5f %10.5f\n",
+			c.chiplet, c.rows, c.cols, c.qubits, c.mcms, c.postYield, c.bestEAvg, c.meanEAvg)
+	}
+	fmt.Printf("%8s %6s %7d %6.0f %11.4f %10s %10s   <- monolithic\n\n",
+		"mono", "-", mono.N, monoYield.Fraction()*batchSize, monoYield.Fraction(), "-", "-")
+
+	// Recommend: highest post-assembly yield among configurations whose
+	// best module quality is within 15% of the overall best.
+	bestQ := cands[0].bestEAvg
+	for _, c := range cands {
+		if c.mcms > 0 && c.bestEAvg < bestQ {
+			bestQ = c.bestEAvg
+		}
+	}
+	viable := cands[:0:0]
+	for _, c := range cands {
+		if c.mcms > 0 && c.bestEAvg <= bestQ*1.15 {
+			viable = append(viable, c)
+		}
+	}
+	sort.Slice(viable, func(i, j int) bool { return viable[i].postYield > viable[j].postYield })
+	if len(viable) > 0 {
+		r := viable[0]
+		fmt.Printf("recommendation: %dx%d MCM of %dq chiplets (%d qubits) — "+
+			"post-assembly yield %.4f, best module E_avg %.5f\n",
+			r.rows, r.cols, r.chiplet, r.qubits, r.postYield, r.bestEAvg)
+		if monoYield.Fraction() > 0 {
+			fmt.Printf("that is %.1fx the monolithic yield at the same scale\n",
+				r.postYield/monoYield.Fraction())
+		} else {
+			fmt.Println("the monolithic alternative had zero collision-free yield")
+		}
+	}
+}
+
+// dimensionsFor finds the most square rows x cols with rows*cols*chiplet
+// == target (exact) and at least two chips.
+func dimensionsFor(target, chiplet int) (rows, cols int, ok bool) {
+	if target%chiplet != 0 {
+		return 0, 0, false
+	}
+	chips := target / chiplet
+	if chips < 2 {
+		return 0, 0, false
+	}
+	best := -1
+	for r := 1; r*r <= chips; r++ {
+		if chips%r == 0 {
+			best = r
+		}
+	}
+	if best == -1 {
+		return 0, 0, false
+	}
+	return best, chips / best, true
+}

@@ -1,0 +1,97 @@
+package chipletqc
+
+import (
+	"chipletqc/internal/eval"
+	"chipletqc/internal/mcm"
+	"chipletqc/internal/stats"
+	"chipletqc/internal/yield"
+)
+
+// Experiment re-exports: one entry point per figure/table of the paper's
+// evaluation section. ExperimentConfig scales the Monte Carlo batches;
+// DefaultExperimentConfig matches the paper, QuickExperimentConfig is
+// sized for smoke tests.
+type (
+	// ExperimentConfig scales the experiment harness batches.
+	ExperimentConfig = eval.Config
+	// Summary is a five-number box-plot summary (Fig. 3b rows).
+	Summary = stats.Summary
+	// YieldSweepCell is one (step, sigma) yield curve of Fig. 4.
+	YieldSweepCell = yield.SweepCell
+	// Fig1Row, Fig2Result, ... mirror the paper's figures; see the eval
+	// package documentation for field semantics.
+	Fig1Row    = eval.Fig1Row
+	Fig2Result = eval.Fig2Result
+	Fig6Result = eval.Fig6Result
+	Fig7Result = eval.Fig7Result
+	Fig8Result = eval.Fig8Result
+	Fig9Cell   = eval.Fig9Cell
+	Fig10Point = eval.Fig10Point
+	Table2Row  = eval.Table2Row
+	Eq1Result  = eval.Eq1Result
+)
+
+// DefaultExperimentConfig returns full-paper-scale settings (batch 10^4,
+// systems to 500 qubits).
+func DefaultExperimentConfig(seed int64) ExperimentConfig {
+	return eval.DefaultConfig(seed)
+}
+
+// QuickExperimentConfig returns reduced settings for smoke runs.
+func QuickExperimentConfig(seed int64) ExperimentConfig {
+	return eval.QuickConfig(seed)
+}
+
+// Fig1 quantifies the yield/infidelity trade-off versus module size.
+func Fig1(cfg ExperimentConfig) []Fig1Row { return eval.Fig1(cfg) }
+
+// Fig2 computes the illustrative wafer-output comparison.
+func Fig2(monoDies, chipletsPerMono, defects int) Fig2Result {
+	return eval.Fig2(monoDies, chipletsPerMono, defects)
+}
+
+// Fig3b generates CX-infidelity box plots for 27/65/127-qubit devices.
+func Fig3b(cfg ExperimentConfig) []Summary { return eval.Fig3b(cfg) }
+
+// Fig4 runs the detuning x precision collision-free yield sweep.
+func Fig4(cfg ExperimentConfig, maxQubits int) []YieldSweepCell {
+	return eval.Fig4(cfg, maxQubits)
+}
+
+// Fig6 reproduces the MCM configurability analysis (20q chiplets).
+func Fig6(cfg ExperimentConfig, batch, maxDim int) Fig6Result {
+	return eval.Fig6(cfg, batch, maxDim)
+}
+
+// Fig7 generates the CX-infidelity-vs-detuning calibration scatter.
+func Fig7(cfg ExperimentConfig) Fig7Result { return eval.Fig7(cfg) }
+
+// Fig8 runs the MCM-vs-monolithic yield comparison over every enumerated
+// system.
+func Fig8(cfg ExperimentConfig) Fig8Result { return eval.Fig8(cfg) }
+
+// Fig9 computes the E_avg ratio heatmaps for the four link-quality
+// assumptions; keys are eval.Fig9Ratios.
+func Fig9(cfg ExperimentConfig) map[string][]Fig9Cell { return eval.Fig9(cfg) }
+
+// Fig9Ratios orders the Fig. 9 link-quality sweep keys.
+var Fig9Ratios = eval.Fig9Ratios
+
+// Fig10 evaluates the benchmark suite on the given MCM systems against
+// their monolithic counterparts.
+func Fig10(cfg ExperimentConfig, grids []Grid, samples int) ([]Fig10Point, error) {
+	return eval.Fig10(cfg, grids, samples)
+}
+
+// Table2 compiles the benchmark suite onto the Table II systems.
+func Table2(cfg ExperimentConfig) ([]Table2Row, error) { return eval.Table2(cfg) }
+
+// Eq1Example reproduces the Section V-C fabrication-output example.
+func Eq1Example(cfg ExperimentConfig) Eq1Result { return eval.Eq1Example(cfg) }
+
+// EnumerateMCMs reproduces the paper's experimental system selection:
+// unique-size MCMs per chiplet category up to maxQubits, square-first.
+func EnumerateMCMs(maxQubits int) []Grid { return mcm.EnumerateGrids(maxQubits) }
+
+// SquareMCMs returns only the n x n systems (the Fig. 9 subset).
+func SquareMCMs(maxQubits int) []Grid { return mcm.SquareGrids(maxQubits) }

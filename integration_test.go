@@ -1,0 +1,177 @@
+package chipletqc
+
+// End-to-end integration tests: each test exercises a realistic
+// cross-module workflow through the public facade only, the way a
+// downstream user would.
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestIntegrationFullPaperPipeline walks the complete paper pipeline on
+// one system pair: fabricate, bin, assemble, compile, score, and check
+// every stage's invariants.
+func TestIntegrationFullPaperPipeline(t *testing.T) {
+	const chiplet = 20
+	mcmDev, err := MCM(2, 2, chiplet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono := Monolithic(mcmDev.N)
+	if mono.N != mcmDev.N {
+		t.Fatalf("size mismatch %d vs %d", mono.N, mcmDev.N)
+	}
+
+	// Stage 1: yield.
+	monoYield := SimulateYield(mono, YieldOptions{Batch: 800, Seed: 1})
+	batch, err := FabricateBatch(chiplet, 800, BatchOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Yield() <= monoYield.Fraction() {
+		t.Errorf("chiplet yield %v should beat 80q monolithic %v",
+			batch.Yield(), monoYield.Fraction())
+	}
+
+	// Stage 2: assembly.
+	mods, st := AssembleMCMs(batch, 2, 2, AssembleOptions{Seed: 1})
+	if st.MCMs == 0 {
+		t.Fatal("no MCMs")
+	}
+	if st.PostAssemblyYield <= monoYield.Fraction() {
+		t.Errorf("post-assembly yield %v should beat monolithic %v",
+			st.PostAssemblyYield, monoYield.Fraction())
+	}
+
+	// Stage 3: compile every benchmark on both architectures.
+	chip := BuildChiplet(batch.Spec)
+	a := mods[0].Errors(mcmDev, chip)
+	for _, bs := range Benchmarks() {
+		circ := bs.Generate(UtilizedQubits(mcmDev.N), 1)
+		mcmRes, err := Compile(circ, mcmDev)
+		if err != nil {
+			t.Fatalf("%s mcm: %v", bs.Short, err)
+		}
+		monoRes, err := Compile(circ, mono)
+		if err != nil {
+			t.Fatalf("%s mono: %v", bs.Short, err)
+		}
+		// Same topology family (aspect ratios may differ: Monolithic(80)
+		// prefers a square 8x8 die while the MCM fuses to 4x16):
+		// compiled 2q counts stay within a small factor.
+		rm, rn := float64(mcmRes.Counts.TwoQ), float64(monoRes.Counts.TwoQ)
+		if rm/rn > 2.5 || rn/rm > 2.5 {
+			t.Errorf("%s: compiled 2q diverge: mcm %v mono %v", bs.Short, rm, rn)
+		}
+		// Stage 4: fidelity scoring is finite and negative in log space.
+		lf := LogFidelity(mcmRes, a)
+		if lf >= 0 || math.IsInf(lf, -1) || math.IsNaN(lf) {
+			t.Errorf("%s: log fidelity %v", bs.Short, lf)
+		}
+	}
+
+	// Stage 5: ECC view of the assembled module.
+	rep := AnalyzeECC(mcmDev, a, HeavyHexECCThreshold)
+	if rep.Couplings != mcmDev.G.M() {
+		t.Errorf("ECC coverage %d != %d", rep.Couplings, mcmDev.G.M())
+	}
+}
+
+// TestIntegrationQASMCompileSimulate round-trips a benchmark through
+// QASM, compiles the parsed circuit, and validates semantics by noisy
+// simulation with zero error.
+func TestIntegrationQASMCompileSimulate(t *testing.T) {
+	orig := DecomposeCircuit(BV(5, 0b1010))
+	parsed, err := ReadQASM(strings.NewReader(QASM(orig)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := Monolithic(10)
+	res, err := Compile(parsed, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := SampleFrequencies(5, DefaultFabModel(), dev)
+	errs := AssignErrors(6, dev, f, NewDetuningModel(7))
+	out, err := SimulateNoisy(res.Compiled, NoisyConfig{
+		Errors:       ErrorAssignment{Err: map[Edge]float64{}},
+		Trajectories: 5,
+		Seed:         8,
+	}, func(s *State) bool {
+		// The data register must read the hidden string.
+		qs := make([]int, 4)
+		bits := []int{0, 1, 0, 1}
+		for i := range qs {
+			qs[i] = res.FinalLayout[i]
+		}
+		return s.MarginalProbability(qs, bits) > 0.999
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SuccessFraction() != 1 {
+		t.Errorf("noiseless BV success = %v, want 1", out.SuccessFraction())
+	}
+	// With realistic errors the clean fraction matches the ESP estimate.
+	noisy, err := SimulateNoisy(res.Compiled, NoisyConfig{
+		Errors:       errs,
+		Trajectories: 1200,
+		Seed:         9,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	esp := FidelityProduct(res, errs)
+	if math.Abs(noisy.CleanFraction()-esp) > 0.05 {
+		t.Errorf("clean fraction %v vs ESP %v", noisy.CleanFraction(), esp)
+	}
+}
+
+// TestIntegrationDeviceJSON serialises an assembled MCM device and
+// confirms a downstream consumer can rebuild and revalidate it.
+func TestIntegrationDeviceJSON(t *testing.T) {
+	dev, err := MCM(3, 3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Device
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Errorf("rebuilt device invalid: %v", err)
+	}
+	if len(back.Link) != len(dev.Link) {
+		t.Errorf("links %d != %d", len(back.Link), len(dev.Link))
+	}
+	// The rebuilt device is fully usable: run a yield simulation on it.
+	y := SimulateYield(&back, YieldOptions{Batch: 100, Seed: 2})
+	if y.Qubits != dev.N {
+		t.Errorf("yield sim saw %d qubits", y.Qubits)
+	}
+}
+
+// TestIntegrationAnalyticTracksMonteCarloAcrossCatalog compares the two
+// yield engines over the whole chiplet catalog.
+func TestIntegrationAnalyticTracksMonteCarlo(t *testing.T) {
+	plan := AsymmetricFreqPlan(5.0, 0.06, 0.06)
+	for _, q := range []int{10, 20, 60, 120} {
+		spec, err := ChipletSpec(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev := Monolithic(spec.Qubits())
+		an := AnalyticYield(dev, plan, SigmaLaserTuned)
+		mc := SimulateYield(dev, YieldOptions{Batch: 1500, Seed: 3}).Fraction()
+		if math.Abs(an-mc) > 0.05+0.25*mc {
+			t.Errorf("%dq: analytic %v vs MC %v", q, an, mc)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"chipletqc/internal/collision"
+	"chipletqc/internal/fab"
+	"chipletqc/internal/topo"
+	"chipletqc/internal/yield"
+)
+
+func TestPhi(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.96, 0.975},
+		{-1.96, 0.025},
+		{5, 1},
+	}
+	for _, c := range cases {
+		if got := Phi(c.x); math.Abs(got-c.want) > 1e-3 {
+			t.Errorf("Phi(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestBandProb(t *testing.T) {
+	// Band of +-1 sigma around the mean: ~68.3%.
+	if got := bandProb(0, 1, 0, 1); math.Abs(got-0.6827) > 1e-3 {
+		t.Errorf("bandProb = %v, want 0.683", got)
+	}
+	// Degenerate sigma: indicator.
+	if bandProb(0.5, 0, 0, 1) != 1 || bandProb(5, 0, 0, 1) != 0 {
+		t.Error("zero-sigma band should be an indicator")
+	}
+}
+
+func TestEdgeFreeProbHealthyPair(t *testing.T) {
+	p := collision.DefaultParams()
+	// The paper's F2 -> F1 pair (5.12 control, 5.06 target) at
+	// laser-tuned precision: mostly free.
+	free := EdgeFreeProb(5.12, 5.06, fab.SigmaLaserTuned, p)
+	if free < 0.95 || free > 1 {
+		t.Errorf("healthy pair free prob = %v", free)
+	}
+	// Same pair at raw precision: poor.
+	if raw := EdgeFreeProb(5.12, 5.06, fab.SigmaAsFabricated, p); raw > 0.6 {
+		t.Errorf("raw precision free prob = %v, want low", raw)
+	}
+	// Equal targets: near-certain type 1 collision.
+	if eq := EdgeFreeProb(5.12, 5.12, fab.SigmaLaserTuned, p); eq > 0.6 {
+		t.Errorf("equal targets free prob = %v, want low", eq)
+	}
+}
+
+func TestPairFreeProb(t *testing.T) {
+	p := collision.DefaultParams()
+	// Distinct targets F0/F1 under an F2 control: healthy.
+	if free := PairFreeProb(5.12, 5.0, 5.06, fab.SigmaLaserTuned, p); free < 0.95 {
+		t.Errorf("healthy pair = %v", free)
+	}
+	// Equal-class targets: near-null type 5.
+	if bad := PairFreeProb(5.12, 5.0, 5.0, fab.SigmaLaserTuned, p); bad > 0.6 {
+		t.Errorf("same-class targets = %v, want low", bad)
+	}
+}
+
+func TestAnalyticMatchesMonteCarlo(t *testing.T) {
+	// The headline validation: analytic yield tracks MC yield across
+	// chip sizes and precisions.
+	params := collision.DefaultParams()
+	cases := []struct {
+		spec  topo.ChipSpec
+		sigma float64
+	}{
+		{topo.ChipSpec{DenseRows: 1, Width: 8}, fab.SigmaLaserTuned},
+		{topo.ChipSpec{DenseRows: 2, Width: 8}, fab.SigmaLaserTuned},
+		{topo.ChipSpec{DenseRows: 4, Width: 12}, fab.SigmaLaserTuned},
+		{topo.ChipSpec{DenseRows: 6, Width: 12}, fab.SigmaLaserTuned},
+		{topo.ChipSpec{DenseRows: 2, Width: 8}, fab.SigmaScalingGoal},
+	}
+	for _, c := range cases {
+		d := topo.MonolithicDevice(c.spec)
+		got := DeviceYield(d, topo.DefaultFreqPlan, c.sigma, params)
+		cfg := yield.DefaultConfig()
+		cfg.Batch = 4000
+		cfg.Model.Sigma = c.sigma
+		mc := yield.Simulate(d, cfg).Fraction()
+		// The independence approximation systematically underestimates
+		// (overlapping criteria share qubits and are positively
+		// correlated), with the gap growing with device size: accept
+		// 25% relative or 0.03 absolute, and require the analytic value
+		// not to *overshoot* MC by more than noise.
+		diff := math.Abs(got - mc)
+		if diff > 0.03 && diff > 0.25*mc {
+			t.Errorf("%v sigma=%v: analytic %v vs MC %v", c.spec, c.sigma, got, mc)
+		}
+		if got > mc+0.04 {
+			t.Errorf("%v sigma=%v: analytic %v overshoots MC %v", c.spec, c.sigma, got, mc)
+		}
+	}
+}
+
+func TestLogYieldMatchesYield(t *testing.T) {
+	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 2, Width: 8})
+	params := collision.DefaultParams()
+	classes := append([]topo.Class(nil), d.Class...)
+	y := YieldForClasses(d, classes, topo.DefaultFreqPlan, fab.SigmaLaserTuned, params)
+	ly := LogYieldForClasses(d, classes, topo.DefaultFreqPlan, fab.SigmaLaserTuned, params)
+	if math.Abs(math.Log(y)-ly) > 1e-9 {
+		t.Errorf("log mismatch: %v vs %v", math.Log(y), ly)
+	}
+}
+
+func TestDegenerateAssignmentYieldsZero(t *testing.T) {
+	// All qubits in one class: every coupling is a guaranteed near-null
+	// at sigma -> 0, so yield must vanish.
+	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 1, Width: 8})
+	classes := make([]topo.Class, d.N) // all F0
+	y := YieldForClasses(d, classes, topo.DefaultFreqPlan, 1e-6, collision.DefaultParams())
+	if y != 0 {
+		t.Errorf("degenerate assignment yield = %v, want 0", y)
+	}
+}
+
+func TestAnalyticYieldMonotoneInSigma(t *testing.T) {
+	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 4, Width: 8})
+	params := collision.DefaultParams()
+	prev := 1.1
+	for _, sigma := range []float64{0.004, 0.008, 0.014, 0.03, 0.06} {
+		y := DeviceYield(d, topo.DefaultFreqPlan, sigma, params)
+		if y >= prev {
+			t.Errorf("yield should fall with sigma: %v at %v (prev %v)", y, sigma, prev)
+		}
+		prev = y
+	}
+}

@@ -1,0 +1,171 @@
+// Package assembly implements the paper's MCM manufacturing pipeline
+// (Sections V-C, V-D, VII-B): chiplet batch fabrication with known-good-
+// die (KGD) characterisation, error-sorted chiplet stitching with
+// collision-driven reshuffles, and the C4 bump-bond assembly yield model.
+package assembly
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"chipletqc/internal/collision"
+	"chipletqc/internal/fab"
+	"chipletqc/internal/graph"
+	"chipletqc/internal/noise"
+	"chipletqc/internal/topo"
+)
+
+// Chiplet is one fabricated, characterised, collision-free die from a
+// batch. Edge errors are aligned with the chip topology's G.Edges()
+// order; AvgErr is the KGD figure used to rank chiplets for stitching.
+type Chiplet struct {
+	ID      int
+	Freq    []float64
+	EdgeErr []float64
+	AvgErr  float64
+}
+
+// Batch is a fabrication run of identical chiplets: only the collision-
+// free dies are retained (KGD testing discards the rest), sorted best
+// first by average two-qubit error.
+type Batch struct {
+	Spec topo.ChipSpec
+	Chip *topo.Chip
+	Size int        // dies fabricated
+	Free []*Chiplet // collision-free bin, ascending AvgErr
+}
+
+// Yield returns the collision-free chiplet yield of the batch.
+func (b *Batch) Yield() float64 {
+	if b.Size == 0 {
+		return 0
+	}
+	return float64(len(b.Free)) / float64(b.Size)
+}
+
+// BatchConfig parameterises chiplet fabrication and characterisation.
+type BatchConfig struct {
+	Fab    fab.Model
+	Params collision.Params
+	Det    *noise.DetuningModel
+	Seed   int64
+}
+
+// DefaultBatchConfig uses the paper's forward-looking baseline: laser-
+// tuned precision, Table I thresholds, and the reference synthetic
+// Washington detuning model.
+func DefaultBatchConfig(seed int64) BatchConfig {
+	return BatchConfig{
+		Fab:    fab.DefaultModel(),
+		Params: collision.DefaultParams(),
+		Det:    noise.DefaultDetuningModel(seed),
+		Seed:   seed,
+	}
+}
+
+// Fabricate runs a batch of `size` chiplets of the given spec: sample
+// frequencies, discard collision-free failures, characterise survivors
+// (per-coupling error sampled from the empirical detuning model), and
+// sort the bin best-first. This is the KGD pipeline of Section V-B/VII-B.
+func Fabricate(spec topo.ChipSpec, size int, cfg BatchConfig) *Batch {
+	chip := topo.BuildChip(spec)
+	dev := topo.MonolithicDevice(spec)
+	checker := collision.NewChecker(dev, cfg.Params)
+	edges := chip.G.Edges()
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	b := &Batch{Spec: spec, Chip: chip, Size: size}
+	for i := 0; i < size; i++ {
+		f := cfg.Fab.SampleChip(r, chip)
+		if !checker.Free(f) {
+			continue
+		}
+		errs := make([]float64, len(edges))
+		var sum float64
+		for j, e := range edges {
+			errs[j] = cfg.Det.Sample(r, f[e.U]-f[e.V])
+			sum += errs[j]
+		}
+		avg := 0.0
+		if len(edges) > 0 {
+			avg = sum / float64(len(edges))
+		}
+		b.Free = append(b.Free, &Chiplet{ID: i, Freq: f, EdgeErr: errs, AvgErr: avg})
+	}
+	sort.SliceStable(b.Free, func(i, j int) bool {
+		return b.Free[i].AvgErr < b.Free[j].AvgErr
+	})
+	return b
+}
+
+// Bump-bond assembly constants (Section VII-B): the per-bump success
+// probability derived from silicon interposer defect rates, and the
+// number of C4 bumps each inter-chip linked qubit requires.
+const (
+	BumpSuccess       = 0.99999960642
+	BumpsPerLinkQubit = 25
+)
+
+// LinkQubitSurvival returns the probability that one linked qubit's 25
+// bump bonds all succeed, with the bump failure probability scaled by
+// failureScale (1 = nominal; 100 = the paper's sensitivity analysis).
+func LinkQubitSurvival(failureScale float64) float64 {
+	fail := (1 - BumpSuccess) * failureScale
+	if fail < 0 {
+		fail = 0
+	}
+	if fail > 1 {
+		fail = 1
+	}
+	return math.Pow(1-fail, BumpsPerLinkQubit)
+}
+
+// BondSurvival returns the probability that an assembly with L linked
+// qubits suffers no bonding fault: (s_l^25)^L with scaled failure.
+func BondSurvival(linkedQubits int, failureScale float64) float64 {
+	return math.Pow(LinkQubitSurvival(failureScale), float64(linkedQubits))
+}
+
+// Combinatorics helpers for Fig. 6.
+
+// Log10Configurations returns log10 of the number of ordered ways to
+// populate an MCM of `chips` positions from `free` distinct chiplets:
+// log10(free! / (free-chips)!). It returns -Inf when free < chips.
+func Log10Configurations(free, chips int) float64 {
+	if free < chips {
+		return math.Inf(-1)
+	}
+	var sum float64
+	for i := 0; i < chips; i++ {
+		sum += math.Log10(float64(free - i))
+	}
+	return sum
+}
+
+// MaxAssemblies returns the largest number of disjoint MCMs of `chips`
+// positions buildable from `free` chiplets.
+func MaxAssemblies(free, chips int) int {
+	if chips <= 0 {
+		return 0
+	}
+	return free / chips
+}
+
+// FabricationOutput evaluates Equation 1 of the paper: the upper bound on
+// assembled MCMs given monolithic batch size B, monolithic size qm,
+// chiplet size qc, chiplet yield Yc, and MCM dimension k x m:
+//
+//	N = Yc * (B * qm/qc) / (k*m)
+func FabricationOutput(yc float64, batch, qm, qc, chips int) float64 {
+	if qc <= 0 || chips <= 0 {
+		return 0
+	}
+	return yc * float64(batch) * float64(qm) / float64(qc) / float64(chips)
+}
+
+// globalEdge maps a chip-local coupling to its global device edge for a
+// chip placed at a base qubit offset.
+func globalEdge(base int, e graph.Edge) graph.Edge {
+	return graph.NewEdge(base+e.U, base+e.V)
+}

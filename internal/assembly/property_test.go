@@ -1,0 +1,84 @@
+package assembly
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chipletqc/internal/collision"
+	"chipletqc/internal/mcm"
+	"chipletqc/internal/topo"
+)
+
+// TestAssemblyAccountingProperty verifies conservation laws of the
+// assembly pipeline across random batch sizes, grid shapes, and seeds:
+// every free chiplet is either consumed by a complete MCM or left over;
+// yields are ordered chiplet >= assembly >= post-assembly; module
+// membership is disjoint.
+func TestAssemblyAccountingProperty(t *testing.T) {
+	spec := topo.ChipSpec{DenseRows: 2, Width: 8}
+	f := func(seedRaw uint16, sizeRaw, rowsRaw, colsRaw uint8) bool {
+		size := 50 + int(sizeRaw)%200
+		rows := 1 + int(rowsRaw)%3
+		cols := 1 + int(colsRaw)%3
+		if rows*cols < 2 {
+			cols = 2
+		}
+		cfg := DefaultBatchConfig(int64(seedRaw))
+		b := Fabricate(spec, size, cfg)
+		grid := mcm.Grid{Rows: rows, Cols: cols, Spec: spec}
+		mods, st := Assemble(b, grid, DefaultAssembleConfig(int64(seedRaw)+1))
+
+		if st.ChipsUsed+st.Leftover != st.FreeChiplets {
+			return false
+		}
+		if st.MCMs != len(mods) || st.ChipsUsed != st.MCMs*grid.Chips() {
+			return false
+		}
+		if st.AssemblyYield > st.ChipletYield+1e-12 {
+			return false
+		}
+		if st.PostAssemblyYield > st.AssemblyYield+1e-12 {
+			return false
+		}
+		// No chiplet appears in two modules.
+		seen := map[int]bool{}
+		for _, m := range mods {
+			for _, c := range m.Members {
+				if seen[c.ID] {
+					return false
+				}
+				seen[c.ID] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAssembledModulesAreCollisionFreeProperty re-checks every assembled
+// module's composed frequency vector against the Table I criteria — the
+// assembly stage's core contract.
+func TestAssembledModulesAreCollisionFreeProperty(t *testing.T) {
+	spec := topo.ChipSpec{DenseRows: 1, Width: 8} // odd-r stresses shifts
+	grid := mcm.Grid{Rows: 2, Cols: 2, Spec: spec}
+	dev := mcm.MustBuild(grid)
+	cfg := DefaultBatchConfig(99)
+	b := Fabricate(spec, 400, cfg)
+	mods, _ := Assemble(b, grid, DefaultAssembleConfig(100))
+	if len(mods) == 0 {
+		t.Fatal("no modules to check")
+	}
+	checker := newTestChecker(dev, cfg)
+	for i, m := range mods {
+		if !checker.Free(m.Freq) {
+			t.Fatalf("module %d is not collision-free", i)
+		}
+	}
+}
+
+// newTestChecker builds a collision checker matching the batch config.
+func newTestChecker(dev *topo.Device, cfg BatchConfig) *collision.Checker {
+	return collision.NewChecker(dev, cfg.Params)
+}

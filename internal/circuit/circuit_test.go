@@ -1,0 +1,193 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewPanicsOnZeroQubits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 0 qubits")
+		}
+	}()
+	New(0)
+}
+
+func TestAppendValidation(t *testing.T) {
+	c := New(3)
+	bad := []func(){
+		func() { c.Append("nope", 0, 0) },        // unknown gate
+		func() { c.Append("cx", 0, 0) },          // wrong arity
+		func() { c.Append("h", 0, 5) },           // out of range
+		func() { c.Append("cx", 0, 1, 1) },       // repeated operand
+		func() { c.Append("ccx", 0, 0, 1, 100) }, // out of range
+	}
+	for i, fn := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestGateConstructorsAndCounts(t *testing.T) {
+	c := New(3)
+	c.H(0)
+	c.X(1)
+	c.RZ(2, 0.5)
+	c.CX(0, 1)
+	c.CX(1, 2)
+	c.CCX(0, 1, 2)
+	if got := c.OneQubitGates(); got != 3 {
+		t.Errorf("1q = %d, want 3", got)
+	}
+	if got := c.TwoQubitGates(); got != 2 {
+		t.Errorf("2q = %d, want 2 (ccx is 3q until decomposed)", got)
+	}
+}
+
+func TestGateString(t *testing.T) {
+	c := New(3)
+	c.CX(1, 2)
+	c.RZ(0, 0.5)
+	if got := c.Gates[0].String(); got != "cx q1,q2" {
+		t.Errorf("cx string = %q", got)
+	}
+	if got := c.Gates[1].String(); !strings.HasPrefix(got, "rz(0.500) q0") {
+		t.Errorf("rz string = %q", got)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	c := New(3)
+	// Parallel H's: depth 1.
+	c.H(0)
+	c.H(1)
+	c.H(2)
+	if d := c.Depth(); d != 1 {
+		t.Errorf("parallel depth = %d, want 1", d)
+	}
+	// A CX chain serialises.
+	c.CX(0, 1)
+	c.CX(1, 2)
+	if d := c.Depth(); d != 3 {
+		t.Errorf("chained depth = %d, want 3", d)
+	}
+}
+
+func TestTwoQubitCriticalPath(t *testing.T) {
+	c := New(4)
+	c.H(0)
+	c.CX(0, 1) // chain 1
+	c.CX(1, 2) // chain 2
+	c.CX(2, 3) // chain 3
+	if got := c.TwoQubitCriticalPath(); got != 3 {
+		t.Errorf("2q critical = %d, want 3", got)
+	}
+	// Parallel CX's do not extend the critical path.
+	c2 := New(4)
+	c2.CX(0, 1)
+	c2.CX(2, 3)
+	if got := c2.TwoQubitCriticalPath(); got != 1 {
+		t.Errorf("parallel 2q critical = %d, want 1", got)
+	}
+	// 1q gates never count, even interleaved.
+	c3 := New(2)
+	c3.H(0)
+	c3.H(0)
+	c3.CX(0, 1)
+	c3.H(1)
+	c3.CX(0, 1)
+	if got := c3.TwoQubitCriticalPath(); got != 2 {
+		t.Errorf("interleaved 2q critical = %d, want 2", got)
+	}
+}
+
+func TestCountsString(t *testing.T) {
+	c := New(2)
+	c.H(0)
+	c.CX(0, 1)
+	if got := c.Counts().String(); got != "1 / 1 / 1" {
+		t.Errorf("counts = %q", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	c := New(2)
+	c.H(0)
+	c.CX(0, 1)
+	cl := c.Clone()
+	cl.X(1)
+	cl.Gates[0].Qubits[0] = 1
+	if len(c.Gates) != 2 || c.Gates[0].Qubits[0] != 0 {
+		t.Error("Clone must not alias the original")
+	}
+}
+
+func TestDecomposeSwap(t *testing.T) {
+	c := New(2)
+	c.SWAP(0, 1)
+	d := Decompose(c)
+	if !IsNative(d) {
+		t.Fatal("decomposed circuit not native")
+	}
+	if got := d.TwoQubitGates(); got != 3 {
+		t.Errorf("swap decomposes to %d CX, want 3", got)
+	}
+}
+
+func TestDecomposeCZ(t *testing.T) {
+	c := New(2)
+	c.CZ(0, 1)
+	d := Decompose(c)
+	if !IsNative(d) {
+		t.Fatal("decomposed circuit not native")
+	}
+	if d.TwoQubitGates() != 1 || d.OneQubitGates() != 2 {
+		t.Errorf("cz decomposition counts = %v", d.Counts())
+	}
+}
+
+func TestDecomposeToffoliCounts(t *testing.T) {
+	c := New(3)
+	c.CCX(0, 1, 2)
+	d := Decompose(c)
+	if !IsNative(d) {
+		t.Fatal("decomposed circuit not native")
+	}
+	if got := d.TwoQubitGates(); got != 6 {
+		t.Errorf("toffoli decomposes to %d CX, want 6", got)
+	}
+}
+
+func TestDecomposePassthrough(t *testing.T) {
+	c := New(2)
+	c.H(0)
+	c.RZ(1, 1.25)
+	c.CX(0, 1)
+	d := Decompose(c)
+	if len(d.Gates) != 3 {
+		t.Fatalf("passthrough changed gate count: %d", len(d.Gates))
+	}
+	if d.Gates[1].Param != 1.25 {
+		t.Error("passthrough lost rotation parameter")
+	}
+}
+
+func TestIsNative(t *testing.T) {
+	c := New(3)
+	c.H(0)
+	c.CX(0, 1)
+	if !IsNative(c) {
+		t.Error("h+cx should be native")
+	}
+	c.SWAP(1, 2)
+	if IsNative(c) {
+		t.Error("swap is not native")
+	}
+}

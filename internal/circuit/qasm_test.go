@@ -1,0 +1,180 @@
+package circuit
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestQASMExportBasics(t *testing.T) {
+	c := New(3)
+	c.H(0)
+	c.RZ(1, 0.5)
+	c.CX(0, 2)
+	c.CCX(0, 1, 2)
+	out := QASMString(c)
+	for _, w := range []string{
+		"OPENQASM 2.0;",
+		"qreg q[3];",
+		"h q[0];",
+		"rz(0.5) q[1];",
+		"cx q[0],q[2];",
+		"ccx q[0],q[1],q[2];",
+	} {
+		if !strings.Contains(out, w) {
+			t.Errorf("QASM missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestQASMRoundTrip(t *testing.T) {
+	c := New(4)
+	c.H(0)
+	c.X(1)
+	c.T(2)
+	c.Sdg(3)
+	c.RX(0, 1.25)
+	c.RY(1, -0.75)
+	c.RZ(2, math.Pi/3)
+	c.CX(0, 1)
+	c.CZ(1, 2)
+	c.SWAP(2, 3)
+	c.CCX(0, 1, 3)
+
+	parsed, err := FromQASM(strings.NewReader(QASMString(c)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.NumQubits != c.NumQubits {
+		t.Fatalf("round trip qubits %d != %d", parsed.NumQubits, c.NumQubits)
+	}
+	if len(parsed.Gates) != len(c.Gates) {
+		t.Fatalf("round trip gates %d != %d", len(parsed.Gates), len(c.Gates))
+	}
+	for i := range c.Gates {
+		a, b := c.Gates[i], parsed.Gates[i]
+		if a.Name != b.Name || math.Abs(a.Param-b.Param) > 1e-15 {
+			t.Errorf("gate %d: %v != %v", i, a, b)
+		}
+		for j := range a.Qubits {
+			if a.Qubits[j] != b.Qubits[j] {
+				t.Errorf("gate %d operand %d: %d != %d", i, j, a.Qubits[j], b.Qubits[j])
+			}
+		}
+	}
+}
+
+func TestQASMRoundTripProperty(t *testing.T) {
+	// Random circuits survive a round trip exactly.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		c := New(n)
+		names := []string{"h", "x", "y", "z", "s", "t", "rx", "ry", "rz"}
+		for i := 0; i < 25; i++ {
+			switch r.Intn(3) {
+			case 0:
+				c.Append(names[r.Intn(len(names))], r.NormFloat64()*3, r.Intn(n))
+			case 1:
+				a, b := r.Intn(n), r.Intn(n)
+				if a != b {
+					c.CX(a, b)
+				}
+			default:
+				a, b := r.Intn(n), r.Intn(n)
+				if a != b {
+					c.SWAP(a, b)
+				}
+			}
+		}
+		parsed, err := FromQASM(strings.NewReader(QASMString(c)))
+		if err != nil || len(parsed.Gates) != len(c.Gates) {
+			return false
+		}
+		for i := range c.Gates {
+			if c.Gates[i].Name != parsed.Gates[i].Name ||
+				c.Gates[i].Param != parsed.Gates[i].Param {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromQASMPiExpressions(t *testing.T) {
+	src := `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+rz(pi) q[0];
+rx(pi/2) q[1];
+ry(-pi/4) q[0];
+rz(2*pi) q[1];
+rx(pi*3/4) q[0];
+`
+	c, err := FromQASM(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{math.Pi, math.Pi / 2, -math.Pi / 4, 2 * math.Pi, math.Pi * 3 / 4}
+	if len(c.Gates) != len(want) {
+		t.Fatalf("gates = %d, want %d", len(c.Gates), len(want))
+	}
+	for i, w := range want {
+		if math.Abs(c.Gates[i].Param-w) > 1e-12 {
+			t.Errorf("gate %d param = %v, want %v", i, c.Gates[i].Param, w)
+		}
+	}
+}
+
+func TestFromQASMIgnoresNoise(t *testing.T) {
+	src := `OPENQASM 2.0;
+// a comment line
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0]; cx q[0],q[1];   // trailing comment
+barrier q[0],q[1];
+measure q[0] -> c[0];
+`
+	c, err := FromQASM(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 2 {
+		t.Errorf("gates = %d, want 2 (h, cx)", len(c.Gates))
+	}
+}
+
+func TestFromQASMErrors(t *testing.T) {
+	cases := []string{
+		"",                           // no qreg
+		"h q[0];",                    // gate before qreg
+		"qreg q[2];\nqreg p[3];",     // duplicate qreg
+		"qreg q[0];",                 // bad size
+		"qreg q[2];\nfrob q[0];",     // unknown gate
+		"qreg q[2];\nrz(nope) q[0];", // bad parameter
+		"qreg q[2];\ncx q[0],q[9];",  // out-of-range operand (panics -> guard)
+	}
+	for i, src := range cases {
+		func() {
+			defer func() { recover() }() // Append panics count as rejection
+			if _, err := FromQASM(strings.NewReader(src)); err == nil {
+				t.Errorf("case %d: expected error for %q", i, src)
+			}
+		}()
+	}
+}
+
+func TestQASMStringDeterministic(t *testing.T) {
+	c := New(2)
+	c.H(0)
+	c.CX(0, 1)
+	if QASMString(c) != QASMString(c) {
+		t.Error("QASM serialisation must be deterministic")
+	}
+}

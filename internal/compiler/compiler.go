@@ -1,0 +1,172 @@
+// Package compiler maps logical benchmark circuits onto physical device
+// topologies (paper Section VII-B): a BFS-center initial layout followed
+// by shortest-path SWAP routing, producing circuits whose every
+// two-qubit gate acts on a physically coupled pair. Inserted SWAPs are
+// lowered to three CX gates, so compiled gate counts are directly
+// comparable to the paper's Table II.
+package compiler
+
+import (
+	"fmt"
+
+	"chipletqc/internal/circuit"
+	"chipletqc/internal/topo"
+)
+
+// Result is a compiled circuit with its qubit mapping bookkeeping.
+type Result struct {
+	// Compiled is the physical circuit over the device's qubits; every
+	// two-qubit gate acts on a coupled pair.
+	Compiled *circuit.Circuit
+	// InitialLayout maps logical qubit -> physical qubit at circuit start.
+	InitialLayout []int
+	// FinalLayout maps logical qubit -> physical qubit after execution
+	// (SWAP insertion permutes the mapping).
+	FinalLayout []int
+	// SwapsInserted counts routing SWAPs (each costing three CX).
+	SwapsInserted int
+	// Counts caches the compiled circuit's Table II metrics.
+	Counts circuit.Counts
+}
+
+// Compile maps circuit c onto device dev with baseline options. The
+// circuit is lowered to the native {1q, CX} basis first. It returns an
+// error when the circuit needs more qubits than the device offers.
+func Compile(c *circuit.Circuit, dev *topo.Device) (*Result, error) {
+	return compile(c, dev, Options{})
+}
+
+// compile is the shared implementation behind Compile and
+// CompileWithOptions.
+func compile(c *circuit.Circuit, dev *topo.Device, opts Options) (*Result, error) {
+	if c.NumQubits > dev.N {
+		return nil, fmt.Errorf("compiler: circuit needs %d qubits, device %q has %d",
+			c.NumQubits, dev.Name, dev.N)
+	}
+	native := circuit.Decompose(c)
+	layout := initialLayout(dev, c.NumQubits)
+
+	pos := append([]int(nil), layout...) // logical -> physical
+	owner := make([]int, dev.N)          // physical -> logical (-1 free)
+	for p := range owner {
+		owner[p] = -1
+	}
+	for l, p := range pos {
+		owner[p] = l
+	}
+
+	out := circuit.New(dev.N)
+	swaps := 0
+
+	emitSwap := func(u, v int) {
+		out.CX(u, v)
+		out.CX(v, u)
+		out.CX(u, v)
+		lu, lv := owner[u], owner[v]
+		owner[u], owner[v] = lv, lu
+		if lu >= 0 {
+			pos[lu] = v
+		}
+		if lv >= 0 {
+			pos[lv] = u
+		}
+		swaps++
+	}
+
+	// findPath routes between two physical qubits: BFS shortest path by
+	// default, or a minimum-cost path under the configured edge costs.
+	findPath := func(u, v int) []int {
+		if opts.EdgeCost == nil {
+			return dev.G.ShortestPath(u, v)
+		}
+		p, _ := dev.G.ShortestPathWeighted(u, v, opts.EdgeCost)
+		return p
+	}
+
+	for _, g := range native.Gates {
+		switch {
+		case g.IsOneQubit():
+			out.Append(g.Name, g.Param, pos[g.Qubits[0]])
+		case g.IsTwoQubit():
+			a, b := g.Qubits[0], g.Qubits[1]
+			// Route a toward b along the chosen path until adjacent.
+			for !dev.G.HasEdge(pos[a], pos[b]) {
+				path := findPath(pos[a], pos[b])
+				if path == nil {
+					return nil, fmt.Errorf("compiler: no path between physical %d and %d",
+						pos[a], pos[b])
+				}
+				emitSwap(path[0], path[1])
+			}
+			out.Append(g.Name, g.Param, pos[a], pos[b])
+		default:
+			return nil, fmt.Errorf("compiler: unexpected %d-qubit gate %q after lowering",
+				len(g.Qubits), g.Name)
+		}
+	}
+
+	return &Result{
+		Compiled:      out,
+		InitialLayout: layout,
+		FinalLayout:   pos,
+		SwapsInserted: swaps,
+		Counts:        out.Counts(),
+	}, nil
+}
+
+// initialLayout picks a dense, central region of the device: BFS from the
+// graph center (minimum eccentricity, lowest id on ties) and take the
+// first n qubits discovered in deterministic order.
+func initialLayout(dev *topo.Device, n int) []int {
+	center := graphCenter(dev)
+	order := bfsOrder(dev, center)
+	return order[:n]
+}
+
+// graphCenter returns the vertex with minimum eccentricity.
+func graphCenter(dev *topo.Device) int {
+	best, bestEcc := 0, int(^uint(0)>>1)
+	for v := 0; v < dev.N; v++ {
+		ecc := 0
+		for _, d := range dev.G.BFSFrom(v) {
+			if d > ecc {
+				ecc = d
+			}
+		}
+		if ecc < bestEcc {
+			best, bestEcc = v, ecc
+		}
+	}
+	return best
+}
+
+// bfsOrder returns all vertices in BFS discovery order from src with
+// sorted neighbour visits for determinism.
+func bfsOrder(dev *topo.Device, src int) []int {
+	seen := make([]bool, dev.N)
+	order := make([]int, 0, dev.N)
+	queue := []int{src}
+	seen[src] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		nbrs := append([]int(nil), dev.G.Neighbors(v)...)
+		insertionSort(nbrs)
+		for _, w := range nbrs {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return order
+}
+
+func insertionSort(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

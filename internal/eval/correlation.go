@@ -1,0 +1,64 @@
+package eval
+
+import (
+	"math"
+
+	"chipletqc/internal/stats"
+)
+
+// Fig10Correlation quantifies the paper's closing observation for
+// Fig. 10(b): "MCMs with lower E_avg,MCM/E_avg,Mono tend to have better
+// benchmark performance as compared to their monolithic counterparts".
+// It pairs each square system's Fig. 9 state-of-art E_avg ratio with its
+// mean Fig. 10 log fidelity ratio across benchmarks and returns the
+// Spearman rank correlation (expected negative: lower E_avg ratio,
+// higher application ratio), along with the paired samples.
+type CorrelationResult struct {
+	Systems   []string
+	EAvgRatio []float64
+	LogRatio  []float64
+	Spearman  float64
+	Pearson   float64
+}
+
+// Fig10Correlation computes the correlation from previously computed
+// Fig. 9 cells (state-of-art) and Fig. 10 points, matching systems by
+// grid identity and skipping red-X / incomparable systems. The log
+// ratios are normalised per compiled two-qubit gate so that systems of
+// different circuit depth are comparable (deep circuits compound any
+// per-gate advantage or deficit exponentially).
+func Fig10Correlation(cells []Fig9Cell, points []Fig10Point) CorrelationResult {
+	// Mean per-gate log ratio per square system.
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, p := range points {
+		if !p.Square || p.MonoZero || math.IsNaN(p.LogRatio) || math.IsInf(p.LogRatio, 0) {
+			continue
+		}
+		if p.TwoQ == 0 {
+			continue
+		}
+		key := p.Grid.String()
+		sums[key] += p.LogRatio / float64(p.TwoQ)
+		counts[key]++
+	}
+	var res CorrelationResult
+	for _, c := range cells {
+		if !c.MonoAvailable || math.IsNaN(c.Ratio) {
+			continue
+		}
+		key := c.Grid.String()
+		n, ok := counts[key]
+		if !ok || n == 0 {
+			continue
+		}
+		res.Systems = append(res.Systems, key)
+		res.EAvgRatio = append(res.EAvgRatio, c.Ratio)
+		res.LogRatio = append(res.LogRatio, sums[key]/float64(n))
+	}
+	if len(res.Systems) >= 2 {
+		res.Spearman = stats.Spearman(res.EAvgRatio, res.LogRatio)
+		res.Pearson = stats.Pearson(res.EAvgRatio, res.LogRatio)
+	}
+	return res
+}

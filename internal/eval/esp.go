@@ -1,0 +1,37 @@
+// Package eval implements the paper's evaluation harness: the
+// ESP-style fidelity-product figure of merit (Section VII-B) and the
+// experiment drivers that regenerate every figure and table of the
+// evaluation section (Figs. 1-10, Tables I-II, Eq. 1).
+package eval
+
+import (
+	"math"
+
+	"chipletqc/internal/compiler"
+	"chipletqc/internal/noise"
+)
+
+// LogFidelity returns the natural log of the estimated probability of
+// success of a compiled circuit: the sum of ln(1 - e) over every
+// compiled two-qubit gate, with e the error of the coupling the gate
+// executes on. Working in log space keeps deep circuits representable.
+func LogFidelity(r *compiler.Result, a noise.Assignment) float64 {
+	var sum float64
+	for _, g := range r.Compiled.Gates {
+		if !g.IsTwoQubit() {
+			continue
+		}
+		e := a.Get(g.Qubits[0], g.Qubits[1])
+		if e >= 1 {
+			return math.Inf(-1)
+		}
+		sum += math.Log1p(-e)
+	}
+	return sum
+}
+
+// Fidelity returns the fidelity product itself; prefer LogFidelity for
+// comparisons between deep circuits.
+func Fidelity(r *compiler.Result, a noise.Assignment) float64 {
+	return math.Exp(LogFidelity(r, a))
+}

@@ -1,0 +1,136 @@
+// Package freqalloc searches the frequency-allocation design space: the
+// assignment of ideal frequency classes to qubits (the "frequency
+// allocation problem" of the paper's related work) and the spacing
+// between the class targets. The optimiser maximises the analytic
+// collision-free yield estimate by simulated annealing over class
+// flips, providing an independent check that the paper's pattern-based
+// heavy-hex allocation is (near-)optimal for three frequencies.
+package freqalloc
+
+import (
+	"math"
+	"math/rand"
+
+	"chipletqc/internal/analytic"
+	"chipletqc/internal/collision"
+	"chipletqc/internal/topo"
+)
+
+// Config parameterises the annealer.
+type Config struct {
+	// Iterations is the number of proposed class flips.
+	Iterations int
+	// StartTemp and EndTemp bound the geometric cooling schedule, in
+	// units of log-yield.
+	StartTemp, EndTemp float64
+	// Seed drives proposals and acceptance.
+	Seed int64
+	// Sigma is the fabrication spread the objective assumes.
+	Sigma float64
+	// Plan supplies the class target frequencies.
+	Plan topo.FreqPlan
+	// Params are the Table I thresholds.
+	Params collision.Params
+}
+
+// DefaultConfig anneals for 20k iterations at laser-tuned precision on
+// the paper's frequency plan.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Iterations: 20000,
+		StartTemp:  2.0,
+		EndTemp:    0.01,
+		Seed:       seed,
+		Sigma:      0.014,
+		Plan:       topo.DefaultFreqPlan,
+		Params:     collision.DefaultParams(),
+	}
+}
+
+// Result is the outcome of one optimisation run.
+type Result struct {
+	// Classes is the best assignment found.
+	Classes []topo.Class
+	// LogYield is its analytic log collision-free yield.
+	LogYield float64
+	// PatternLogYield is the log yield of the device's built-in pattern
+	// assignment, for comparison.
+	PatternLogYield float64
+	// Accepted counts accepted moves.
+	Accepted int
+}
+
+// Improvement returns exp(LogYield - PatternLogYield): how much better
+// (or worse, < 1) the optimised assignment is than the pattern.
+func (r Result) Improvement() float64 {
+	return math.Exp(r.LogYield - r.PatternLogYield)
+}
+
+// Optimize anneals class assignments for the device's coupling graph,
+// starting from the built-in pattern.
+func Optimize(d *topo.Device, cfg Config) Result {
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 1
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	classes := append([]topo.Class(nil), d.Class...)
+	objective := func(cs []topo.Class) float64 {
+		return analytic.LogYieldForClasses(d, cs, cfg.Plan, cfg.Sigma, cfg.Params)
+	}
+	cur := objective(classes)
+	best := append([]topo.Class(nil), classes...)
+	bestScore := cur
+	res := Result{PatternLogYield: cur}
+
+	cooling := math.Pow(cfg.EndTemp/cfg.StartTemp, 1/float64(cfg.Iterations))
+	temp := cfg.StartTemp
+	for it := 0; it < cfg.Iterations; it++ {
+		q := r.Intn(d.N)
+		old := classes[q]
+		// Propose one of the two other classes.
+		next := topo.Class((int(old) + 1 + r.Intn(2)) % 3)
+		classes[q] = next
+		cand := objective(classes)
+		accept := false
+		switch {
+		case math.IsInf(cand, -1):
+			accept = false
+		case cand >= cur:
+			accept = true
+		default:
+			accept = r.Float64() < math.Exp((cand-cur)/temp)
+		}
+		if accept {
+			cur = cand
+			res.Accepted++
+			if cand > bestScore {
+				bestScore = cand
+				copy(best, classes)
+			}
+		} else {
+			classes[q] = old
+		}
+		temp *= cooling
+	}
+	res.Classes = best
+	res.LogYield = bestScore
+	return res
+}
+
+// StepSearch sweeps symmetric and asymmetric step pairs over a grid and
+// returns the pair maximising the analytic yield of the device's pattern
+// assignment — the fast counterpart of the Fig. 4 Monte Carlo sweep and
+// of the paper's future-work question about uneven spacing.
+func StepSearch(d *topo.Device, sigma float64, params collision.Params, steps []float64) (bestLow, bestHigh, bestYield float64) {
+	bestYield = -1
+	for _, lo := range steps {
+		for _, hi := range steps {
+			plan := topo.AsymmetricPlan(5.0, lo, hi)
+			y := analytic.DeviceYield(d, plan, sigma, params)
+			if y > bestYield {
+				bestYield, bestLow, bestHigh = y, lo, hi
+			}
+		}
+	}
+	return bestLow, bestHigh, bestYield
+}

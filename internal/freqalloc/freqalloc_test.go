@@ -1,0 +1,97 @@
+package freqalloc
+
+import (
+	"math"
+	"testing"
+
+	"chipletqc/internal/analytic"
+	"chipletqc/internal/collision"
+	"chipletqc/internal/topo"
+)
+
+func TestOptimizeCannotBeatPatternByMuch(t *testing.T) {
+	// The hand-derived heavy-hex pattern should be (near-)optimal for
+	// three frequencies: annealing from it must not find an assignment
+	// more than marginally better, and must never end below it.
+	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 2, Width: 8})
+	cfg := DefaultConfig(1)
+	cfg.Iterations = 8000
+	res := Optimize(d, cfg)
+	if res.LogYield < res.PatternLogYield-1e-9 {
+		t.Errorf("optimiser lost ground: %v < %v", res.LogYield, res.PatternLogYield)
+	}
+	if res.Improvement() > 1.10 {
+		t.Errorf("annealing beat the pattern by %vx — pattern should be near-optimal",
+			res.Improvement())
+	}
+	if len(res.Classes) != d.N {
+		t.Fatalf("classes length %d", len(res.Classes))
+	}
+}
+
+func TestOptimizeRescuesScrambledAssignment(t *testing.T) {
+	// Start from a deliberately broken assignment (all F0) and confirm
+	// annealing recovers something viable.
+	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 1, Width: 8})
+	for q := range d.Class {
+		d.Class[q] = topo.F0
+	}
+	cfg := DefaultConfig(2)
+	cfg.Iterations = 15000
+	res := Optimize(d, cfg)
+	if math.IsInf(res.PatternLogYield, -1) == false && res.PatternLogYield > -2 {
+		t.Fatalf("scrambled start unexpectedly healthy: %v", res.PatternLogYield)
+	}
+	if res.LogYield < math.Log(0.3) {
+		t.Errorf("annealer failed to rescue: log yield %v (yield %v)",
+			res.LogYield, math.Exp(res.LogYield))
+	}
+	// The recovered assignment must use more than one class.
+	seen := map[topo.Class]bool{}
+	for _, c := range res.Classes {
+		seen[c] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("recovered assignment uses %d classes", len(seen))
+	}
+}
+
+func TestOptimizeDeterministic(t *testing.T) {
+	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 1, Width: 8})
+	cfg := DefaultConfig(3)
+	cfg.Iterations = 2000
+	a := Optimize(d, cfg)
+	b := Optimize(d, cfg)
+	if a.LogYield != b.LogYield || a.Accepted != b.Accepted {
+		t.Error("same seed must reproduce the run")
+	}
+}
+
+func TestStepSearchFindsSymmetricOptimum(t *testing.T) {
+	// Sweeping the paper's step grid analytically: 0.06/0.06 wins,
+	// matching Fig. 4 and the asymmetric-step ablation.
+	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 4, Width: 12})
+	steps := []float64{0.04, 0.05, 0.06, 0.07}
+	lo, hi, y := StepSearch(d, 0.014, collision.DefaultParams(), steps)
+	if lo != 0.06 || hi != 0.06 {
+		t.Errorf("best steps = %v/%v, want 0.06/0.06", lo, hi)
+	}
+	if y <= 0 || y > 1 {
+		t.Errorf("best yield = %v", y)
+	}
+	// Cross-check against the direct analytic evaluation.
+	want := analytic.DeviceYield(d, topo.DefaultFreqPlan, 0.014, collision.DefaultParams())
+	if math.Abs(y-want) > 1e-12 {
+		t.Errorf("yield %v != direct %v", y, want)
+	}
+}
+
+func TestOptimizeZeroIterations(t *testing.T) {
+	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 1, Width: 8})
+	cfg := DefaultConfig(4)
+	cfg.Iterations = 0
+	res := Optimize(d, cfg) // clamps to one iteration, must not panic
+	if len(res.Classes) != d.N {
+		t.Error("classes missing")
+	}
+}

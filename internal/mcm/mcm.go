@@ -1,0 +1,244 @@
+// Package mcm composes quantum multi-chip modules (paper Section V): a
+// k x m grid of identical heavy-hex chiplets flip-chip bonded to a
+// carrier interposer, with inter-chip links that preserve the heavy-hex
+// lattice and the three-frequency allocation of the combined device.
+//
+// Horizontal links couple each chip's right-edge F2 qubits to the left
+// edge of its right-hand neighbour. Vertical links couple each chip's
+// bottom bridge row (F2) to the top dense row of the chip below
+// (shifted two columns for odd-dense-row chiplets; see package topo).
+package mcm
+
+import (
+	"fmt"
+
+	"chipletqc/internal/graph"
+	"chipletqc/internal/topo"
+)
+
+// Grid describes an MCM: Rows x Cols chiplets of the given spec.
+// The paper writes this as a k x m MCM.
+type Grid struct {
+	Rows, Cols int
+	Spec       topo.ChipSpec
+}
+
+// Validate reports whether the grid is well formed.
+func (g Grid) Validate() error {
+	if g.Rows < 1 || g.Cols < 1 {
+		return fmt.Errorf("mcm: grid %dx%d must be at least 1x1", g.Rows, g.Cols)
+	}
+	return g.Spec.Validate()
+}
+
+// Chips returns the number of chiplets in the grid.
+func (g Grid) Chips() int { return g.Rows * g.Cols }
+
+// Qubits returns the total qubit count of the assembled MCM.
+func (g Grid) Qubits() int { return g.Chips() * g.Spec.Qubits() }
+
+// String renders e.g. "mcm-2x3-20q".
+func (g Grid) String() string {
+	return fmt.Sprintf("mcm-%dx%d-%dq", g.Rows, g.Cols, g.Spec.Qubits())
+}
+
+// Build assembles the MCM device: chiplet copies at each grid position
+// plus inter-chip link edges. The resulting Device satisfies the same
+// structural invariants as a monolithic device (Device.Validate).
+func Build(g Grid) (*topo.Device, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	chip := topo.BuildChip(g.Spec)
+	nPer := chip.N
+	total := g.Qubits()
+
+	d := &topo.Device{
+		Name:     g.String(),
+		N:        total,
+		Class:    make([]topo.Class, total),
+		IsBridge: make([]bool, total),
+		Coord:    make([][2]int, total),
+		ChipOf:   make([]int, total),
+		Chips:    g.Chips(),
+		G:        graph.New(total),
+		Link:     map[graph.Edge]bool{},
+	}
+
+	// Global footprint of one chip in grid cells: width w columns,
+	// height 2r rows (dense+sparse interleaved).
+	w := g.Spec.Width
+	h := 2 * g.Spec.DenseRows
+
+	chipBase := func(row, col int) int {
+		return (row*g.Cols + col) * nPer
+	}
+
+	// Instantiate chip copies.
+	for row := 0; row < g.Rows; row++ {
+		for col := 0; col < g.Cols; col++ {
+			base := chipBase(row, col)
+			idx := row*g.Cols + col
+			for q := 0; q < nPer; q++ {
+				gq := base + q
+				d.Class[gq] = chip.Class[q]
+				d.IsBridge[gq] = chip.IsBridge[q]
+				d.Coord[gq] = [2]int{chip.Coord[q][0] + col*w, chip.Coord[q][1] + row*h}
+				d.ChipOf[gq] = idx
+			}
+			for _, e := range chip.G.Edges() {
+				d.G.AddEdge(base+e.U, base+e.V)
+			}
+		}
+	}
+
+	// Horizontal links: right edge of (row, col) to left edge of
+	// (row, col+1).
+	right := chip.RightEdge()
+	left := chip.LeftEdge()
+	for row := 0; row < g.Rows; row++ {
+		for col := 0; col+1 < g.Cols; col++ {
+			a, b := chipBase(row, col), chipBase(row, col+1)
+			for i := range right {
+				u, v := a+right[i], b+left[i]
+				d.G.AddEdge(u, v)
+				d.Link[graph.NewEdge(u, v)] = true
+			}
+		}
+	}
+
+	// Vertical links: bottom bridges of (row, col) to top acceptors of
+	// (row+1, col).
+	bridges := chip.BottomBridges()
+	acceptors := chip.TopAcceptors()
+	for row := 0; row+1 < g.Rows; row++ {
+		for col := 0; col < g.Cols; col++ {
+			a, b := chipBase(row, col), chipBase(row+1, col)
+			for i := range bridges {
+				u, v := a+bridges[i], b+acceptors[i]
+				d.G.AddEdge(u, v)
+				d.Link[graph.NewEdge(u, v)] = true
+			}
+		}
+	}
+
+	return d, nil
+}
+
+// MustBuild is Build for static configurations known to be valid.
+func MustBuild(g Grid) *topo.Device {
+	d, err := Build(g)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// LinksPerAssembly returns the number of inter-chip link couplings in the
+// grid without building the device.
+func (g Grid) LinksPerAssembly() int {
+	r := g.Spec.DenseRows
+	horiz := g.Rows * (g.Cols - 1) * r // one per dense row per seam
+	vert := (g.Rows - 1) * g.Cols * (g.Spec.Width / 4)
+	return horiz + vert
+}
+
+// MonolithicCounterpart returns the monolithic chip spec with exactly the
+// same qubit count and an equivalent footprint: the MCM's chips fused
+// into one die (k*r dense rows of m*w qubits).
+func (g Grid) MonolithicCounterpart() topo.ChipSpec {
+	return topo.ChipSpec{
+		DenseRows: g.Rows * g.Spec.DenseRows,
+		Width:     g.Cols * g.Spec.Width,
+	}
+}
+
+// EnumerateGrids reproduces the paper's experimental system selection
+// (Section VII-B): for each catalog chiplet, MCM dimensions k x m are
+// chosen so every MCM in a chiplet category has a unique total qubit
+// count <= maxQubits, preferring more "square" dimensions (smaller
+// |k - m|) to reduce topology graph diameter. Grids with a single chip
+// (1x1) are excluded — those are just the chiplet itself.
+func EnumerateGrids(maxQubits int) []Grid {
+	var out []Grid
+	for _, cs := range topo.Catalog {
+		seen := map[int]bool{}
+		var cands []Grid
+		maxChips := maxQubits / cs.Qubits
+		for rows := 1; rows <= maxChips; rows++ {
+			for cols := rows; rows*cols <= maxChips; cols++ {
+				if rows*cols < 2 {
+					continue
+				}
+				cands = append(cands, Grid{Rows: rows, Cols: cols, Spec: cs.Spec})
+			}
+		}
+		// Square-first: sort by |rows-cols| then by size so the most
+		// square dimension claims each distinct qubit count.
+		sortGrids(cands)
+		for _, g := range cands {
+			q := g.Qubits()
+			if q > maxQubits || seen[q] {
+				continue
+			}
+			seen[q] = true
+			out = append(out, g)
+		}
+	}
+	// Deterministic overall order: by chiplet size then qubit count.
+	sortByChipletThenQubits(out)
+	return out
+}
+
+// SquareGrids returns only the n x n members of EnumerateGrids, the
+// subset used for the Fig. 9 infidelity heatmaps.
+func SquareGrids(maxQubits int) []Grid {
+	var out []Grid
+	for _, g := range EnumerateGrids(maxQubits) {
+		if g.Rows == g.Cols {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func sortGrids(gs []Grid) {
+	// Insertion sort keeps this dependency-free and the slices are tiny.
+	for i := 1; i < len(gs); i++ {
+		for j := i; j > 0 && gridLess(gs[j], gs[j-1]); j-- {
+			gs[j], gs[j-1] = gs[j-1], gs[j]
+		}
+	}
+}
+
+func gridLess(a, b Grid) bool {
+	da, db := diff(a.Rows, a.Cols), diff(b.Rows, b.Cols)
+	if da != db {
+		return da < db
+	}
+	if a.Qubits() != b.Qubits() {
+		return a.Qubits() < b.Qubits()
+	}
+	return a.Rows < b.Rows
+}
+
+func sortByChipletThenQubits(gs []Grid) {
+	for i := 1; i < len(gs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := gs[j], gs[j-1]
+			if a.Spec.Qubits() < b.Spec.Qubits() ||
+				(a.Spec.Qubits() == b.Spec.Qubits() && a.Qubits() < b.Qubits()) {
+				gs[j], gs[j-1] = gs[j-1], gs[j]
+			} else {
+				break
+			}
+		}
+	}
+}
+
+func diff(a, b int) int {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -1,0 +1,247 @@
+package mcm
+
+import (
+	"testing"
+
+	"chipletqc/internal/collision"
+	"chipletqc/internal/topo"
+)
+
+func TestGridValidate(t *testing.T) {
+	good := Grid{2, 3, topo.ChipSpec{DenseRows: 2, Width: 8}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid grid rejected: %v", err)
+	}
+	bad := []Grid{
+		{0, 2, topo.ChipSpec{DenseRows: 2, Width: 8}},
+		{2, 0, topo.ChipSpec{DenseRows: 2, Width: 8}},
+		{2, 2, topo.ChipSpec{DenseRows: 0, Width: 8}},
+	}
+	for _, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("grid %+v should be invalid", g)
+		}
+	}
+}
+
+func TestGridAccounting(t *testing.T) {
+	g := Grid{2, 3, topo.ChipSpec{DenseRows: 2, Width: 8}}
+	if g.Chips() != 6 {
+		t.Errorf("Chips = %d, want 6", g.Chips())
+	}
+	if g.Qubits() != 120 {
+		t.Errorf("Qubits = %d, want 120", g.Qubits())
+	}
+	if g.String() != "mcm-2x3-20q" {
+		t.Errorf("String = %q", g.String())
+	}
+}
+
+func TestBuildBasicStructure(t *testing.T) {
+	g := Grid{2, 2, topo.ChipSpec{DenseRows: 2, Width: 8}}
+	d, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N != 80 || d.Chips != 4 {
+		t.Fatalf("N=%d chips=%d, want 80, 4", d.N, d.Chips)
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("MCM device invalid: %v", err)
+	}
+	if len(d.Link) != g.LinksPerAssembly() {
+		t.Errorf("links = %d, want %d", len(d.Link), g.LinksPerAssembly())
+	}
+}
+
+func TestBuildInvalidGrid(t *testing.T) {
+	if _, err := Build(Grid{0, 1, topo.ChipSpec{DenseRows: 2, Width: 8}}); err == nil {
+		t.Error("expected error for invalid grid")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild should panic on invalid grid")
+		}
+	}()
+	MustBuild(Grid{0, 0, topo.ChipSpec{DenseRows: 2, Width: 8}})
+}
+
+func TestAllCatalogGridsSatisfyInvariants(t *testing.T) {
+	// Every catalog chiplet assembled 2x2 (and 1x2, 2x1) keeps the
+	// heavy-hex invariants, including the odd-dense-row 10q chiplet.
+	shapes := [][2]int{{2, 2}, {1, 2}, {2, 1}, {3, 3}}
+	for _, cs := range topo.Catalog {
+		for _, sh := range shapes {
+			g := Grid{sh[0], sh[1], cs.Spec}
+			if g.Qubits() > 1200 {
+				continue
+			}
+			d := MustBuild(g)
+			if err := d.Validate(); err != nil {
+				t.Errorf("%v: %v", g, err)
+			}
+		}
+	}
+}
+
+func TestMCMIdealAssignmentCollisionFree(t *testing.T) {
+	// Stitching identical chips must not introduce ideal-pattern
+	// collisions across chip boundaries — the property that lets the
+	// assembly stage succeed at all.
+	for _, cs := range topo.Catalog {
+		g := Grid{Rows: 2, Cols: 2, Spec: cs.Spec}
+		if g.Qubits() > 1200 {
+			continue
+		}
+		d := MustBuild(g)
+		ch := collision.NewChecker(d, collision.DefaultParams())
+		f := make([]float64, d.N)
+		for q := 0; q < d.N; q++ {
+			f[q] = topo.DefaultFreqPlan.Target(d.Class[q])
+		}
+		if !ch.Free(f) {
+			t.Errorf("%v ideal pattern collides: %v", g, ch.Violations(f)[0])
+		}
+	}
+}
+
+func TestLinkEdgesCrossChips(t *testing.T) {
+	d := MustBuild(Grid{2, 2, topo.ChipSpec{DenseRows: 2, Width: 8}})
+	for e := range d.Link {
+		if d.ChipOf[e.U] == d.ChipOf[e.V] {
+			t.Errorf("link %v joins same chip %d", e, d.ChipOf[e.U])
+		}
+	}
+	// Conversely every cross-chip edge is a link.
+	for _, e := range d.G.Edges() {
+		cross := d.ChipOf[e.U] != d.ChipOf[e.V]
+		if cross != d.Link[e] {
+			t.Errorf("edge %v cross=%v link=%v", e, cross, d.Link[e])
+		}
+	}
+}
+
+func TestLinkControlsAreF2(t *testing.T) {
+	// Paper: edge qubits acting as inter-chiplet controls are F2.
+	d := MustBuild(Grid{2, 3, topo.ChipSpec{DenseRows: 4, Width: 12}})
+	for e := range d.Link {
+		ctrl := d.ControlOf(e.U, e.V)
+		if d.Class[ctrl] != topo.F2 {
+			t.Errorf("link %v control class %v, want F2", e, d.Class[ctrl])
+		}
+	}
+}
+
+func TestLinksPerAssembly(t *testing.T) {
+	// 2x2 of 20q (r=2, w=8): horizontal 2 rows * 1 seam * 2 dense rows
+	// = 4; vertical 1 seam * 2 cols * 2 bridges = 4.
+	g := Grid{2, 2, topo.ChipSpec{DenseRows: 2, Width: 8}}
+	if got := g.LinksPerAssembly(); got != 8 {
+		t.Errorf("LinksPerAssembly = %d, want 8", got)
+	}
+	d := MustBuild(g)
+	if len(d.Link) != 8 {
+		t.Errorf("built links = %d, want 8", len(d.Link))
+	}
+}
+
+func TestLinkedQubitsCount(t *testing.T) {
+	g := Grid{1, 2, topo.ChipSpec{DenseRows: 2, Width: 8}}
+	d := MustBuild(g)
+	// One seam, 2 dense rows: 2 links, 4 distinct linked qubits.
+	if got := len(d.LinkedQubits()); got != 4 {
+		t.Errorf("linked qubits = %d, want 4", got)
+	}
+}
+
+func TestMonolithicCounterpart(t *testing.T) {
+	g := Grid{3, 3, topo.ChipSpec{DenseRows: 2, Width: 8}}
+	mono := g.MonolithicCounterpart()
+	if mono.Qubits() != g.Qubits() {
+		t.Errorf("counterpart %v has %d qubits, want %d", mono, mono.Qubits(), g.Qubits())
+	}
+	if err := mono.Validate(); err != nil {
+		t.Errorf("counterpart invalid: %v", err)
+	}
+}
+
+func TestEnumerateGridsMatchesPaperMethodology(t *testing.T) {
+	grids := EnumerateGrids(500)
+	if len(grids) == 0 {
+		t.Fatal("no grids enumerated")
+	}
+	// Unique qubit counts within each chiplet category.
+	seen := map[[2]int]bool{}
+	for _, g := range grids {
+		key := [2]int{g.Spec.Qubits(), g.Qubits()}
+		if seen[key] {
+			t.Errorf("duplicate qubit count %d for chiplet %dq", g.Qubits(), g.Spec.Qubits())
+		}
+		seen[key] = true
+		if g.Qubits() > 500 {
+			t.Errorf("grid %v exceeds 500 qubits", g)
+		}
+		if g.Chips() < 2 {
+			t.Errorf("grid %v has fewer than 2 chips", g)
+		}
+	}
+	// The paper evaluates 102 MCMs <= 500 qubits; our family should land
+	// in the same neighbourhood (the exact count depends on dimension
+	// preferences).
+	if len(grids) < 60 || len(grids) > 140 {
+		t.Errorf("enumerated %d grids, expected ~102 (60-140)", len(grids))
+	}
+	// Square preference: a 40q system from 10q chiplets must be 2x2.
+	found := false
+	for _, g := range grids {
+		if g.Spec.Qubits() == 10 && g.Qubits() == 40 {
+			found = true
+			if g.Rows != 2 || g.Cols != 2 {
+				t.Errorf("40q from 10q chiplets should be 2x2, got %dx%d", g.Rows, g.Cols)
+			}
+		}
+	}
+	if !found {
+		t.Error("missing 40q MCM of 10q chiplets")
+	}
+}
+
+func TestSquareGrids(t *testing.T) {
+	sq := SquareGrids(500)
+	if len(sq) == 0 {
+		t.Fatal("no square grids")
+	}
+	for _, g := range sq {
+		if g.Rows != g.Cols {
+			t.Errorf("non-square grid %v in SquareGrids", g)
+		}
+	}
+	// The paper's Fig. 9 heatmap column for 20q chiplets includes 2x2,
+	// 3x3 (180q), 4x4 (320q).
+	want := map[int]bool{80: false, 180: false, 320: false}
+	for _, g := range sq {
+		if g.Spec.Qubits() == 20 {
+			if _, ok := want[g.Qubits()]; ok {
+				want[g.Qubits()] = true
+			}
+		}
+	}
+	for q, ok := range want {
+		if !ok {
+			t.Errorf("missing %dq square MCM of 20q chiplets", q)
+		}
+	}
+}
+
+func TestGridDiameterSquareBeatsElongated(t *testing.T) {
+	// The justification for square preference: lower graph diameter.
+	sq := MustBuild(Grid{2, 2, topo.ChipSpec{DenseRows: 2, Width: 8}})
+	ln := MustBuild(Grid{1, 4, topo.ChipSpec{DenseRows: 2, Width: 8}})
+	if sq.G.Diameter() >= ln.G.Diameter() {
+		t.Errorf("square diameter %d should beat 1x4 diameter %d",
+			sq.G.Diameter(), ln.G.Diameter())
+	}
+}

@@ -1,0 +1,93 @@
+package mcm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chipletqc/internal/topo"
+)
+
+// TestGridPropertyInvariants checks, over random grid shapes and catalog
+// chiplets, the structural invariants every assembled MCM must satisfy:
+// exact qubit accounting, link counts, device validity, and topology
+// equivalence with the fused monolithic counterpart for even-dense-row
+// chiplets.
+func TestGridPropertyInvariants(t *testing.T) {
+	f := func(rowsRaw, colsRaw, chipIdx uint8) bool {
+		rows := 1 + int(rowsRaw)%3
+		cols := 1 + int(colsRaw)%3
+		cs := topo.Catalog[int(chipIdx)%4] // 10..60q keeps sizes small
+		g := Grid{Rows: rows, Cols: cols, Spec: cs.Spec}
+		d, err := Build(g)
+		if err != nil {
+			return false
+		}
+		if d.N != rows*cols*cs.Qubits {
+			return false
+		}
+		if len(d.Link) != g.LinksPerAssembly() {
+			return false
+		}
+		if err := d.Validate(); err != nil {
+			return false
+		}
+		// Chip membership counts are uniform.
+		per := make([]int, d.Chips)
+		for _, c := range d.ChipOf {
+			per[c]++
+		}
+		for _, n := range per {
+			if n != cs.Qubits {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMCMTopologyMatchesFusedMonolith verifies the claim DESIGN.md makes:
+// for even-dense-row chiplets the MCM coupling graph is isomorphic (in
+// fact identical under the canonical qubit ordering by coordinates) to
+// its fused monolithic counterpart.
+func TestMCMTopologyMatchesFusedMonolith(t *testing.T) {
+	for _, cs := range topo.Catalog[:4] {
+		if cs.Spec.DenseRows%2 == 1 {
+			continue // odd-r chips shift vertical links; graphs differ
+		}
+		g := Grid{Rows: 2, Cols: 2, Spec: cs.Spec}
+		mcmDev := MustBuild(g)
+		mono := topo.MonolithicDevice(g.MonolithicCounterpart())
+		if mcmDev.N != mono.N {
+			t.Fatalf("%v: size mismatch", g)
+		}
+		// Map qubits by coordinate.
+		coordToMono := map[[2]int]int{}
+		for q := 0; q < mono.N; q++ {
+			coordToMono[mono.Coord[q]] = q
+		}
+		for _, e := range mcmDev.G.Edges() {
+			mu, okU := coordToMono[mcmDev.Coord[e.U]]
+			mv, okV := coordToMono[mcmDev.Coord[e.V]]
+			if !okU || !okV {
+				t.Fatalf("%v: MCM coordinate missing on monolith", g)
+			}
+			if !mono.G.HasEdge(mu, mv) {
+				t.Errorf("%v: MCM edge %v has no monolithic counterpart", g, e)
+			}
+		}
+		if mcmDev.G.M() != mono.G.M() {
+			t.Errorf("%v: edge counts differ: %d vs %d", g, mcmDev.G.M(), mono.G.M())
+		}
+		// Frequency classes agree position-by-position.
+		for q := 0; q < mcmDev.N; q++ {
+			mq := coordToMono[mcmDev.Coord[q]]
+			if mcmDev.Class[q] != mono.Class[mq] {
+				t.Errorf("%v: class mismatch at %v", g, mcmDev.Coord[q])
+				break
+			}
+		}
+	}
+}

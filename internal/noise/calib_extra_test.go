@@ -1,0 +1,100 @@
+package noise
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chipletqc/internal/stats"
+)
+
+// TestPenaltyPeaksAreLocalMaxima: each resonance point is a strict local
+// maximum of the penalty landscape.
+func TestPenaltyPeaksAreLocalMaxima(t *testing.T) {
+	cfg := DefaultCalibConfig()
+	for _, peak := range []float64{0, 0.165, 0.330} {
+		at := cfg.PenaltyFactor(peak)
+		for _, off := range []float64{0.03, -0.03} {
+			x := peak + off
+			if x < 0 {
+				continue
+			}
+			if cfg.PenaltyFactor(x) >= at {
+				t.Errorf("penalty at %v (%v) not below peak %v (%v)",
+					x, cfg.PenaltyFactor(x), peak, at)
+			}
+		}
+	}
+}
+
+// TestPenaltyBoundedProperty: penalty is always within [1, 1 + sum of
+// amplitudes].
+func TestPenaltyBoundedProperty(t *testing.T) {
+	cfg := DefaultCalibConfig()
+	upper := 1 + cfg.NullAmp + cfg.HalfAmp + cfg.AnharmAmp
+	f := func(dRaw int16) bool {
+		d := float64(dRaw) / 1000 // -32.7..32.7 GHz, wildly out of range too
+		p := cfg.PenaltyFactor(d)
+		return p >= 1 && p <= upper
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSampleEdgeErrorSizeMonotone: larger devices draw from a higher-
+// median error distribution (the Fig. 3b coupling).
+func TestSampleEdgeErrorSizeMonotone(t *testing.T) {
+	cfg := DefaultCalibConfig()
+	r := rand.New(rand.NewSource(8))
+	sample := func(n int) float64 {
+		xs := make([]float64, 4000)
+		for i := range xs {
+			xs[i] = cfg.SampleEdgeError(r, 0.08, n)
+		}
+		return stats.Median(xs)
+	}
+	m27, m127, m500 := sample(27), sample(127), sample(500)
+	if !(m27 < m127 && m127 < m500) {
+		t.Errorf("medians should grow with size: %v %v %v", m27, m127, m500)
+	}
+}
+
+// TestCalibrationRunDeterministic: same seed, same dataset.
+func TestCalibrationRunDeterministic(t *testing.T) {
+	a := DefaultCalibration(5)
+	b := DefaultCalibration(5)
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic calibration")
+		}
+	}
+}
+
+// TestLinkModelClamps: pathological lognormal draws stay physical.
+func TestLinkModelClamps(t *testing.T) {
+	l := DefaultLinkModel()
+	l.Sigma = 5 // enormous spread forces clamping
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 10000; i++ {
+		e := l.Sample(r)
+		if e < l.Floor || e > l.Ceil {
+			t.Fatalf("sample %v escaped [%v, %v]", e, l.Floor, l.Ceil)
+		}
+	}
+}
+
+// TestDetuningModelBinWidthDefault: non-positive widths fall back to the
+// paper's 0.1 GHz.
+func TestDetuningModelBinWidthDefault(t *testing.T) {
+	pts := []CalibPoint{{Detuning: 0.05, Infidelity: 0.01}}
+	m := NewDetuningModel(pts, -1)
+	r := rand.New(rand.NewSource(10))
+	if e := m.Sample(r, 0.05); math.Abs(e-0.01) > 1e-12 {
+		t.Errorf("sample = %v", e)
+	}
+}

@@ -1,0 +1,169 @@
+package qsim
+
+import (
+	"math"
+	"testing"
+
+	"chipletqc/internal/circuit"
+	"chipletqc/internal/compiler"
+	"chipletqc/internal/eval"
+	"chipletqc/internal/graph"
+	"chipletqc/internal/noise"
+	"chipletqc/internal/qbench"
+	"chipletqc/internal/topo"
+)
+
+// uniformErrors assigns error e to every device coupling.
+func uniformErrors(dev *topo.Device, e float64) noise.Assignment {
+	errs := map[graph.Edge]float64{}
+	for _, ed := range dev.G.Edges() {
+		errs[ed] = e
+	}
+	return noise.Assignment{Err: errs}
+}
+
+func TestRunNoisyZeroErrorIsAlwaysClean(t *testing.T) {
+	dev := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 1, Width: 8})
+	res, err := compiler.Compile(circuit.Decompose(qbench.GHZ(5)), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunNoisy(res.Compiled, NoisyConfig{
+		Errors:       uniformErrors(dev, 0),
+		Trajectories: 50,
+		Seed:         1,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CleanFraction() != 1 || out.SuccessFraction() != 1 {
+		t.Errorf("zero error should be all clean: %+v", out)
+	}
+}
+
+func TestRunNoisyCleanFractionMatchesESP(t *testing.T) {
+	// The core validation: the empirical P(no gate fails) must match
+	// the fidelity product the paper uses as its figure of merit.
+	dev := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 1, Width: 8})
+	res, err := compiler.Compile(circuit.Decompose(qbench.GHZ(6)), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const e = 0.02
+	errs := uniformErrors(dev, e)
+	esp := eval.Fidelity(res, errs)
+	out, err := RunNoisy(res.Compiled, NoisyConfig{
+		Errors:       errs,
+		Trajectories: 4000,
+		Seed:         2,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Binomial standard error ~ sqrt(p(1-p)/n) ~ 0.008 at p ~ 0.8.
+	if math.Abs(out.CleanFraction()-esp) > 0.03 {
+		t.Errorf("clean fraction %v vs ESP %v", out.CleanFraction(), esp)
+	}
+}
+
+func TestRunNoisyGHZSuccessTracksESP(t *testing.T) {
+	// For GHZ, success = measuring the cat state; Pauli injections
+	// typically break it, so the success rate should sit near the ESP
+	// (slightly above: some injections, e.g. Z before the first H
+	// returns, still pass).
+	dev := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 1, Width: 8})
+	res, err := compiler.Compile(circuit.Decompose(qbench.GHZ(5)), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const e = 0.03
+	errs := uniformErrors(dev, e)
+	esp := eval.Fidelity(res, errs)
+	// Success: the five logical qubits (final layout) are all-0/all-1
+	// with probability ~0.5 each; check the joint marginal is ~1 on
+	// the cat subspace.
+	layout := res.FinalLayout
+	success := func(s *State) bool {
+		zeros := make([]int, len(layout))
+		ones := make([]int, len(layout))
+		for i := range ones {
+			ones[i] = 1
+		}
+		p := s.MarginalProbability(layout, zeros) + s.MarginalProbability(layout, ones)
+		return p > 0.999
+	}
+	out, err := RunNoisy(res.Compiled, NoisyConfig{
+		Errors:       errs,
+		Trajectories: 1500,
+		Seed:         3,
+	}, success)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf := out.SuccessFraction()
+	if sf < esp-0.02 {
+		t.Errorf("success %v below ESP %v — ESP should lower-bound GHZ success", sf, esp)
+	}
+	if sf > esp+0.25 {
+		t.Errorf("success %v far above ESP %v — errors should usually break the cat", sf, esp)
+	}
+}
+
+func TestRunNoisyInputValidation(t *testing.T) {
+	dev := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 1, Width: 8})
+	c := circuit.New(2)
+	c.SWAP(0, 1) // not native
+	if _, err := RunNoisy(c, NoisyConfig{Trajectories: 1}, nil); err == nil {
+		t.Error("non-native circuit should be rejected")
+	}
+	native := circuit.New(2)
+	native.CX(0, 1)
+	if _, err := RunNoisy(native, NoisyConfig{Trajectories: 0}, nil); err == nil {
+		t.Error("zero trajectories should be rejected")
+	}
+	big := circuit.New(MaxQubits + 1)
+	big.H(0)
+	if _, err := RunNoisy(big, NoisyConfig{Trajectories: 1}, nil); err == nil {
+		t.Error("oversized circuit should be rejected")
+	}
+	_ = dev
+}
+
+func TestRunNoisyDeterministic(t *testing.T) {
+	dev := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 1, Width: 8})
+	res, err := compiler.Compile(circuit.Decompose(qbench.GHZ(4)), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := NoisyConfig{Errors: uniformErrors(dev, 0.05), Trajectories: 200, Seed: 7}
+	a, err := RunNoisy(res.Compiled, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunNoisy(res.Compiled, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunNoisyHighErrorBreaksEverything(t *testing.T) {
+	dev := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 1, Width: 8})
+	res, err := compiler.Compile(circuit.Decompose(qbench.GHZ(6)), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunNoisy(res.Compiled, NoisyConfig{
+		Errors:       uniformErrors(dev, 0.9),
+		Trajectories: 300,
+		Seed:         9,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CleanFraction() > 0.01 {
+		t.Errorf("90%% gate error should leave ~no clean runs: %v", out.CleanFraction())
+	}
+}

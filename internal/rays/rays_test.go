@@ -1,0 +1,104 @@
+package rays
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"chipletqc/internal/mcm"
+	"chipletqc/internal/topo"
+)
+
+func TestSimulateZeroRadiusCorruptsAlmostNothing(t *testing.T) {
+	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 4, Width: 12})
+	res := Simulate(d, Config{Radius: 0, Events: 200, Seed: 1})
+	// Radius zero only corrupts a qubit exactly at the impact point
+	// (measure ~zero, but integer grid hits can occur).
+	if res.MeanCorrupted > 0.01 {
+		t.Errorf("zero-radius mean corrupted = %v", res.MeanCorrupted)
+	}
+}
+
+func TestSimulateHugeRadiusCorruptsWholeChip(t *testing.T) {
+	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 4, Width: 12})
+	res := Simulate(d, Config{Radius: 1000, Events: 50, Seed: 2})
+	if res.MeanCorrupted < 0.999 {
+		t.Errorf("huge-radius mean corrupted = %v, want ~1", res.MeanCorrupted)
+	}
+	if res.WholeDeviceEvents != 50 {
+		t.Errorf("whole-device events = %d, want 50", res.WholeDeviceEvents)
+	}
+}
+
+func TestMCMConfinesCorruptionToOneChiplet(t *testing.T) {
+	// A huge blast on a 3x3 MCM still only takes out one chiplet: the
+	// mean corrupted fraction caps at 1/9.
+	grid := mcm.Grid{Rows: 3, Cols: 3, Spec: topo.ChipSpec{DenseRows: 2, Width: 8}}
+	d := mcm.MustBuild(grid)
+	res := Simulate(d, Config{Radius: 1000, Events: 100, Seed: 3})
+	if res.MaxCorrupted > 1.0/9.0+1e-9 {
+		t.Errorf("MCM max corrupted = %v, want <= 1/9", res.MaxCorrupted)
+	}
+	if res.WholeDeviceEvents != 0 {
+		t.Errorf("MCM whole-device events = %d, want 0", res.WholeDeviceEvents)
+	}
+}
+
+func TestCompareIsolationFactor(t *testing.T) {
+	grid := mcm.Grid{Rows: 3, Cols: 3, Spec: topo.ChipSpec{DenseRows: 2, Width: 8}}
+	mcmDev := mcm.MustBuild(grid)
+	mono := topo.MonolithicDevice(grid.MonolithicCounterpart())
+	cfg := DefaultConfig(4)
+	mcmRes, monoRes, isolation := Compare(mcmDev, mono, cfg)
+	if monoRes.MeanCorrupted <= mcmRes.MeanCorrupted {
+		t.Errorf("monolithic should suffer more: mono %v vs mcm %v",
+			monoRes.MeanCorrupted, mcmRes.MeanCorrupted)
+	}
+	if isolation <= 1 {
+		t.Errorf("isolation factor = %v, want > 1", isolation)
+	}
+}
+
+func TestIsolationGrowsWithRadius(t *testing.T) {
+	// Bigger blasts benefit more from modularity.
+	grid := mcm.Grid{Rows: 3, Cols: 3, Spec: topo.ChipSpec{DenseRows: 2, Width: 8}}
+	mcmDev := mcm.MustBuild(grid)
+	mono := topo.MonolithicDevice(grid.MonolithicCounterpart())
+	_, _, small := Compare(mcmDev, mono, Config{Radius: 2, Events: 800, Seed: 5})
+	_, _, large := Compare(mcmDev, mono, Config{Radius: 12, Events: 800, Seed: 5})
+	if !(large > small) {
+		t.Errorf("isolation should grow with radius: r=2 -> %v, r=12 -> %v", small, large)
+	}
+}
+
+func TestSimulateDegenerateInputs(t *testing.T) {
+	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 1, Width: 8})
+	if res := Simulate(d, Config{Radius: 3, Events: 0, Seed: 1}); res.Events != 0 {
+		t.Error("zero events should return empty result")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative radius should panic")
+		}
+	}()
+	Simulate(d, Config{Radius: -1, Events: 10, Seed: 1})
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 2, Width: 8})
+	a := Simulate(d, DefaultConfig(9))
+	b := Simulate(d, DefaultConfig(9))
+	if a.MeanCorrupted != b.MeanCorrupted || a.MaxCorrupted != b.MaxCorrupted {
+		t.Error("same seed must reproduce results")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Device: "mcm-2x2-20q", Events: 10, MeanCorrupted: 0.1, MaxCorrupted: 0.2}
+	if !strings.Contains(r.String(), "mcm-2x2-20q") {
+		t.Errorf("String = %q", r.String())
+	}
+	if math.IsNaN(r.MeanCorrupted) {
+		t.Error("unexpected NaN")
+	}
+}

@@ -1,0 +1,115 @@
+// Package report renders experiment results as aligned text tables and
+// CSV, shared by the cmd binaries. It is intentionally tiny: headers,
+// rows of strings, and two writers.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a simple header + rows structure.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; values are formatted with %v.
+func (t *Table) Add(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		row[i] = formatCell(v)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatCell(v interface{}) string {
+	switch x := v.(type) {
+	case float64:
+		return strconv.FormatFloat(x, 'g', 6, 64)
+	case string:
+		return x
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title))); err != nil {
+			return err
+		}
+	}
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := writeRow(t.Headers); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := writeRow(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// WriteCSV renders the table as CSV (headers first).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// F formats a float at the given precision for table cells.
+func F(x float64, prec int) string {
+	return strconv.FormatFloat(x, 'f', prec, 64)
+}

@@ -1,0 +1,58 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteText(t *testing.T) {
+	tb := New("Demo", "name", "value")
+	tb.Add("alpha", 1.5)
+	tb.Add("beta-long-name", 22)
+	var sb strings.Builder
+	if err := tb.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Demo", "====", "name", "alpha", "beta-long-name", "1.5", "22"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Header and separator rows precede the data.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Errorf("lines = %d, want 6:\n%s", len(lines), out)
+	}
+}
+
+func TestWriteTextNoTitle(t *testing.T) {
+	tb := New("", "a")
+	tb.Add("x")
+	var sb strings.Builder
+	if err := tb.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "=") {
+		t.Error("untitled table should have no title underline")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := New("t", "a", "b")
+	tb.Add(1, "two")
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,two\n"
+	if sb.String() != want {
+		t.Errorf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestF(t *testing.T) {
+	if F(0.123456, 3) != "0.123" {
+		t.Errorf("F = %q", F(0.123456, 3))
+	}
+}

@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Pearson returns the Pearson correlation coefficient of the paired
+// samples xs, ys. It returns 0 when fewer than two pairs exist or either
+// sample is constant. It panics on length mismatch: pairing is a caller
+// contract.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: Pearson requires equal-length samples")
+	}
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns the Spearman rank correlation coefficient of the
+// paired samples: Pearson correlation of the ranks, with ties assigned
+// their average rank. The paper's Fig. 10(b) observation — systems with
+// lower E_avg ratios tend to have better benchmark fidelity ratios — is
+// a rank-correlation claim, quantified with this function.
+func Spearman(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: Spearman requires equal-length samples")
+	}
+	return Pearson(ranks(xs), ranks(ys))
+}
+
+// ranks assigns average ranks (1-based) with tie handling.
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if got := Pearson(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Pearson = %v, want 1", got)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if got := Pearson(xs, neg); math.Abs(got+1) > 1e-12 {
+		t.Errorf("Pearson = %v, want -1", got)
+	}
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if Pearson([]float64{1}, []float64{2}) != 0 {
+		t.Error("single pair should give 0")
+	}
+	if Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}) != 0 {
+		t.Error("constant sample should give 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	Pearson([]float64{1, 2}, []float64{1})
+}
+
+func TestPearsonIndependentNearZero(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	n := 20000
+	xs, ys := make([]float64, n), make([]float64, n)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+		ys[i] = r.NormFloat64()
+	}
+	if got := Pearson(xs, ys); math.Abs(got) > 0.03 {
+		t.Errorf("independent Pearson = %v, want ~0", got)
+	}
+}
+
+func TestSpearmanMonotonicNonlinear(t *testing.T) {
+	// Spearman sees through monotone nonlinearity.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125}
+	if got := Spearman(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Spearman = %v, want 1", got)
+	}
+	rev := []float64{125, 64, 27, 8, 1}
+	if got := Spearman(xs, rev); math.Abs(got+1) > 1e-12 {
+		t.Errorf("Spearman = %v, want -1", got)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	xs := []float64{1, 1, 2, 2}
+	ys := []float64{1, 1, 2, 2}
+	if got := Spearman(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Errorf("tied Spearman = %v, want 1", got)
+	}
+}
+
+func TestRanksAverageTies(t *testing.T) {
+	got := ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ranks = %v, want %v", got, want)
+			break
+		}
+	}
+}

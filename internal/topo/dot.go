@@ -1,0 +1,56 @@
+package topo
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the device as a Graphviz DOT graph: qubits positioned
+// by their grid coordinates, coloured by frequency class, with inter-chip
+// links drawn dashed. Useful for visually inspecting chiplet layouts and
+// MCM stitching.
+func (d *Device) WriteDOT(w io.Writer) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "graph %q {\n", d.Name)
+	sb.WriteString("  layout=neato;\n  node [shape=circle, style=filled, fontsize=10];\n")
+	for q := 0; q < d.N; q++ {
+		color := classColor(d.Class[q])
+		shape := ""
+		if d.IsBridge[q] {
+			shape = ", shape=doublecircle"
+		}
+		fmt.Fprintf(&sb, "  q%d [label=\"%d\\n%s\", fillcolor=%q%s, pos=\"%d,-%d!\"];\n",
+			q, q, d.Class[q], color, shape, d.Coord[q][0], d.Coord[q][1])
+	}
+	for _, e := range d.G.Edges() {
+		if d.Link[e] {
+			fmt.Fprintf(&sb, "  q%d -- q%d [style=dashed, color=orange, penwidth=2];\n", e.U, e.V)
+		} else {
+			fmt.Fprintf(&sb, "  q%d -- q%d;\n", e.U, e.V)
+		}
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func classColor(c Class) string {
+	switch c {
+	case F0:
+		return "lightblue"
+	case F1:
+		return "lightgreen"
+	case F2:
+		return "salmon"
+	}
+	return "white"
+}
+
+// DOT returns the device's Graphviz text.
+func (d *Device) DOT() string {
+	var sb strings.Builder
+	// strings.Builder writes never fail.
+	_ = d.WriteDOT(&sb)
+	return sb.String()
+}

@@ -1,0 +1,99 @@
+package topo
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"chipletqc/internal/graph"
+)
+
+// deviceJSON is the wire form of a Device: explicit edge and link lists
+// replace the graph and map structures.
+type deviceJSON struct {
+	Name     string   `json:"name"`
+	N        int      `json:"qubits"`
+	Chips    int      `json:"chips"`
+	Class    []Class  `json:"class"`
+	IsBridge []bool   `json:"is_bridge"`
+	Coord    [][2]int `json:"coord"`
+	ChipOf   []int    `json:"chip_of"`
+	Edges    [][2]int `json:"edges"`
+	Links    [][2]int `json:"links"`
+}
+
+// MarshalJSON serialises the device, including its coupling graph and
+// inter-chip links, in a stable order.
+func (d *Device) MarshalJSON() ([]byte, error) {
+	dj := deviceJSON{
+		Name:     d.Name,
+		N:        d.N,
+		Chips:    d.Chips,
+		Class:    d.Class,
+		IsBridge: d.IsBridge,
+		Coord:    d.Coord,
+		ChipOf:   d.ChipOf,
+	}
+	for _, e := range d.G.Edges() {
+		pair := [2]int{e.U, e.V}
+		dj.Edges = append(dj.Edges, pair)
+		if d.Link[e] {
+			dj.Links = append(dj.Links, pair)
+		}
+	}
+	return json.Marshal(dj)
+}
+
+// UnmarshalJSON rebuilds the device, validating structural consistency
+// (array lengths, edge ranges, links being a subset of edges).
+func (d *Device) UnmarshalJSON(data []byte) error {
+	var dj deviceJSON
+	if err := json.Unmarshal(data, &dj); err != nil {
+		return fmt.Errorf("topo: decoding device: %w", err)
+	}
+	if dj.N <= 0 {
+		return fmt.Errorf("topo: device has %d qubits", dj.N)
+	}
+	for name, l := range map[string]int{
+		"class":     len(dj.Class),
+		"is_bridge": len(dj.IsBridge),
+		"coord":     len(dj.Coord),
+		"chip_of":   len(dj.ChipOf),
+	} {
+		if l != dj.N {
+			return fmt.Errorf("topo: field %s has %d entries, want %d", name, l, dj.N)
+		}
+	}
+	g := graph.New(dj.N)
+	for _, e := range dj.Edges {
+		if e[0] < 0 || e[0] >= dj.N || e[1] < 0 || e[1] >= dj.N || e[0] == e[1] {
+			return fmt.Errorf("topo: bad edge %v", e)
+		}
+		g.AddEdge(e[0], e[1])
+	}
+	links := map[graph.Edge]bool{}
+	for _, e := range dj.Links {
+		if e[0] < 0 || e[0] >= dj.N || e[1] < 0 || e[1] >= dj.N || e[0] == e[1] {
+			return fmt.Errorf("topo: bad link %v", e)
+		}
+		le := graph.NewEdge(e[0], e[1])
+		if !g.HasEdge(le.U, le.V) {
+			return fmt.Errorf("topo: link %v is not an edge", e)
+		}
+		links[le] = true
+	}
+	for _, c := range dj.Class {
+		if c > F2 {
+			return fmt.Errorf("topo: bad class %d", c)
+		}
+	}
+	d.Name = dj.Name
+	d.N = dj.N
+	d.Chips = dj.Chips
+	d.Class = dj.Class
+	d.IsBridge = dj.IsBridge
+	d.Coord = dj.Coord
+	d.ChipOf = dj.ChipOf
+	d.G = g
+	d.Link = links
+	return nil
+}

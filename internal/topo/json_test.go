@@ -1,0 +1,128 @@
+package topo
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestDeviceJSONRoundTrip(t *testing.T) {
+	orig := MonolithicDevice(ChipSpec{DenseRows: 2, Width: 8})
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Device
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N != orig.N || back.Name != orig.Name || back.Chips != orig.Chips {
+		t.Errorf("header mismatch: %+v", back)
+	}
+	if back.G.M() != orig.G.M() {
+		t.Errorf("edges %d != %d", back.G.M(), orig.G.M())
+	}
+	for _, e := range orig.G.Edges() {
+		if !back.G.HasEdge(e.U, e.V) {
+			t.Errorf("missing edge %v", e)
+		}
+	}
+	for q := 0; q < orig.N; q++ {
+		if back.Class[q] != orig.Class[q] || back.IsBridge[q] != orig.IsBridge[q] ||
+			back.Coord[q] != orig.Coord[q] || back.ChipOf[q] != orig.ChipOf[q] {
+			t.Fatalf("qubit %d fields differ", q)
+		}
+	}
+	if err := back.Validate(); err != nil {
+		t.Errorf("round-tripped device invalid: %v", err)
+	}
+}
+
+func TestDeviceJSONPreservesLinks(t *testing.T) {
+	// Build a device with links by hand-wiring two chips via the public
+	// fields (the mcm package is not importable here without a cycle in
+	// spirit; emulate a single link).
+	d := MonolithicDevice(ChipSpec{DenseRows: 1, Width: 8})
+	e := d.G.Edges()[0]
+	d.Link[e] = true
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Device
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Link[e] {
+		t.Error("link lost in round trip")
+	}
+	if len(back.Link) != 1 {
+		t.Errorf("links = %d, want 1", len(back.Link))
+	}
+}
+
+func TestDeviceJSONRejectsCorruption(t *testing.T) {
+	orig := MonolithicDevice(ChipSpec{DenseRows: 1, Width: 8})
+	good, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		corrupt func(string) string
+	}{
+		{"zero qubits", func(s string) string {
+			return strings.Replace(s, `"qubits":10`, `"qubits":0`, 1)
+		}},
+		{"short class", func(s string) string {
+			return strings.Replace(s, `"qubits":10`, `"qubits":11`, 1)
+		}},
+		{"bad edge", func(s string) string {
+			return strings.Replace(s, `"edges":[[0,1]`, `"edges":[[0,99]`, 1)
+		}},
+		{"not json", func(s string) string { return "{" }},
+	}
+	for _, c := range cases {
+		var back Device
+		if err := json.Unmarshal([]byte(c.corrupt(string(good))), &back); err == nil {
+			t.Errorf("%s: corruption accepted", c.name)
+		}
+	}
+}
+
+func TestDeviceJSONRejectsPhantomLink(t *testing.T) {
+	orig := MonolithicDevice(ChipSpec{DenseRows: 1, Width: 8})
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inject a link between non-adjacent qubits.
+	s := strings.Replace(string(data), `"links":null`, `"links":[[0,7]]`, 1)
+	if s == string(data) {
+		t.Fatal("test setup: links field not found")
+	}
+	var back Device
+	if err := json.Unmarshal([]byte(s), &back); err == nil {
+		t.Error("phantom link accepted")
+	}
+}
+
+func TestDeviceDOT(t *testing.T) {
+	d := MonolithicDevice(ChipSpec{DenseRows: 1, Width: 8})
+	dot := d.DOT()
+	for _, want := range []string{"graph \"mono-10\"", "q0", "fillcolor", "q0 -- q1"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+	// Links render dashed.
+	e := d.G.Edges()[0]
+	d.Link[e] = true
+	if !strings.Contains(d.DOT(), "style=dashed") {
+		t.Error("link should render dashed")
+	}
+	// Bridges are double circles.
+	if !strings.Contains(dot, "doublecircle") {
+		t.Error("bridge should render as doublecircle")
+	}
+}

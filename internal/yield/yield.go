@@ -1,0 +1,196 @@
+// Package yield runs the Monte Carlo collision-free yield simulation of
+// paper Section IV-B: virtual heavy-hex devices are fabricated in batches
+// with per-qubit frequency noise, each realisation is evaluated against
+// the Table I collision criteria, and the collision-free fraction is the
+// yield.
+//
+// Simulations are deterministic: the result for a given (device, config)
+// depends only on cfg.Seed, regardless of worker count, because each
+// batch element derives its own RNG stream from the seed and its index.
+package yield
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"chipletqc/internal/collision"
+	"chipletqc/internal/fab"
+	"chipletqc/internal/topo"
+)
+
+// Config parameterises one yield simulation.
+type Config struct {
+	Batch   int              // devices per batch (paper: 10^3 for Fig. 4, 10^4 for Fig. 8)
+	Model   fab.Model        // fabrication process
+	Params  collision.Params // Table I thresholds
+	Seed    int64            // RNG seed
+	Workers int              // parallel workers; <= 0 means GOMAXPROCS
+}
+
+// DefaultConfig mirrors Fig. 4's setup: batch 1000, laser-tuned sigma,
+// default Table I thresholds.
+func DefaultConfig() Config {
+	return Config{
+		Batch:  1000,
+		Model:  fab.DefaultModel(),
+		Params: collision.DefaultParams(),
+		Seed:   1,
+	}
+}
+
+// Result is the outcome of a yield simulation for one device.
+type Result struct {
+	Device string
+	Qubits int
+	Batch  int
+	Free   int // collision-free devices
+}
+
+// Fraction returns the collision-free yield in [0, 1].
+func (r Result) Fraction() float64 {
+	if r.Batch == 0 {
+		return 0
+	}
+	return float64(r.Free) / float64(r.Batch)
+}
+
+// String renders "device: free/batch (yield)".
+func (r Result) String() string {
+	return fmt.Sprintf("%s: %d/%d (%.4f)", r.Device, r.Free, r.Batch, r.Fraction())
+}
+
+// Simulate estimates the collision-free yield of device d under cfg.
+func Simulate(d *topo.Device, cfg Config) Result {
+	if cfg.Batch <= 0 {
+		return Result{Device: d.Name, Qubits: d.N}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Batch {
+		workers = cfg.Batch
+	}
+	checker := collision.NewChecker(d, cfg.Params)
+
+	var wg sync.WaitGroup
+	counts := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]float64, d.N)
+			free := 0
+			for i := w; i < cfg.Batch; i += workers {
+				r := rand.New(rand.NewSource(deviceSeed(cfg.Seed, i)))
+				cfg.Model.SampleInto(r, d, buf)
+				if checker.Free(buf) {
+					free++
+				}
+			}
+			counts[w] = free
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return Result{Device: d.Name, Qubits: d.N, Batch: cfg.Batch, Free: total}
+}
+
+// deviceSeed derives an independent RNG stream seed for batch element i.
+// SplitMix64-style mixing keeps streams decorrelated even for adjacent
+// indices.
+func deviceSeed(seed int64, i int) int64 {
+	z := uint64(seed) + uint64(i)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z & 0x7FFFFFFFFFFFFFFF)
+}
+
+// Point is one (qubits, yield) sample of a yield-vs-size curve.
+type Point struct {
+	Qubits int
+	Yield  float64
+}
+
+// MonolithicCurve simulates yield for a ladder of monolithic device sizes
+// (paper Fig. 4: collision-free yield vs qubits).
+func MonolithicCurve(sizes []int, cfg Config) []Point {
+	out := make([]Point, 0, len(sizes))
+	for _, n := range sizes {
+		d := topo.MonolithicDevice(topo.MonolithicSpec(n))
+		res := Simulate(d, cfg)
+		out = append(out, Point{Qubits: d.N, Yield: res.Fraction()})
+	}
+	return out
+}
+
+// SizeLadder returns a deterministic ladder of monolithic device sizes
+// from 10 up to maxQubits, spaced roughly multiplicatively so the small
+// sizes where yield transitions happen are well resolved.
+func SizeLadder(maxQubits int) []int {
+	var out []int
+	seen := map[int]bool{}
+	for n := 10; n <= maxQubits; {
+		spec := topo.MonolithicSpec(n)
+		q := spec.Qubits()
+		if q <= maxQubits && !seen[q] {
+			seen[q] = true
+			out = append(out, q)
+		}
+		switch {
+		case n < 60:
+			n += 10
+		case n < 200:
+			n += 20
+		case n < 500:
+			n += 50
+		default:
+			n += 100
+		}
+	}
+	return out
+}
+
+// ChipletYields simulates collision-free yield for every catalog chiplet
+// (paper Fig. 8(b)).
+func ChipletYields(cfg Config) []Result {
+	out := make([]Result, 0, len(topo.Catalog))
+	for _, cs := range topo.Catalog {
+		d := topo.MonolithicDevice(cs.Spec)
+		d.Name = fmt.Sprintf("chiplet-%d", cs.Qubits)
+		out = append(out, Simulate(d, cfg))
+	}
+	return out
+}
+
+// DetuningSweep runs the Fig. 4 experiment: for each frequency step and
+// each fabrication precision, the yield curve over the size ladder.
+type SweepCell struct {
+	Step   float64
+	Sigma  float64
+	Points []Point
+}
+
+// Sweep runs MonolithicCurve for the cross product of steps and sigmas.
+func Sweep(steps, sigmas []float64, sizes []int, cfg Config) []SweepCell {
+	out := make([]SweepCell, 0, len(steps)*len(sigmas))
+	for _, step := range steps {
+		for _, sigma := range sigmas {
+			c := cfg
+			c.Model.Plan.Step = step
+			c.Model.Sigma = sigma
+			out = append(out, SweepCell{
+				Step:   step,
+				Sigma:  sigma,
+				Points: MonolithicCurve(sizes, c),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package yield
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chipletqc/internal/topo"
+)
+
+// TestYieldSeedStability: different seeds agree within Monte Carlo noise
+// on a well-resolved yield.
+func TestYieldSeedStability(t *testing.T) {
+	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 2, Width: 8})
+	cfg := DefaultConfig()
+	cfg.Batch = 3000
+	var ys []float64
+	for seed := int64(1); seed <= 3; seed++ {
+		c := cfg
+		c.Seed = seed
+		ys = append(ys, Simulate(d, c).Fraction())
+	}
+	for i := 1; i < len(ys); i++ {
+		if diff := ys[i] - ys[0]; diff > 0.04 || diff < -0.04 {
+			t.Errorf("seed variance too high: %v", ys)
+		}
+	}
+}
+
+// TestYieldMonotoneInSigmaProperty: yield never improves when precision
+// degrades (same seed keeps comparisons tight).
+func TestYieldMonotoneInSigmaProperty(t *testing.T) {
+	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 2, Width: 8})
+	f := func(seedRaw uint8) bool {
+		cfg := DefaultConfig()
+		cfg.Batch = 400
+		cfg.Seed = int64(seedRaw)
+		prev := 1.1
+		for _, sigma := range []float64{0.006, 0.014, 0.03, 0.08} {
+			c := cfg
+			c.Model.Sigma = sigma
+			y := Simulate(d, c).Fraction()
+			if y > prev+0.05 { // small MC slack
+				return false
+			}
+			prev = y
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSimulateWorkerClamp: more workers than batch elements is fine.
+func TestSimulateWorkerClamp(t *testing.T) {
+	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 1, Width: 8})
+	cfg := DefaultConfig()
+	cfg.Batch = 3
+	cfg.Workers = 64
+	res := Simulate(d, cfg)
+	if res.Batch != 3 {
+		t.Errorf("batch = %d", res.Batch)
+	}
+}

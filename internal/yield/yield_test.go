@@ -1,0 +1,178 @@
+package yield
+
+import (
+	"strings"
+	"testing"
+
+	"chipletqc/internal/fab"
+	"chipletqc/internal/topo"
+)
+
+func TestSimulateDeterministicAcrossWorkers(t *testing.T) {
+	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 2, Width: 8})
+	cfg := DefaultConfig()
+	cfg.Batch = 300
+	cfg.Workers = 1
+	a := Simulate(d, cfg)
+	cfg.Workers = 7
+	b := Simulate(d, cfg)
+	if a.Free != b.Free {
+		t.Errorf("worker count changed result: %d vs %d", a.Free, b.Free)
+	}
+}
+
+func TestSimulatePerfectPrecisionYieldsEverything(t *testing.T) {
+	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 4, Width: 12})
+	cfg := DefaultConfig()
+	cfg.Batch = 50
+	cfg.Model.Sigma = 0
+	res := Simulate(d, cfg)
+	if res.Free != res.Batch {
+		t.Errorf("sigma=0 yield = %d/%d, want all free", res.Free, res.Batch)
+	}
+	if res.Fraction() != 1 {
+		t.Errorf("fraction = %v, want 1", res.Fraction())
+	}
+}
+
+func TestSimulateRawPrecisionCollapses(t *testing.T) {
+	// Paper: at sigma = 0.1323 GHz there is "little hope" of high-yield
+	// chips beyond ~20 qubits.
+	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 4, Width: 12}) // 60 qubits
+	cfg := DefaultConfig()
+	cfg.Batch = 300
+	cfg.Model.Sigma = fab.SigmaAsFabricated
+	res := Simulate(d, cfg)
+	if res.Fraction() > 0.02 {
+		t.Errorf("raw-precision 60q yield = %v, expected near zero", res.Fraction())
+	}
+}
+
+func TestSimulateLaserTunedSmallChipletHealthy(t *testing.T) {
+	// Paper: ~69% yield for 20-qubit chiplets at sigma = 0.014 GHz.
+	// Our synthetic pattern should land in the same regime (0.45-0.85).
+	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 2, Width: 8})
+	cfg := DefaultConfig()
+	cfg.Batch = 2000
+	res := Simulate(d, cfg)
+	if y := res.Fraction(); y < 0.45 || y > 0.85 {
+		t.Errorf("laser-tuned 20q yield = %v, want in [0.45, 0.85]", y)
+	}
+}
+
+func TestYieldDecreasesWithSize(t *testing.T) {
+	// The central claim: collision-free yield declines as devices grow.
+	cfg := DefaultConfig()
+	cfg.Batch = 600
+	y10 := Simulate(topo.MonolithicDevice(topo.ChipSpec{DenseRows: 1, Width: 8}), cfg).Fraction()
+	y60 := Simulate(topo.MonolithicDevice(topo.ChipSpec{DenseRows: 4, Width: 12}), cfg).Fraction()
+	y250 := Simulate(topo.MonolithicDevice(topo.ChipSpec{DenseRows: 10, Width: 20}), cfg).Fraction()
+	if !(y10 > y60 && y60 > y250) {
+		t.Errorf("yield should fall with size: y10=%v y60=%v y250=%v", y10, y60, y250)
+	}
+}
+
+func TestScalingGoalSigmaKeepsLargeDevicesAlive(t *testing.T) {
+	// Paper: sigma <= 0.006 GHz is the threshold for >10^3-qubit devices.
+	d := topo.MonolithicDevice(topo.MonolithicSpec(500))
+	cfg := DefaultConfig()
+	cfg.Batch = 200
+	cfg.Model.Sigma = fab.SigmaScalingGoal
+	res := Simulate(d, cfg)
+	if res.Fraction() < 0.5 {
+		t.Errorf("sigma=0.006 500q yield = %v, want healthy (>0.5)", res.Fraction())
+	}
+}
+
+func TestOptimalStepIsNearSixtyMHz(t *testing.T) {
+	// Fig. 4: the 0.06 GHz step yields at least as well as 0.04 and 0.07
+	// at laser-tuned precision on a mid-size device.
+	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 4, Width: 12})
+	base := DefaultConfig()
+	base.Batch = 1500
+	run := func(step float64) float64 {
+		c := base
+		c.Model.Plan.Step = step
+		return Simulate(d, c).Fraction()
+	}
+	y04, y06, y07 := run(0.04), run(0.06), run(0.07)
+	if y06 < y04 || y06 < y07 {
+		t.Errorf("step 0.06 should dominate: y(0.04)=%v y(0.06)=%v y(0.07)=%v",
+			y04, y06, y07)
+	}
+}
+
+func TestSimulateZeroBatch(t *testing.T) {
+	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 1, Width: 8})
+	cfg := DefaultConfig()
+	cfg.Batch = 0
+	res := Simulate(d, cfg)
+	if res.Fraction() != 0 || res.Free != 0 {
+		t.Errorf("zero batch should give zero result, got %+v", res)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Device: "mono-20", Qubits: 20, Batch: 100, Free: 69}
+	if !strings.Contains(r.String(), "69/100") {
+		t.Errorf("Result.String = %q", r.String())
+	}
+}
+
+func TestSizeLadder(t *testing.T) {
+	sizes := SizeLadder(1000)
+	if len(sizes) < 10 {
+		t.Fatalf("ladder too short: %v", sizes)
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] {
+			t.Errorf("ladder not increasing at %d: %v", i, sizes)
+		}
+	}
+	if sizes[0] != 10 {
+		t.Errorf("ladder starts at %d, want 10", sizes[0])
+	}
+	if sizes[len(sizes)-1] > 1000 {
+		t.Errorf("ladder exceeds max: %v", sizes[len(sizes)-1])
+	}
+}
+
+func TestMonolithicCurveMonotoneTrend(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Batch = 400
+	pts := MonolithicCurve([]int{10, 100, 400}, cfg)
+	if len(pts) != 3 {
+		t.Fatalf("curve length %d", len(pts))
+	}
+	if !(pts[0].Yield > pts[1].Yield && pts[1].Yield >= pts[2].Yield) {
+		t.Errorf("curve should decline: %+v", pts)
+	}
+}
+
+func TestChipletYields(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Batch = 200
+	res := ChipletYields(cfg)
+	if len(res) != len(topo.Catalog) {
+		t.Fatalf("got %d results, want %d", len(res), len(topo.Catalog))
+	}
+	// Smallest chiplet must outyield the largest.
+	if res[0].Fraction() <= res[len(res)-1].Fraction() {
+		t.Errorf("10q yield %v should exceed 250q yield %v",
+			res[0].Fraction(), res[len(res)-1].Fraction())
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Batch = 50
+	cells := Sweep([]float64{0.05, 0.06}, []float64{0.014}, []int{10, 20}, cfg)
+	if len(cells) != 2 {
+		t.Fatalf("sweep cells = %d, want 2", len(cells))
+	}
+	for _, c := range cells {
+		if len(c.Points) != 2 {
+			t.Errorf("cell points = %d, want 2", len(c.Points))
+		}
+	}
+}
