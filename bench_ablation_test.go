@@ -34,7 +34,7 @@ func BenchmarkAblationAsymmetricStep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, c := range combos {
 			plan := AsymmetricFreqPlan(5.0, c.lo, c.hi)
-			res := SimulateYieldWithPlan(dev, plan, SigmaLaserTuned, 800, benchSeed)
+			res := SimulateYieldWithPlan(dev, plan, YieldOptions{Sigma: SigmaLaserTuned, Batch: 800, Seed: benchSeed})
 			yields[c] = res.Fraction()
 		}
 	}

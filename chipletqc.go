@@ -161,7 +161,7 @@ type YieldOptions struct {
 	Sigma   float64 // fabrication precision (default SigmaLaserTuned)
 	Step    float64 // frequency plan step (default 0.06)
 	Seed    int64
-	Workers int
+	Workers int // parallel workers; 0 means all CPU cores, results are identical either way
 }
 
 // SimulateYield estimates the collision-free yield of a device via Monte
@@ -194,9 +194,10 @@ func simulateYield(d *Device, cfg yield.Config) YieldResult {
 
 // BatchOptions parameterises chiplet fabrication.
 type BatchOptions struct {
-	Seed  int64
-	Sigma float64 // default SigmaLaserTuned
-	Det   *DetuningModel
+	Seed    int64
+	Sigma   float64 // default SigmaLaserTuned
+	Det     *DetuningModel
+	Workers int // parallel workers; 0 means all CPU cores, results are identical either way
 }
 
 // FabricateBatch fabricates and characterises a batch of catalog
@@ -213,6 +214,7 @@ func FabricateBatch(chipletQubits, size int, opts BatchOptions) (*Batch, error) 
 	if opts.Det != nil {
 		cfg.Det = opts.Det
 	}
+	cfg.Workers = opts.Workers
 	return assembly.Fabricate(spec, size, cfg), nil
 }
 

@@ -7,11 +7,14 @@
 //	benchrun -table2                       # Table II gate counts
 //	benchrun -chiplet 40 -rows 2 -cols 2   # Fig. 10 for one system
 //	benchrun -all -max 300                 # Fig. 10 over enumerated systems
+//	benchrun -all -workers 8               # pin the worker-pool size
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
@@ -22,31 +25,57 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "benchrun:", err)
+		os.Exit(1)
+	}
+}
+
+// errUsage marks argument errors the FlagSet has already reported to
+// the error stream; main exits 2 without repeating them.
+var errUsage = errors.New("usage error")
+
+// run executes the tool against args, writing reports to out. It is the
+// testable core of the binary: flag errors, compile failures, and report
+// failures surface as returned errors instead of process exits.
+func run(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("benchrun", flag.ContinueOnError)
+	fs.SetOutput(errw)
 	var (
-		table2  = flag.Bool("table2", false, "print Table II compiled benchmark details")
-		all     = flag.Bool("all", false, "evaluate Fig. 10 over all enumerated systems")
-		square  = flag.Bool("square", false, "restrict -all to square systems (Fig. 10b)")
-		chiplet = flag.Int("chiplet", 20, "chiplet size for single-system evaluation")
-		rows    = flag.Int("rows", 2, "MCM rows")
-		cols    = flag.Int("cols", 2, "MCM cols")
-		maxQ    = flag.Int("max", 500, "largest system size for -all")
-		batch   = flag.Int("batch", 2000, "chiplet batch size")
-		mono    = flag.Int("mono", 2000, "monolithic batch size")
-		samples = flag.Int("samples", 3, "device instances averaged per architecture")
-		seed    = flag.Int64("seed", 1, "RNG seed")
-		csv     = flag.Bool("csv", false, "emit CSV")
+		table2  = fs.Bool("table2", false, "print Table II compiled benchmark details")
+		all     = fs.Bool("all", false, "evaluate Fig. 10 over all enumerated systems")
+		square  = fs.Bool("square", false, "restrict -all to square systems (Fig. 10b)")
+		chiplet = fs.Int("chiplet", 20, "chiplet size for single-system evaluation")
+		rows    = fs.Int("rows", 2, "MCM rows")
+		cols    = fs.Int("cols", 2, "MCM cols")
+		maxQ    = fs.Int("max", 500, "largest system size for -all")
+		batch   = fs.Int("batch", 2000, "chiplet batch size")
+		mono    = fs.Int("mono", 2000, "monolithic batch size")
+		samples = fs.Int("samples", 3, "device instances averaged per architecture")
+		seed    = fs.Int64("seed", 1, "RNG seed")
+		workers = fs.Int("workers", 0, "parallel workers (0 = all CPU cores; results identical either way)")
+		csv     = fs.Bool("csv", false, "emit CSV")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
+	}
 
 	cfg := eval.DefaultConfig(*seed)
 	cfg.ChipletBatch = *batch
 	cfg.MonoBatch = *mono
 	cfg.MaxQubits = *maxQ
+	cfg.Workers = *workers
 
 	if *table2 {
 		rowsOut, err := eval.Table2(cfg)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		tb := report.New("Table II: compiled benchmarks (1q / 2q / 2q critical)",
 			"chiplet", "dim", "qubits", "bench", "1q", "2q", "2q_critical")
@@ -54,8 +83,7 @@ func main() {
 			tb.Add(r.ChipletQubits, r.Dim, r.SystemQubits, r.Bench,
 				r.Counts.OneQ, r.Counts.TwoQ, r.Counts.TwoQCritical)
 		}
-		emit(tb, *csv)
-		return
+		return emit(tb, out, *csv)
 	}
 
 	var grids []mcm.Grid
@@ -67,14 +95,14 @@ func main() {
 	default:
 		spec, err := topo.SpecForQubits(*chiplet)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		grids = []mcm.Grid{{Rows: *rows, Cols: *cols, Spec: spec}}
 	}
 
 	pts, err := eval.Fig10(cfg, grids, *samples)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	tb := report.New("Fig. 10: benchmark fidelity ratio (MCM / monolithic)",
 		"chiplet", "dim", "qubits", "bench", "log_ratio", "ratio", "note")
@@ -95,22 +123,12 @@ func main() {
 			fmt.Sprintf("%dx%d", p.Grid.Rows, p.Grid.Cols),
 			p.Qubits, p.Bench, logS, ratioS, note)
 	}
-	emit(tb, *csv)
+	return emit(tb, out, *csv)
 }
 
-func emit(tb *report.Table, csv bool) {
-	var err error
+func emit(tb *report.Table, out io.Writer, csv bool) error {
 	if csv {
-		err = tb.WriteCSV(os.Stdout)
-	} else {
-		err = tb.WriteText(os.Stdout)
+		return tb.WriteCSV(out)
 	}
-	if err != nil {
-		fatal(err)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "benchrun:", err)
-	os.Exit(1)
+	return tb.WriteText(out)
 }

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSingleSystemSmoke is a tiny end-to-end Fig. 10 run on one MCM
+// system at reduced scale.
+func TestRunSingleSystemSmoke(t *testing.T) {
+	var out, errs strings.Builder
+	err := run([]string{
+		"-chiplet", "10", "-rows", "1", "-cols", "2",
+		"-batch", "100", "-mono", "100", "-samples", "1", "-workers", "2",
+	}, &out, &errs)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "Fig. 10: benchmark fidelity ratio") {
+		t.Errorf("missing Fig. 10 table header in output:\n%s", got)
+	}
+	// All seven benchmarks should have produced a row for the 1x2 system.
+	if n := strings.Count(got, "1x2"); n < 7 {
+		t.Errorf("expected >= 7 benchmark rows for the 1x2 system, got %d:\n%s", n, got)
+	}
+}
+
+// TestRunRejectsBadChiplet pins error propagation: a non-catalog chiplet
+// size surfaces as an error, not a process exit.
+func TestRunRejectsBadChiplet(t *testing.T) {
+	var out, errs strings.Builder
+	if err := run([]string{"-chiplet", "33"}, &out, &errs); err == nil {
+		t.Error("non-catalog chiplet size should return an error")
+	}
+}
+
+// TestRunRejectsUnknownFlag pins flag parsing.
+func TestRunRejectsUnknownFlag(t *testing.T) {
+	var out, errs strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &out, &errs); err == nil {
+		t.Error("unknown flag should return an error")
+	}
+	if out.Len() != 0 {
+		t.Errorf("flag diagnostics leaked into the report stream:\n%s", out.String())
+	}
+}
+
+// TestRunHelpIsNotAnError pins -h: usage prints to the error stream and
+// run returns nil so the process exits 0.
+func TestRunHelpIsNotAnError(t *testing.T) {
+	var out, errs strings.Builder
+	if err := run([]string{"-h"}, &out, &errs); err != nil {
+		t.Errorf("-h should not be an error, got %v", err)
+	}
+	if !strings.Contains(errs.String(), "-workers") {
+		t.Errorf("usage should document -workers:\n%s", errs.String())
+	}
+}

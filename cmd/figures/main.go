@@ -7,11 +7,14 @@
 //	figures              # paper-scale run (minutes)
 //	figures -quick       # reduced batches (seconds, for smoke testing)
 //	figures -out DIR     # choose the output directory
+//	figures -workers 8   # pin the worker-pool size
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -24,209 +27,237 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+// errUsage marks argument errors the FlagSet has already reported to
+// the error stream; main exits 2 without repeating them.
+var errUsage = errors.New("usage error")
+
+// run executes the tool against args, writing progress to out. It is the
+// testable core of the binary.
+func run(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fs.SetOutput(errw)
 	var (
-		out   = flag.String("out", "results", "output directory")
-		quick = flag.Bool("quick", false, "reduced Monte Carlo batches")
-		seed  = flag.Int64("seed", 1, "RNG seed")
+		outDir  = fs.String("out", "results", "output directory")
+		quick   = fs.Bool("quick", false, "reduced Monte Carlo batches")
+		seed    = fs.Int64("seed", 1, "RNG seed")
+		workers = fs.Int("workers", 0, "parallel workers (0 = all CPU cores; results identical either way)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
+	}
 
 	cfg := eval.DefaultConfig(*seed)
+	cfg.Workers = *workers
 	fig10Samples := 5
 	fig4Max := 1000
 	fig6Batch := 100000
 	if *quick {
 		cfg = eval.QuickConfig(*seed)
+		cfg.Workers = *workers
 		cfg.MaxQubits = 200
 		fig10Samples = 2
 		fig4Max = 200
 		fig6Batch = 2000
 	}
 
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatal(err)
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
 	}
 
-	run("fig1", *out, func() *report.Table {
-		tb := report.New("Fig. 1: yield and mean infidelity vs module size",
-			"qubits", "yield", "mean_two_qubit_infidelity")
-		for _, r := range eval.Fig1(cfg) {
-			tb.Add(r.Qubits, report.F(r.Yield, 4), report.F(r.EAvg, 5))
-		}
-		return tb
-	})
-
-	run("fig2", *out, func() *report.Table {
-		r := eval.Fig2(9, 4, 7)
-		tb := report.New("Fig. 2: wafer output with 7 fatal defects per batch",
-			"architecture", "dies", "good_devices")
-		tb.Add("monolithic", r.MonoDies, r.MonoGood)
-		tb.Add("chiplet (4 per monolithic die)", r.ChipletDies, r.ChipletGood)
-		return tb
-	})
-
-	run("fig3b", *out, func() *report.Table {
-		tb := report.New("Fig. 3(b): CX infidelity box plots by processor size",
-			"qubits", "min", "q1", "median", "q3", "max", "mean")
-		for i, s := range eval.Fig3b(cfg) {
-			tb.Add(eval.Fig3bSizes[i], report.F(s.Min, 5), report.F(s.Q1, 5),
-				report.F(s.Median, 5), report.F(s.Q3, 5), report.F(s.Max, 5),
-				report.F(s.Mean, 5))
-		}
-		return tb
-	})
-
-	run("fig4", *out, func() *report.Table {
-		tb := report.New("Fig. 4: collision-free yield vs qubits",
-			"step_GHz", "sigma_GHz", "qubits", "yield")
-		for _, c := range eval.Fig4(cfg, fig4Max) {
-			for _, p := range c.Points {
-				tb.Add(report.F(c.Step, 3), report.F(c.Sigma, 4), p.Qubits, report.F(p.Yield, 4))
-			}
-		}
-		return tb
-	})
-
-	run("fig6", *out, func() *report.Table {
-		res := eval.Fig6(cfg, fig6Batch, 7)
-		tb := report.New(
-			fmt.Sprintf("Fig. 6: MCM configurability (20q chiplets, batch %d, yield %.4f)",
-				res.Batch, res.Yield),
-			"dim", "chips", "log10_configurations", "max_assembled_mcms")
-		for _, r := range res.Rows {
-			tb.Add(fmt.Sprintf("%dx%d", r.Dim, r.Dim), r.Chips,
-				report.F(r.Log10Configs, 1), r.MaxMCMs)
-		}
-		return tb
-	})
-
-	run("fig7", *out, func() *report.Table {
-		res := eval.Fig7(cfg)
-		tb := report.New(
-			fmt.Sprintf("Fig. 7: CX infidelity vs detuning (median %.4f, mean %.4f)",
-				res.Median, res.Mean),
-			"detuning_GHz", "avg_cx_infidelity")
-		for _, p := range res.Points {
-			tb.Add(report.F(p.Detuning, 4), report.F(p.Infidelity, 5))
-		}
-		return tb
-	})
-
-	run("fig8", *out, func() *report.Table {
-		res := eval.Fig8(cfg)
-		tb := report.New("Fig. 8: yield vs qubits, MCM (nominal and 100x bond failure) vs monolithic",
-			"chiplet", "dim", "qubits", "chiplet_yield", "mcm_yield", "mcm_yield_100x", "mono_yield")
-		for _, p := range res.Points {
-			tb.Add(p.Grid.Spec.Qubits(), fmt.Sprintf("%dx%d", p.Grid.Rows, p.Grid.Cols),
-				p.Qubits, report.F(p.ChipletYield, 4), report.F(p.MCMYield, 4),
-				report.F(p.MCMYield100x, 4), report.F(p.MonoYield, 4))
-		}
-		tb.Add("", "", "", "", "", "", "")
-		for _, cs := range topo.Catalog {
-			if v, ok := res.Improvements[cs.Qubits]; ok {
-				tb.Add(cs.Qubits, "avg-improvement", "", "", report.F(v, 2)+"x", "", "")
-			} else {
-				tb.Add(cs.Qubits, "avg-improvement", "", "", "inf (mono 0%)", "", "")
-			}
-		}
-		return tb
-	})
-
+	type artifact struct {
+		name string
+		gen  func() (*report.Table, error)
+	}
 	var fig9StateOfArt []eval.Fig9Cell
-	run("fig9", *out, func() *report.Table {
-		res := eval.Fig9(cfg)
-		fig9StateOfArt = res["state-of-art"]
-		tb := report.New("Fig. 9: E_avg,MCM / E_avg,Mono heatmaps (square MCMs)",
-			"link_quality", "chiplet", "dim", "qubits", "ratio")
-		for _, name := range eval.Fig9Ratios {
-			for _, c := range res[name] {
-				ratio := "n/a (mono 0%)"
-				if c.MonoAvailable && !math.IsNaN(c.Ratio) {
-					ratio = report.F(c.Ratio, 4)
+	artifacts := []artifact{
+		{"fig1", func() (*report.Table, error) {
+			tb := report.New("Fig. 1: yield and mean infidelity vs module size",
+				"qubits", "yield", "mean_two_qubit_infidelity")
+			for _, r := range eval.Fig1(cfg) {
+				tb.Add(r.Qubits, report.F(r.Yield, 4), report.F(r.EAvg, 5))
+			}
+			return tb, nil
+		}},
+		{"fig2", func() (*report.Table, error) {
+			r := eval.Fig2(9, 4, 7)
+			tb := report.New("Fig. 2: wafer output with 7 fatal defects per batch",
+				"architecture", "dies", "good_devices")
+			tb.Add("monolithic", r.MonoDies, r.MonoGood)
+			tb.Add("chiplet (4 per monolithic die)", r.ChipletDies, r.ChipletGood)
+			return tb, nil
+		}},
+		{"fig3b", func() (*report.Table, error) {
+			tb := report.New("Fig. 3(b): CX infidelity box plots by processor size",
+				"qubits", "min", "q1", "median", "q3", "max", "mean")
+			for i, s := range eval.Fig3b(cfg) {
+				tb.Add(eval.Fig3bSizes[i], report.F(s.Min, 5), report.F(s.Q1, 5),
+					report.F(s.Median, 5), report.F(s.Q3, 5), report.F(s.Max, 5),
+					report.F(s.Mean, 5))
+			}
+			return tb, nil
+		}},
+		{"fig4", func() (*report.Table, error) {
+			tb := report.New("Fig. 4: collision-free yield vs qubits",
+				"step_GHz", "sigma_GHz", "qubits", "yield")
+			for _, c := range eval.Fig4(cfg, fig4Max) {
+				for _, p := range c.Points {
+					tb.Add(report.F(c.Step, 3), report.F(c.Sigma, 4), p.Qubits, report.F(p.Yield, 4))
 				}
-				tb.Add(name, c.Grid.Spec.Qubits(),
-					fmt.Sprintf("%dx%d", c.Grid.Rows, c.Grid.Cols), c.Qubits, ratio)
 			}
-		}
-		return tb
-	})
-
-	run("fig10", *out, func() *report.Table {
-		grids := mcm.EnumerateGrids(cfg.MaxQubits)
-		pts, err := eval.Fig10(cfg, grids, fig10Samples)
-		if err != nil {
-			fatal(err)
-		}
-		tb := report.New("Fig. 10: benchmark fidelity ratio MCM/monolithic",
-			"chiplet", "dim", "qubits", "bench", "log_ratio", "square", "note")
-		for _, p := range pts {
-			logS, note := report.F(p.LogRatio, 3), ""
-			if p.MonoZero {
-				logS, note = "+inf", "mono 0% yield (red X)"
-			} else if math.IsNaN(p.LogRatio) {
-				logS, note = "nan", "no MCM instances"
+			return tb, nil
+		}},
+		{"fig6", func() (*report.Table, error) {
+			res := eval.Fig6(cfg, fig6Batch, 7)
+			tb := report.New(
+				fmt.Sprintf("Fig. 6: MCM configurability (20q chiplets, batch %d, yield %.4f)",
+					res.Batch, res.Yield),
+				"dim", "chips", "log10_configurations", "max_assembled_mcms")
+			for _, r := range res.Rows {
+				tb.Add(fmt.Sprintf("%dx%d", r.Dim, r.Dim), r.Chips,
+					report.F(r.Log10Configs, 1), r.MaxMCMs)
 			}
-			tb.Add(p.Grid.Spec.Qubits(), fmt.Sprintf("%dx%d", p.Grid.Rows, p.Grid.Cols),
-				p.Qubits, p.Bench, logS, p.Square, note)
-		}
-		// The paper's closing Fig. 10(b) observation, quantified: rank
-		// correlation between each square system's E_avg ratio and its
-		// per-gate application advantage.
-		if corr := eval.Fig10Correlation(fig9StateOfArt, pts); len(corr.Systems) >= 2 {
+			return tb, nil
+		}},
+		{"fig7", func() (*report.Table, error) {
+			res := eval.Fig7(cfg)
+			tb := report.New(
+				fmt.Sprintf("Fig. 7: CX infidelity vs detuning (median %.4f, mean %.4f)",
+					res.Median, res.Mean),
+				"detuning_GHz", "avg_cx_infidelity")
+			for _, p := range res.Points {
+				tb.Add(report.F(p.Detuning, 4), report.F(p.Infidelity, 5))
+			}
+			return tb, nil
+		}},
+		{"fig8", func() (*report.Table, error) {
+			res := eval.Fig8(cfg)
+			tb := report.New("Fig. 8: yield vs qubits, MCM (nominal and 100x bond failure) vs monolithic",
+				"chiplet", "dim", "qubits", "chiplet_yield", "mcm_yield", "mcm_yield_100x", "mono_yield")
+			for _, p := range res.Points {
+				tb.Add(p.Grid.Spec.Qubits(), fmt.Sprintf("%dx%d", p.Grid.Rows, p.Grid.Cols),
+					p.Qubits, report.F(p.ChipletYield, 4), report.F(p.MCMYield, 4),
+					report.F(p.MCMYield100x, 4), report.F(p.MonoYield, 4))
+			}
 			tb.Add("", "", "", "", "", "", "")
-			tb.Add("correlation", "spearman", report.F(corr.Spearman, 3),
-				"pearson", report.F(corr.Pearson, 3),
-				fmt.Sprintf("%d", len(corr.Systems)), "systems")
-		}
-		return tb
-	})
+			for _, cs := range topo.Catalog {
+				if v, ok := res.Improvements[cs.Qubits]; ok {
+					tb.Add(cs.Qubits, "avg-improvement", "", "", report.F(v, 2)+"x", "", "")
+				} else {
+					tb.Add(cs.Qubits, "avg-improvement", "", "", "inf (mono 0%)", "", "")
+				}
+			}
+			return tb, nil
+		}},
+		{"fig9", func() (*report.Table, error) {
+			res := eval.Fig9(cfg)
+			fig9StateOfArt = res["state-of-art"]
+			tb := report.New("Fig. 9: E_avg,MCM / E_avg,Mono heatmaps (square MCMs)",
+				"link_quality", "chiplet", "dim", "qubits", "ratio")
+			for _, name := range eval.Fig9Ratios {
+				for _, c := range res[name] {
+					ratio := "n/a (mono 0%)"
+					if c.MonoAvailable && !math.IsNaN(c.Ratio) {
+						ratio = report.F(c.Ratio, 4)
+					}
+					tb.Add(name, c.Grid.Spec.Qubits(),
+						fmt.Sprintf("%dx%d", c.Grid.Rows, c.Grid.Cols), c.Qubits, ratio)
+				}
+			}
+			return tb, nil
+		}},
+		{"fig10", func() (*report.Table, error) {
+			grids := mcm.EnumerateGrids(cfg.MaxQubits)
+			pts, err := eval.Fig10(cfg, grids, fig10Samples)
+			if err != nil {
+				return nil, err
+			}
+			tb := report.New("Fig. 10: benchmark fidelity ratio MCM/monolithic",
+				"chiplet", "dim", "qubits", "bench", "log_ratio", "square", "note")
+			for _, p := range pts {
+				logS, note := report.F(p.LogRatio, 3), ""
+				if p.MonoZero {
+					logS, note = "+inf", "mono 0% yield (red X)"
+				} else if math.IsNaN(p.LogRatio) {
+					logS, note = "nan", "no MCM instances"
+				}
+				tb.Add(p.Grid.Spec.Qubits(), fmt.Sprintf("%dx%d", p.Grid.Rows, p.Grid.Cols),
+					p.Qubits, p.Bench, logS, p.Square, note)
+			}
+			// The paper's closing Fig. 10(b) observation, quantified: rank
+			// correlation between each square system's E_avg ratio and its
+			// per-gate application advantage.
+			if corr := eval.Fig10Correlation(fig9StateOfArt, pts); len(corr.Systems) >= 2 {
+				tb.Add("", "", "", "", "", "", "")
+				tb.Add("correlation", "spearman", report.F(corr.Spearman, 3),
+					"pearson", report.F(corr.Pearson, 3),
+					fmt.Sprintf("%d", len(corr.Systems)), "systems")
+			}
+			return tb, nil
+		}},
+		{"table2", func() (*report.Table, error) {
+			rows, err := eval.Table2(cfg)
+			if err != nil {
+				return nil, err
+			}
+			tb := report.New("Table II: compiled benchmark details",
+				"chiplet", "dim", "qubits", "bench", "1q", "2q", "2q_critical")
+			for _, r := range rows {
+				tb.Add(r.ChipletQubits, r.Dim, r.SystemQubits, r.Bench,
+					r.Counts.OneQ, r.Counts.TwoQ, r.Counts.TwoQCritical)
+			}
+			return tb, nil
+		}},
+		{"eq1", func() (*report.Table, error) {
+			r := eval.Eq1Example(cfg)
+			tb := report.New("Eq. 1 / Section V-C: fabrication output example (B=1000, 100q systems)",
+				"metric", "value")
+			tb.Add("monolithic yield Ym", report.F(r.MonoYield, 4))
+			tb.Add("chiplet yield Yc (10q)", report.F(r.ChipletYield, 4))
+			tb.Add("monolithic devices", report.F(r.MonoDevices, 0))
+			tb.Add("MCM devices (Eq. 1)", report.F(r.MCMDevices, 0))
+			tb.Add("gain", report.F(r.Gain, 2)+"x")
+			return tb, nil
+		}},
+	}
 
-	run("table2", *out, func() *report.Table {
-		rows, err := eval.Table2(cfg)
-		if err != nil {
-			fatal(err)
+	for _, a := range artifacts {
+		if err := writeArtifact(a.name, *outDir, out, a.gen); err != nil {
+			return err
 		}
-		tb := report.New("Table II: compiled benchmark details",
-			"chiplet", "dim", "qubits", "bench", "1q", "2q", "2q_critical")
-		for _, r := range rows {
-			tb.Add(r.ChipletQubits, r.Dim, r.SystemQubits, r.Bench,
-				r.Counts.OneQ, r.Counts.TwoQ, r.Counts.TwoQCritical)
-		}
-		return tb
-	})
-
-	run("eq1", *out, func() *report.Table {
-		r := eval.Eq1Example(cfg)
-		tb := report.New("Eq. 1 / Section V-C: fabrication output example (B=1000, 100q systems)",
-			"metric", "value")
-		tb.Add("monolithic yield Ym", report.F(r.MonoYield, 4))
-		tb.Add("chiplet yield Yc (10q)", report.F(r.ChipletYield, 4))
-		tb.Add("monolithic devices", report.F(r.MonoDevices, 0))
-		tb.Add("MCM devices (Eq. 1)", report.F(r.MCMDevices, 0))
-		tb.Add("gain", report.F(r.Gain, 2)+"x")
-		return tb
-	})
-
-	fmt.Println("all artifacts written to", *out)
+	}
+	fmt.Fprintln(out, "all artifacts written to", *outDir)
+	return nil
 }
 
-// run times one artifact generation and writes it to <out>/<name>.txt.
-func run(name, out string, gen func() *report.Table) {
+// writeArtifact times one artifact generation and writes it to
+// <dir>/<name>.txt.
+func writeArtifact(name, dir string, progress io.Writer, gen func() (*report.Table, error)) error {
 	start := time.Now()
-	tb := gen()
-	path := filepath.Join(out, name+".txt")
+	tb, err := gen()
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name+".txt")
 	f, err := os.Create(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
 	if err := tb.WriteText(f); err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("%-8s -> %s (%.1fs)\n", name, path, time.Since(start).Seconds())
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "figures:", err)
-	os.Exit(1)
+	fmt.Fprintf(progress, "%-8s -> %s (%.1fs)\n", name, path, time.Since(start).Seconds())
+	return nil
 }

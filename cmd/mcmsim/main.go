@@ -7,11 +7,14 @@
 //	mcmsim -chiplet 20 -rows 3 -cols 3            # one MCM configuration
 //	mcmsim -fig8 -batch 2000 -max 500             # full yield comparison
 //	mcmsim -fig9 -batch 2000 -max 500             # E_avg ratio heatmaps
+//	mcmsim -fig8 -workers 8                       # pin the worker-pool size
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
@@ -23,42 +26,69 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "mcmsim:", err)
+		os.Exit(1)
+	}
+}
+
+// errUsage marks argument errors the FlagSet has already reported to
+// the error stream; main exits 2 without repeating them.
+var errUsage = errors.New("usage error")
+
+// run executes the tool against args, writing reports to out. It is the
+// testable core of the binary.
+func run(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("mcmsim", flag.ContinueOnError)
+	fs.SetOutput(errw)
 	var (
-		chiplet = flag.Int("chiplet", 20, "chiplet size in qubits (catalog: 10..250)")
-		rows    = flag.Int("rows", 2, "MCM rows")
-		cols    = flag.Int("cols", 2, "MCM cols")
-		batch   = flag.Int("batch", 10000, "chiplet fabrication batch size")
-		mono    = flag.Int("mono", 10000, "monolithic Monte Carlo batch size")
-		maxQ    = flag.Int("max", 500, "largest system size for -fig8/-fig9")
-		seed    = flag.Int64("seed", 1, "RNG seed")
-		fig8    = flag.Bool("fig8", false, "run the full Fig. 8 yield comparison")
-		fig9    = flag.Bool("fig9", false, "run the Fig. 9 E_avg ratio heatmaps")
-		csv     = flag.Bool("csv", false, "emit CSV")
+		chiplet = fs.Int("chiplet", 20, "chiplet size in qubits (catalog: 10..250)")
+		rows    = fs.Int("rows", 2, "MCM rows")
+		cols    = fs.Int("cols", 2, "MCM cols")
+		batch   = fs.Int("batch", 10000, "chiplet fabrication batch size")
+		mono    = fs.Int("mono", 10000, "monolithic Monte Carlo batch size")
+		maxQ    = fs.Int("max", 500, "largest system size for -fig8/-fig9")
+		seed    = fs.Int64("seed", 1, "RNG seed")
+		workers = fs.Int("workers", 0, "parallel workers (0 = all CPU cores; results identical either way)")
+		fig8    = fs.Bool("fig8", false, "run the full Fig. 8 yield comparison")
+		fig9    = fs.Bool("fig9", false, "run the Fig. 9 E_avg ratio heatmaps")
+		csv     = fs.Bool("csv", false, "emit CSV")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
+	}
 
 	cfg := eval.DefaultConfig(*seed)
 	cfg.ChipletBatch = *batch
 	cfg.MonoBatch = *mono
 	cfg.MaxQubits = *maxQ
+	cfg.Workers = *workers
 
 	switch {
 	case *fig8:
-		runFig8(cfg, *csv)
+		return runFig8(cfg, out, *csv)
 	case *fig9:
-		runFig9(cfg, *csv)
+		return runFig9(cfg, out, *csv)
 	default:
-		runSingle(cfg, *chiplet, *rows, *cols, *csv)
+		return runSingle(cfg, *chiplet, *rows, *cols, out, *csv)
 	}
 }
 
-func runSingle(cfg eval.Config, chiplet, rows, cols int, csv bool) {
+func runSingle(cfg eval.Config, chiplet, rows, cols int, out io.Writer, csv bool) error {
 	spec, err := topo.SpecForQubits(chiplet)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	grid := mcm.Grid{Rows: rows, Cols: cols, Spec: spec}
-	b := assembly.Fabricate(spec, cfg.ChipletBatch, assembly.DefaultBatchConfig(cfg.Seed))
+	bcfg := assembly.DefaultBatchConfig(cfg.Seed)
+	bcfg.Workers = cfg.Workers
+	b := assembly.Fabricate(spec, cfg.ChipletBatch, bcfg)
 	mods, st := assembly.Assemble(b, grid, assembly.DefaultAssembleConfig(cfg.Seed))
 
 	tb := report.New(fmt.Sprintf("MCM assembly: %s", grid), "metric", "value")
@@ -80,10 +110,10 @@ func runSingle(cfg eval.Config, chiplet, rows, cols int, csv bool) {
 		tb.Add("best MCM E_avg", report.F(mods[0].EAvg(), 5))
 		tb.Add("worst MCM E_avg", report.F(mods[len(mods)-1].EAvg(), 5))
 	}
-	emit(tb, csv)
+	return emit(tb, out, csv)
 }
 
-func runFig8(cfg eval.Config, csv bool) {
+func runFig8(cfg eval.Config, out io.Writer, csv bool) error {
 	res := eval.Fig8(cfg)
 	tb := report.New("Fig. 8(a): yield vs qubits, MCM vs monolithic",
 		"chiplet", "grid", "qubits", "mcm_yield", "mcm_yield_100x", "mono_yield")
@@ -93,16 +123,20 @@ func runFig8(cfg eval.Config, csv bool) {
 			p.Qubits,
 			report.F(p.MCMYield, 4), report.F(p.MCMYield100x, 4), report.F(p.MonoYield, 4))
 	}
-	emit(tb, csv)
+	if err := emit(tb, out, csv); err != nil {
+		return err
+	}
 
-	fmt.Println()
+	fmt.Fprintln(out)
 	cy := report.New("Fig. 8(b): chiplet yields", "chiplet", "yield")
 	for _, cs := range topo.Catalog {
 		cy.Add(cs.Qubits, report.F(res.ChipletYields[cs.Qubits], 4))
 	}
-	emit(cy, csv)
+	if err := emit(cy, out, csv); err != nil {
+		return err
+	}
 
-	fmt.Println()
+	fmt.Fprintln(out)
 	imp := report.New("Average MCM vs monolithic yield improvement",
 		"chiplet", "improvement_x")
 	for _, cs := range topo.Catalog {
@@ -112,10 +146,10 @@ func runFig8(cfg eval.Config, csv bool) {
 			imp.Add(cs.Qubits, "inf (0% mono yield)")
 		}
 	}
-	emit(imp, csv)
+	return emit(imp, out, csv)
 }
 
-func runFig9(cfg eval.Config, csv bool) {
+func runFig9(cfg eval.Config, out io.Writer, csv bool) error {
 	res := eval.Fig9(cfg)
 	for _, name := range eval.Fig9Ratios {
 		tb := report.New(fmt.Sprintf("Fig. 9 (%s): E_avg,MCM / E_avg,Mono", name),
@@ -135,24 +169,17 @@ func runFig9(cfg eval.Config, csv bool) {
 				fmt.Sprintf("%dx%d", c.Grid.Rows, c.Grid.Cols),
 				c.Qubits, mcmS, monoS, ratio)
 		}
-		emit(tb, csv)
-		fmt.Println()
+		if err := emit(tb, out, csv); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
 	}
+	return nil
 }
 
-func emit(tb *report.Table, csv bool) {
-	var err error
+func emit(tb *report.Table, out io.Writer, csv bool) error {
 	if csv {
-		err = tb.WriteCSV(os.Stdout)
-	} else {
-		err = tb.WriteText(os.Stdout)
+		return tb.WriteCSV(out)
 	}
-	if err != nil {
-		fatal(err)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mcmsim:", err)
-	os.Exit(1)
+	return tb.WriteText(out)
 }

@@ -8,11 +8,14 @@
 //	yieldsim                                # Fig. 4 sweep at defaults
 //	yieldsim -sigma 0.014 -step 0.06 -max 500
 //	yieldsim -chiplets                      # catalog chiplet yields
+//	yieldsim -workers 8                     # pin the worker-pool size
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	analyticpkg "chipletqc/internal/analytic"
@@ -23,21 +26,47 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "yieldsim:", err)
+		os.Exit(1)
+	}
+}
+
+// errUsage marks argument errors the FlagSet has already reported to
+// the error stream; main exits 2 without repeating them.
+var errUsage = errors.New("usage error")
+
+// run executes the tool against args, writing reports to out. It is the
+// testable core of the binary: flag errors and report failures surface
+// as returned errors instead of process exits.
+func run(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("yieldsim", flag.ContinueOnError)
+	fs.SetOutput(errw)
 	var (
-		batch    = flag.Int("batch", 1000, "devices per Monte Carlo batch")
-		sigma    = flag.Float64("sigma", 0, "fabrication precision in GHz (0 = sweep the paper's three values)")
-		step     = flag.Float64("step", 0, "frequency plan step in GHz (0 = sweep 0.04-0.07)")
-		maxQ     = flag.Int("max", 1000, "largest device size in qubits")
-		seed     = flag.Int64("seed", 1, "RNG seed")
-		chiplets = flag.Bool("chiplets", false, "report catalog chiplet yields instead of the size sweep")
-		analytic = flag.Bool("analytic", false, "add the closed-form yield estimate next to Monte Carlo")
-		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		batch    = fs.Int("batch", 1000, "devices per Monte Carlo batch")
+		sigma    = fs.Float64("sigma", 0, "fabrication precision in GHz (0 = sweep the paper's three values)")
+		step     = fs.Float64("step", 0, "frequency plan step in GHz (0 = sweep 0.04-0.07)")
+		maxQ     = fs.Int("max", 1000, "largest device size in qubits")
+		seed     = fs.Int64("seed", 1, "RNG seed")
+		workers  = fs.Int("workers", 0, "parallel workers (0 = all CPU cores; results identical either way)")
+		chiplets = fs.Bool("chiplets", false, "report catalog chiplet yields instead of the size sweep")
+		analytic = fs.Bool("analytic", false, "add the closed-form yield estimate next to Monte Carlo")
+		csv      = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
+	}
 
 	cfg := yield.DefaultConfig()
 	cfg.Batch = *batch
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 
 	if *chiplets {
 		if *sigma > 0 {
@@ -50,8 +79,7 @@ func main() {
 		for _, r := range yield.ChipletYields(cfg) {
 			tb.Add(r.Qubits, report.F(r.Fraction(), 4))
 		}
-		emit(tb, *csv)
-		return
+		return emit(tb, out, *csv)
 	}
 
 	steps := []float64{0.04, 0.05, 0.06, 0.07}
@@ -86,7 +114,9 @@ func main() {
 			tb.Add(row...)
 		}
 	}
-	emit(tb, *csv)
+	if err := emit(tb, out, *csv); err != nil {
+		return err
+	}
 
 	// Summarise the optimum step at each precision for quick reading.
 	best := report.New("Optimal frequency step per precision (100-qubit device)",
@@ -107,19 +137,13 @@ func main() {
 			best.Add(report.F(s, 4), report.F(bestStep, 3), report.F(bestY, 4))
 		}
 	}
-	fmt.Println()
-	emit(best, *csv)
+	fmt.Fprintln(out)
+	return emit(best, out, *csv)
 }
 
-func emit(tb *report.Table, csv bool) {
-	var err error
+func emit(tb *report.Table, out io.Writer, csv bool) error {
 	if csv {
-		err = tb.WriteCSV(os.Stdout)
-	} else {
-		err = tb.WriteText(os.Stdout)
+		return tb.WriteCSV(out)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "yieldsim:", err)
-		os.Exit(1)
-	}
+	return tb.WriteText(out)
 }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSweepSmoke is a tiny end-to-end run of the default Fig. 4 sweep
+// at reduced scale.
+func TestRunSweepSmoke(t *testing.T) {
+	var out, errs strings.Builder
+	err := run([]string{"-batch", "50", "-max", "40", "-sigma", "0.014", "-step", "0.06", "-workers", "3"}, &out, &errs)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "Collision-free yield vs qubits") {
+		t.Errorf("missing sweep table header in output:\n%s", got)
+	}
+	if !strings.Contains(got, "Optimal frequency step per precision") {
+		t.Errorf("missing optimum summary in output:\n%s", got)
+	}
+}
+
+// TestRunChipletsSmoke exercises the -chiplets mode and CSV emission.
+func TestRunChipletsSmoke(t *testing.T) {
+	var out, errs strings.Builder
+	if err := run([]string{"-chiplets", "-batch", "50", "-csv"}, &out, &errs); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "chiplet,yield") {
+		t.Errorf("missing CSV header in output:\n%s", out.String())
+	}
+}
+
+// TestRunWorkerCountInvariance asserts the CLI output is identical for
+// any -workers value.
+func TestRunWorkerCountInvariance(t *testing.T) {
+	render := func(workers string) string {
+		var out, errs strings.Builder
+		if err := run([]string{"-batch", "80", "-max", "30", "-workers", workers}, &out, &errs); err != nil {
+			t.Fatalf("run(-workers %s): %v", workers, err)
+		}
+		return out.String()
+	}
+	if serial, parallel := render("1"), render("8"); serial != parallel {
+		t.Error("-workers 1 and -workers 8 rendered different reports")
+	}
+}
+
+// TestRunRejectsUnknownFlag pins flag parsing: unknown flags surface as
+// errors, with diagnostics on the error stream rather than mixed into
+// the report stream.
+func TestRunRejectsUnknownFlag(t *testing.T) {
+	var out, errs strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &out, &errs); err == nil {
+		t.Error("unknown flag should return an error")
+	}
+	if out.Len() != 0 {
+		t.Errorf("flag diagnostics leaked into the report stream:\n%s", out.String())
+	}
+	if !strings.Contains(errs.String(), "definitely-not-a-flag") {
+		t.Errorf("error stream should name the bad flag:\n%s", errs.String())
+	}
+}
+
+// TestRunHelpIsNotAnError pins -h: usage prints to the error stream and
+// run returns nil so the process exits 0.
+func TestRunHelpIsNotAnError(t *testing.T) {
+	var out, errs strings.Builder
+	if err := run([]string{"-h"}, &out, &errs); err != nil {
+		t.Errorf("-h should not be an error, got %v", err)
+	}
+	if !strings.Contains(errs.String(), "-workers") {
+		t.Errorf("usage should document -workers:\n%s", errs.String())
+	}
+}

@@ -10,7 +10,10 @@ import (
 // Experiment re-exports: one entry point per figure/table of the paper's
 // evaluation section. ExperimentConfig scales the Monte Carlo batches;
 // DefaultExperimentConfig matches the paper, QuickExperimentConfig is
-// sized for smoke tests.
+// sized for smoke tests. ExperimentConfig.Workers fans every Monte Carlo
+// and sweep loop out across goroutines (0 = all CPU cores); results are
+// bit-identical at any worker count because each trial derives its RNG
+// stream from (seed, trial index).
 type (
 	// ExperimentConfig scales the experiment harness batches.
 	ExperimentConfig = eval.Config

@@ -45,9 +45,11 @@ func AsymmetricFreqPlan(base, stepLow, stepHigh float64) FreqPlan {
 }
 
 // SimulateYieldWithPlan estimates collision-free yield under an explicit
-// frequency plan (for asymmetric-spacing explorations).
-func SimulateYieldWithPlan(d *Device, plan FreqPlan, sigma float64, batch int, seed int64) YieldResult {
-	opts := YieldOptions{Batch: batch, Sigma: sigma, Seed: seed}
+// frequency plan (for asymmetric-spacing explorations). All YieldOptions
+// knobs apply, including Workers; opts.Step is ignored in favour of the
+// plan's spacing.
+func SimulateYieldWithPlan(d *Device, plan FreqPlan, opts YieldOptions) YieldResult {
+	opts.Step = 0
 	cfg := yieldConfigFromOptions(opts)
 	cfg.Model.Plan = plan
 	return simulateYield(d, cfg)

@@ -28,7 +28,7 @@ func TestAsymmetricFreqPlanFacade(t *testing.T) {
 		t.Errorf("F2 target = %v, want 5.12", p.Target(F2))
 	}
 	dev := Monolithic(20)
-	res := SimulateYieldWithPlan(dev, p, SigmaLaserTuned, 300, 3)
+	res := SimulateYieldWithPlan(dev, p, YieldOptions{Sigma: SigmaLaserTuned, Batch: 300, Seed: 3})
 	if res.Fraction() <= 0 || res.Fraction() > 1 {
 		t.Errorf("yield = %v", res.Fraction())
 	}
@@ -38,9 +38,9 @@ func TestSymmetricStepBeatsAsymmetricNeighbours(t *testing.T) {
 	// The future-work exploration's answer in this model: the paper's
 	// symmetric 0.06 GHz spacing beats skewed variants.
 	dev := Monolithic(60)
-	sym := SimulateYieldWithPlan(dev, AsymmetricFreqPlan(5, 0.06, 0.06), SigmaLaserTuned, 1500, 5)
-	skewA := SimulateYieldWithPlan(dev, AsymmetricFreqPlan(5, 0.05, 0.07), SigmaLaserTuned, 1500, 5)
-	skewB := SimulateYieldWithPlan(dev, AsymmetricFreqPlan(5, 0.07, 0.05), SigmaLaserTuned, 1500, 5)
+	sym := SimulateYieldWithPlan(dev, AsymmetricFreqPlan(5, 0.06, 0.06), YieldOptions{Sigma: SigmaLaserTuned, Batch: 1500, Seed: 5})
+	skewA := SimulateYieldWithPlan(dev, AsymmetricFreqPlan(5, 0.05, 0.07), YieldOptions{Sigma: SigmaLaserTuned, Batch: 1500, Seed: 5})
+	skewB := SimulateYieldWithPlan(dev, AsymmetricFreqPlan(5, 0.07, 0.05), YieldOptions{Sigma: SigmaLaserTuned, Batch: 1500, Seed: 5})
 	if sym.Fraction() < skewA.Fraction() || sym.Fraction() < skewB.Fraction() {
 		t.Errorf("symmetric %v should beat skews %v, %v",
 			sym.Fraction(), skewA.Fraction(), skewB.Fraction())

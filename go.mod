@@ -1,0 +1,3 @@
+module chipletqc
+
+go 1.24

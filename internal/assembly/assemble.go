@@ -2,6 +2,7 @@ package assembly
 
 import (
 	"math/rand"
+	"sort"
 
 	"chipletqc/internal/collision"
 	"chipletqc/internal/graph"
@@ -51,16 +52,33 @@ type AssembledMCM struct {
 
 // EAvg returns the two-qubit gate infidelity averaged across every
 // coupled qubit pair of the module (intra-chip and link), the paper's
-// E_avg,MCM metric.
+// E_avg,MCM metric. Link errors are summed in sorted edge order so the
+// floating-point result is reproducible (map iteration order is not).
 func (m *AssembledMCM) EAvg() float64 {
 	if m.nCouplings == 0 {
 		return 0
 	}
 	sum := m.chipErrSum
-	for _, e := range m.LinkErr {
-		sum += e
+	for _, e := range m.linkEdges() {
+		sum += m.LinkErr[e]
 	}
 	return sum / float64(m.nCouplings)
+}
+
+// linkEdges returns the module's inter-chip couplings in deterministic
+// sorted order.
+func (m *AssembledMCM) linkEdges() []graph.Edge {
+	edges := make([]graph.Edge, 0, len(m.LinkErr))
+	for e := range m.LinkErr {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	return edges
 }
 
 // Errors returns the full per-coupling error assignment of the module,
@@ -189,8 +207,10 @@ func Assemble(b *Batch, grid mcm.Grid, cfg AssembleConfig) ([]*AssembledMCM, Sta
 
 // ResampleLinks redraws every link error of the module from a new link
 // model; used by the Fig. 9 e_link/e_chip sweeps without re-assembling.
+// Links resample in sorted edge order so the RNG stream is consumed
+// deterministically (map iteration order is not).
 func (m *AssembledMCM) ResampleLinks(r *rand.Rand, link noise.LinkModel) {
-	for e := range m.LinkErr {
+	for _, e := range m.linkEdges() {
 		m.LinkErr[e] = link.Sample(r)
 	}
 }

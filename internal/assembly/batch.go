@@ -6,13 +6,13 @@ package assembly
 
 import (
 	"math"
-	"math/rand"
 	"sort"
 
 	"chipletqc/internal/collision"
 	"chipletqc/internal/fab"
 	"chipletqc/internal/graph"
 	"chipletqc/internal/noise"
+	"chipletqc/internal/runner"
 	"chipletqc/internal/topo"
 )
 
@@ -50,6 +50,10 @@ type BatchConfig struct {
 	Params collision.Params
 	Det    *noise.DetuningModel
 	Seed   int64
+	// Workers fans die fabrication out across goroutines; <= 0 means
+	// GOMAXPROCS. Each die derives its RNG stream from (Seed, die index),
+	// so the batch is identical at any worker count.
+	Workers int
 }
 
 // DefaultBatchConfig uses the paper's forward-looking baseline: laser-
@@ -73,13 +77,14 @@ func Fabricate(spec topo.ChipSpec, size int, cfg BatchConfig) *Batch {
 	dev := topo.MonolithicDevice(spec)
 	checker := collision.NewChecker(dev, cfg.Params)
 	edges := chip.G.Edges()
-	r := rand.New(rand.NewSource(cfg.Seed))
 
-	b := &Batch{Spec: spec, Chip: chip, Size: size}
-	for i := 0; i < size; i++ {
+	// Dies fabricate concurrently, each on its own (Seed, index)-derived
+	// RNG stream; nil marks the collision failures KGD testing discards.
+	dies := runner.Map(size, cfg.Workers, func(i int) *Chiplet {
+		r := runner.Rand(cfg.Seed, i)
 		f := cfg.Fab.SampleChip(r, chip)
 		if !checker.Free(f) {
-			continue
+			return nil
 		}
 		errs := make([]float64, len(edges))
 		var sum float64
@@ -91,7 +96,14 @@ func Fabricate(spec topo.ChipSpec, size int, cfg BatchConfig) *Batch {
 		if len(edges) > 0 {
 			avg = sum / float64(len(edges))
 		}
-		b.Free = append(b.Free, &Chiplet{ID: i, Freq: f, EdgeErr: errs, AvgErr: avg})
+		return &Chiplet{ID: i, Freq: f, EdgeErr: errs, AvgErr: avg}
+	})
+
+	b := &Batch{Spec: spec, Chip: chip, Size: size}
+	for _, c := range dies {
+		if c != nil {
+			b.Free = append(b.Free, c)
+		}
 	}
 	sort.SliceStable(b.Free, func(i, j int) bool {
 		return b.Free[i].AvgErr < b.Free[j].AvgErr

@@ -2,14 +2,15 @@ package eval
 
 import (
 	"math"
-	"math/rand"
 
 	"chipletqc/internal/assembly"
 	"chipletqc/internal/collision"
 	"chipletqc/internal/fab"
 	"chipletqc/internal/noise"
+	"chipletqc/internal/runner"
 	"chipletqc/internal/stats"
 	"chipletqc/internal/topo"
+	"chipletqc/internal/yield"
 )
 
 // Config scales the experiment harness. Full-paper settings are the
@@ -38,6 +39,11 @@ type Config struct {
 	// application evaluation (0 keeps the state-of-art 7.5%); used to
 	// project Fig. 10 under the Fig. 9 improved-link scenarios.
 	LinkMean float64
+	// Workers fans the Monte Carlo and sweep loops out across
+	// goroutines; <= 0 means GOMAXPROCS. Every trial derives its RNG
+	// stream from (seed, trial index), so results are identical at any
+	// worker count.
+	Workers int
 }
 
 // DefaultConfig returns full-paper-scale settings.
@@ -72,39 +78,61 @@ func (c *Config) det() *noise.DetuningModel {
 // batchConfig assembles the chiplet fabrication configuration.
 func (c *Config) batchConfig(seedOffset int64) assembly.BatchConfig {
 	return assembly.BatchConfig{
-		Fab:    c.Fab,
-		Params: c.Params,
-		Det:    c.det(),
-		Seed:   c.Seed + seedOffset,
+		Fab:     c.Fab,
+		Params:  c.Params,
+		Det:     c.det(),
+		Seed:    c.Seed + seedOffset,
+		Workers: c.Workers,
+	}
+}
+
+// yieldConfig assembles a collision-free yield simulation configuration.
+func (c *Config) yieldConfig(batch int, seed int64) yield.Config {
+	return yield.Config{
+		Batch:   batch,
+		Model:   c.Fab,
+		Params:  c.Params,
+		Seed:    seed,
+		Workers: c.Workers,
 	}
 }
 
 // monoPopulation fabricates a monolithic batch and returns the
 // collision-free devices' per-device mean two-qubit infidelity (E_avg)
-// samples, plus the collision-free yield.
+// samples, plus the collision-free yield. Trials run concurrently, each
+// on its own (seed, index)-derived RNG stream, and samples are collected
+// in trial order, so the population is identical at any worker count.
 func (c *Config) monoPopulation(spec topo.ChipSpec, batch int, seedOffset int64) (eavgs []float64, yld float64) {
 	dev := topo.MonolithicDevice(spec)
 	checker := collision.NewChecker(dev, c.Params)
 	det := c.det()
-	r := rand.New(rand.NewSource(c.Seed + seedOffset))
-	f := make([]float64, dev.N)
-	free := 0
-	for i := 0; i < batch; i++ {
-		c.Fab.SampleInto(r, dev, f)
-		if !checker.Free(f) {
-			continue
+	edges := dev.G.Edges()
+	campaign := c.Seed + seedOffset
+	samples := runner.MapLocal(batch, c.Workers,
+		func() []float64 { return make([]float64, dev.N) },
+		func(f []float64, i int) float64 {
+			r := runner.Rand(campaign, i)
+			c.Fab.SampleInto(r, dev, f)
+			if !checker.Free(f) {
+				return math.NaN() // collision: discarded by KGD testing
+			}
+			// E_avg for this device: mean sampled error over all couplings.
+			var sum float64
+			for _, e := range edges {
+				sum += det.Sample(r, f[e.U]-f[e.V])
+			}
+			if len(edges) == 0 {
+				return 0
+			}
+			return sum / float64(len(edges))
+		})
+	for _, s := range samples {
+		if !math.IsNaN(s) {
+			eavgs = append(eavgs, s)
 		}
-		free++
-		// E_avg for this device: mean sampled error over all couplings.
-		var sum float64
-		edges := dev.G.Edges()
-		for _, e := range edges {
-			sum += det.Sample(r, f[e.U]-f[e.V])
-		}
-		eavgs = append(eavgs, sum/float64(len(edges)))
 	}
 	if batch > 0 {
-		yld = float64(free) / float64(batch)
+		yld = float64(len(eavgs)) / float64(batch)
 	}
 	return eavgs, yld
 }

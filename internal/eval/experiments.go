@@ -96,12 +96,7 @@ func Fig4(cfg Config, maxQubits int) []yield.SweepCell {
 	if maxQubits <= 0 {
 		maxQubits = 1000
 	}
-	ycfg := yield.Config{
-		Batch:  cfg.MonoBatch,
-		Model:  cfg.Fab,
-		Params: cfg.Params,
-		Seed:   cfg.Seed + 400,
-	}
+	ycfg := cfg.yieldConfig(cfg.MonoBatch, cfg.Seed+400)
 	sizes := yield.SizeLadder(maxQubits)
 	return yield.Sweep(Fig4Steps, Fig4Sigmas, sizes, ycfg)
 }
@@ -242,7 +237,7 @@ func Eq1Example(cfg Config) Eq1Result {
 		qc    = 10
 		chips = 10 // 2 x 5
 	)
-	ycfg := yield.Config{Batch: batch, Model: cfg.Fab, Params: cfg.Params, Seed: cfg.Seed + 900}
+	ycfg := cfg.yieldConfig(batch, cfg.Seed+900)
 	mono := yield.Simulate(topo.MonolithicDevice(topo.MonolithicSpec(qm)), ycfg)
 	spec, err := topo.SpecForQubits(qc)
 	if err != nil {

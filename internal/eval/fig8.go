@@ -5,6 +5,7 @@ import (
 
 	"chipletqc/internal/assembly"
 	"chipletqc/internal/mcm"
+	"chipletqc/internal/runner"
 	"chipletqc/internal/topo"
 	"chipletqc/internal/yield"
 )
@@ -41,31 +42,47 @@ type Fig8Result struct {
 }
 
 // Fig8 runs the MCM-vs-monolithic yield comparison over every enumerated
-// MCM system up to cfg.MaxQubits.
+// MCM system up to cfg.MaxQubits. The three stages — chiplet batch
+// fabrication, monolithic yield simulation, and per-grid assembly — each
+// fan out over cfg.Workers; every unit is independently seeded, so the
+// result is identical at any worker count.
 func Fig8(cfg Config) Fig8Result {
+	cfg.det() // resolve the shared detuning model before fanning out
 	grids := mcm.EnumerateGrids(cfg.MaxQubits)
 
-	// One fabrication batch per chiplet size, re-assembled per grid.
+	// One fabrication batch per chiplet size, re-assembled per grid. The
+	// worker budget splits between the per-size fan-out and the nested
+	// per-die fabrication so total concurrency stays near cfg.Workers.
+	fabOuter, fabInner := runner.Split(cfg.Workers, len(topo.Catalog))
+	fabCfg := cfg
+	fabCfg.Workers = fabInner
+	batchList := runner.Map(len(topo.Catalog), fabOuter, func(i int) *assembly.Batch {
+		return assembly.Fabricate(topo.Catalog[i].Spec, cfg.ChipletBatch, fabCfg.batchConfig(1100+int64(i)))
+	})
 	batches := map[int]*assembly.Batch{}
 	for i, cs := range topo.Catalog {
-		batches[cs.Qubits] = assembly.Fabricate(cs.Spec, cfg.ChipletBatch, cfg.batchConfig(1100+int64(i)))
+		batches[cs.Qubits] = batchList[i]
 	}
 
-	// Monolithic yields cached per distinct qubit count.
+	// Monolithic yields per distinct system size.
+	var monoQubits []int
+	seen := map[int]bool{}
+	for _, g := range grids {
+		if q := g.Qubits(); !seen[q] {
+			seen[q] = true
+			monoQubits = append(monoQubits, q)
+		}
+	}
+	monoOuter, monoInner := runner.Split(cfg.Workers, len(monoQubits))
+	monoList := runner.Map(len(monoQubits), monoOuter, func(i int) float64 {
+		q := monoQubits[i]
+		ycfg := cfg.yieldConfig(cfg.MonoBatch, cfg.Seed+1200+int64(q))
+		ycfg.Workers = monoInner
+		return yield.Simulate(topo.MonolithicDevice(topo.MonolithicSpec(q)), ycfg).Fraction()
+	})
 	monoYield := map[int]float64{}
-	monoFor := func(q int) float64 {
-		if y, ok := monoYield[q]; ok {
-			return y
-		}
-		ycfg := yield.Config{
-			Batch:  cfg.MonoBatch,
-			Model:  cfg.Fab,
-			Params: cfg.Params,
-			Seed:   cfg.Seed + 1200 + int64(q),
-		}
-		y := yield.Simulate(topo.MonolithicDevice(topo.MonolithicSpec(q)), ycfg).Fraction()
-		monoYield[q] = y
-		return y
+	for i, q := range monoQubits {
+		monoYield[q] = monoList[i]
 	}
 
 	res := Fig8Result{
@@ -76,31 +93,33 @@ func Fig8(cfg Config) Fig8Result {
 		res.ChipletYields[q] = b.Yield()
 	}
 
-	mcmYieldSums := map[int]float64{}
-	monoYieldSums := map[int]float64{}
-	improvementCounts := map[int]int{}
-
-	for gi, g := range grids {
+	// Assembly is read-only on the shared batches, so grids fan out too.
+	res.Points = runner.Map(len(grids), cfg.Workers, func(gi int) Fig8Point {
+		g := grids[gi]
 		b := batches[g.Spec.Qubits()]
 		acfg := assembly.DefaultAssembleConfig(cfg.Seed + 1300 + int64(gi))
 		_, st := assembly.Assemble(b, g, acfg)
-		acfg100 := acfg
-		acfg100.BondFailureScale = 100
+		// 100x bump-bond failure sensitivity (the paper's dashed line).
 		y100 := st.AssemblyYield * assembly.BondSurvival(st.LinkedQubits, 100)
-
-		p := Fig8Point{
+		return Fig8Point{
 			Grid:         g,
 			Qubits:       g.Qubits(),
 			ChipletYield: b.Yield(),
 			MCMYield:     st.PostAssemblyYield,
 			MCMYield100x: y100,
-			MonoYield:    monoFor(g.Qubits()),
+			MonoYield:    monoYield[g.Qubits()],
 		}
-		res.Points = append(res.Points, p)
+	})
+
+	mcmYieldSums := map[int]float64{}
+	monoYieldSums := map[int]float64{}
+	improvementCounts := map[int]int{}
+	for _, p := range res.Points {
 		if p.MonoYield > 0 {
-			mcmYieldSums[g.Spec.Qubits()] += p.MCMYield
-			monoYieldSums[g.Spec.Qubits()] += p.MonoYield
-			improvementCounts[g.Spec.Qubits()]++
+			q := p.Grid.Spec.Qubits()
+			mcmYieldSums[q] += p.MCMYield
+			monoYieldSums[q] += p.MonoYield
+			improvementCounts[q]++
 		}
 	}
 

@@ -1,9 +1,9 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"math/rand"
 
 	"chipletqc/internal/assembly"
 	"chipletqc/internal/collision"
@@ -11,6 +11,7 @@ import (
 	"chipletqc/internal/mcm"
 	"chipletqc/internal/noise"
 	"chipletqc/internal/qbench"
+	"chipletqc/internal/runner"
 	"chipletqc/internal/stats"
 	"chipletqc/internal/topo"
 )
@@ -45,11 +46,22 @@ type Fig9Cell struct {
 // when monolithic yield is tiny, the matching MCM population is an elite
 // slice of a much larger supply.
 func Fig9(cfg Config) map[string][]Fig9Cell {
+	cfg.det() // resolve the shared detuning model before fanning out
 	grids := mcm.SquareGrids(cfg.MaxQubits)
 	links := noise.LinkRatioModels(noise.ChipMeanInfidelity)
 
-	out := map[string][]Fig9Cell{}
-	for gi, g := range grids {
+	// Each grid's fabricate-assemble-compare pipeline is independent and
+	// independently seeded, so grids fan out; the worker budget splits
+	// between the grid fan-out and the nested fabrication/Monte Carlo so
+	// total concurrency stays near cfg.Workers. The link sweep within
+	// one grid stays serial because ResampleLinks mutates the selected
+	// modules in ratio order.
+	outer, inner := runner.Split(cfg.Workers, len(grids))
+	icfg := cfg
+	icfg.Workers = inner
+	perGrid := runner.Map(len(grids), outer, func(gi int) []Fig9Cell {
+		g := grids[gi]
+		cfg := icfg
 		// Wafer-area scaling: a qm-qubit monolithic die's area hosts
 		// qm/qc chiplets, so B monolithic dies correspond to B*chips
 		// chiplet dies for an MCM of `chips` chiplets.
@@ -69,9 +81,10 @@ func Fig9(cfg Config) map[string][]Fig9Cell {
 			sel = sel[:k]
 		}
 
+		cells := make([]Fig9Cell, 0, len(Fig9Ratios))
 		for _, name := range Fig9Ratios {
 			link := links[name]
-			r := rand.New(rand.NewSource(cfg.Seed + 2400 + int64(gi)))
+			r := runner.Rand(cfg.Seed+2400, gi)
 			var eavgs []float64
 			for _, m := range sel {
 				m.ResampleLinks(r, link)
@@ -89,7 +102,15 @@ func Fig9(cfg Config) map[string][]Fig9Cell {
 			} else {
 				cell.Ratio = math.NaN()
 			}
-			out[name] = append(out[name], cell)
+			cells = append(cells, cell)
+		}
+		return cells
+	})
+
+	out := map[string][]Fig9Cell{}
+	for _, cells := range perGrid {
+		for i, name := range Fig9Ratios {
+			out[name] = append(out[name], cells[i])
 		}
 	}
 	return out
@@ -117,79 +138,102 @@ func (p Fig10Point) Ratio() float64 { return math.Exp(p.LogRatio) }
 
 // Fig10 evaluates the benchmark suite on the given MCM systems.
 // samples bounds the device instances averaged per architecture.
+// Systems fan out over cfg.Workers; a compile failure on any system
+// cancels the remaining work and the lowest-indexed error is returned,
+// so both results and errors are deterministic at any worker count.
 func Fig10(cfg Config, grids []mcm.Grid, samples int) ([]Fig10Point, error) {
 	if samples < 1 {
 		samples = 3
 	}
-	det := cfg.det()
+	det := cfg.det() // resolved before fanning out
+	// The worker budget splits between the system fan-out and the nested
+	// fabrication/Monte Carlo inside each system.
+	outer, inner := runner.Split(cfg.Workers, len(grids))
+	icfg := cfg
+	icfg.Workers = inner
+	perGrid, err := runner.MapErr(context.Background(), len(grids), outer, func(gi int) ([]Fig10Point, error) {
+		g := grids[gi]
+		return fig10System(icfg, g, gi, samples, det)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []Fig10Point
-	for gi, g := range grids {
-		// MCM side: assemble instances from a wafer-area-scaled batch
-		// and keep the best `samples` (equal-count selection, matching
-		// the Fig. 9 comparison semantics).
-		scaled := cfg.ChipletBatch * g.Chips()
-		b := assembly.Fabricate(g.Spec, scaled, cfg.batchConfig(3100+int64(gi)))
-		acfg := assembly.DefaultAssembleConfig(cfg.Seed + 3200 + int64(gi))
-		if cfg.LinkMean > 0 {
-			acfg.Link = acfg.Link.WithMean(cfg.LinkMean)
-		}
-		mods, _ := assembly.Assemble(b, g, acfg)
-		if len(mods) > samples {
-			mods = mods[:samples]
-		}
-		mcmDev := mcm.MustBuild(g)
-		chip := topo.BuildChip(g.Spec)
+	for _, pts := range perGrid {
+		out = append(out, pts...)
+	}
+	return out, nil
+}
 
-		// Monolithic side: collision-free instances with error maps.
-		monoDev := topo.MonolithicDevice(g.MonolithicCounterpart())
-		monoAssignments := monoInstances(cfg, monoDev, samples, 3300+int64(gi), det)
+// fig10System evaluates the benchmark suite on one MCM system against
+// its monolithic counterpart.
+func fig10System(cfg Config, g mcm.Grid, gi, samples int, det *noise.DetuningModel) ([]Fig10Point, error) {
+	var out []Fig10Point
+	// MCM side: assemble instances from a wafer-area-scaled batch
+	// and keep the best `samples` (equal-count selection, matching
+	// the Fig. 9 comparison semantics).
+	scaled := cfg.ChipletBatch * g.Chips()
+	b := assembly.Fabricate(g.Spec, scaled, cfg.batchConfig(3100+int64(gi)))
+	acfg := assembly.DefaultAssembleConfig(cfg.Seed + 3200 + int64(gi))
+	if cfg.LinkMean > 0 {
+		acfg.Link = acfg.Link.WithMean(cfg.LinkMean)
+	}
+	mods, _ := assembly.Assemble(b, g, acfg)
+	if len(mods) > samples {
+		mods = mods[:samples]
+	}
+	mcmDev := mcm.MustBuild(g)
+	chip := topo.BuildChip(g.Spec)
 
-		// Link-aware routing penalises seam crossings by the state-of-art
-		// error ratio when enabled.
-		var mcmOpts compiler.Options
-		if cfg.LinkAwareRouting {
-			mcmOpts.EdgeCost = compiler.LinkAwareCost(mcmDev,
-				noise.LinkMeanInfidelity/noise.ChipMeanInfidelity)
+	// Monolithic side: collision-free instances with error maps.
+	monoDev := topo.MonolithicDevice(g.MonolithicCounterpart())
+	monoAssignments := monoInstances(cfg, monoDev, samples, 3300+int64(gi), det)
+
+	// Link-aware routing penalises seam crossings by the state-of-art
+	// error ratio when enabled.
+	var mcmOpts compiler.Options
+	if cfg.LinkAwareRouting {
+		mcmOpts.EdgeCost = compiler.LinkAwareCost(mcmDev,
+			noise.LinkMeanInfidelity/noise.ChipMeanInfidelity)
+	}
+
+	width := qbench.UtilizedQubits(g.Qubits())
+	for _, bs := range qbench.Suite() {
+		circ := bs.Generate(width, cfg.Seed+3400)
+		mcmRes, err := compiler.CompileWithOptions(circ, mcmDev, mcmOpts)
+		if err != nil {
+			return nil, fmt.Errorf("fig10 %v %s (mcm): %w", g, bs.Short, err)
 		}
-
-		width := qbench.UtilizedQubits(g.Qubits())
-		for _, bs := range qbench.Suite() {
-			circ := bs.Generate(width, cfg.Seed+3400)
-			mcmRes, err := compiler.CompileWithOptions(circ, mcmDev, mcmOpts)
+		var mcmLogs []float64
+		for _, m := range mods {
+			mcmLogs = append(mcmLogs, LogFidelity(mcmRes, m.Errors(mcmDev, chip)))
+		}
+		p := Fig10Point{
+			Grid:   g,
+			Qubits: g.Qubits(),
+			Bench:  bs.Short,
+			TwoQ:   mcmRes.Counts.TwoQ,
+			Square: g.Rows == g.Cols,
+		}
+		if len(monoAssignments) == 0 {
+			p.MonoZero = true
+			p.LogRatio = math.Inf(1)
+		} else {
+			monoRes, err := compiler.Compile(circ, monoDev)
 			if err != nil {
-				return nil, fmt.Errorf("fig10 %v %s (mcm): %w", g, bs.Short, err)
+				return nil, fmt.Errorf("fig10 %v %s (mono): %w", g, bs.Short, err)
 			}
-			var mcmLogs []float64
-			for _, m := range mods {
-				mcmLogs = append(mcmLogs, LogFidelity(mcmRes, m.Errors(mcmDev, chip)))
+			var monoLogs []float64
+			for _, a := range monoAssignments {
+				monoLogs = append(monoLogs, LogFidelity(monoRes, a))
 			}
-			p := Fig10Point{
-				Grid:   g,
-				Qubits: g.Qubits(),
-				Bench:  bs.Short,
-				TwoQ:   mcmRes.Counts.TwoQ,
-				Square: g.Rows == g.Cols,
-			}
-			if len(monoAssignments) == 0 {
-				p.MonoZero = true
-				p.LogRatio = math.Inf(1)
+			if len(mcmLogs) == 0 {
+				p.LogRatio = math.NaN()
 			} else {
-				monoRes, err := compiler.Compile(circ, monoDev)
-				if err != nil {
-					return nil, fmt.Errorf("fig10 %v %s (mono): %w", g, bs.Short, err)
-				}
-				var monoLogs []float64
-				for _, a := range monoAssignments {
-					monoLogs = append(monoLogs, LogFidelity(monoRes, a))
-				}
-				if len(mcmLogs) == 0 {
-					p.LogRatio = math.NaN()
-				} else {
-					p.LogRatio = stats.Mean(mcmLogs) - stats.Mean(monoLogs)
-				}
+				p.LogRatio = stats.Mean(mcmLogs) - stats.Mean(monoLogs)
 			}
-			out = append(out, p)
 		}
+		out = append(out, p)
 	}
 	return out, nil
 }
@@ -197,17 +241,45 @@ func Fig10(cfg Config, grids []mcm.Grid, samples int) ([]Fig10Point, error) {
 // monoInstances fabricates monolithic devices until `want` collision-free
 // instances are found (or the batch budget is exhausted) and returns
 // their full per-coupling error assignments.
+//
+// Trials run in worker-sized chunks, each on its own (seed, index)-
+// derived RNG stream; selection keeps the first `want` collision-free
+// trial indices, so the instances are identical at any worker count
+// while the scan still stops early once enough survivors are found.
 func monoInstances(cfg Config, dev *topo.Device, want int, seedOffset int64, det *noise.DetuningModel) []noise.Assignment {
+	if want <= 0 || cfg.MonoBatch <= 0 {
+		return nil
+	}
 	checker := collision.NewChecker(dev, cfg.Params)
-	r := rand.New(rand.NewSource(cfg.Seed + seedOffset))
-	f := make([]float64, dev.N)
+	link := noise.DefaultLinkModel()
+	campaign := cfg.Seed + seedOffset
+	chunk := runner.Workers(cfg.Workers, cfg.MonoBatch) * 32
+
 	var out []noise.Assignment
-	for i := 0; i < cfg.MonoBatch && len(out) < want; i++ {
-		cfg.Fab.SampleInto(r, dev, f)
-		if !checker.Free(f) {
-			continue
+	for lo := 0; lo < cfg.MonoBatch && len(out) < want; lo += chunk {
+		hi := lo + chunk
+		if hi > cfg.MonoBatch {
+			hi = cfg.MonoBatch
 		}
-		out = append(out, noise.Assign(r, dev, f, det, noise.DefaultLinkModel()))
+		found := runner.MapLocal(hi-lo, cfg.Workers,
+			func() []float64 { return make([]float64, dev.N) },
+			func(f []float64, j int) *noise.Assignment {
+				r := runner.Rand(campaign, lo+j)
+				cfg.Fab.SampleInto(r, dev, f)
+				if !checker.Free(f) {
+					return nil
+				}
+				a := noise.Assign(r, dev, f, det, link)
+				return &a
+			})
+		for _, a := range found {
+			if a != nil {
+				out = append(out, *a)
+				if len(out) == want {
+					break
+				}
+			}
+		}
 	}
 	return out
 }

@@ -11,12 +11,10 @@ package yield
 
 import (
 	"fmt"
-	"math/rand"
-	"runtime"
-	"sync"
 
 	"chipletqc/internal/collision"
 	"chipletqc/internal/fab"
+	"chipletqc/internal/runner"
 	"chipletqc/internal/topo"
 )
 
@@ -66,50 +64,15 @@ func Simulate(d *topo.Device, cfg Config) Result {
 	if cfg.Batch <= 0 {
 		return Result{Device: d.Name, Qubits: d.N}
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > cfg.Batch {
-		workers = cfg.Batch
-	}
 	checker := collision.NewChecker(d, cfg.Params)
-
-	var wg sync.WaitGroup
-	counts := make([]int, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			buf := make([]float64, d.N)
-			free := 0
-			for i := w; i < cfg.Batch; i += workers {
-				r := rand.New(rand.NewSource(deviceSeed(cfg.Seed, i)))
-				cfg.Model.SampleInto(r, d, buf)
-				if checker.Free(buf) {
-					free++
-				}
-			}
-			counts[w] = free
-		}(w)
-	}
-	wg.Wait()
-	total := 0
-	for _, c := range counts {
-		total += c
-	}
-	return Result{Device: d.Name, Qubits: d.N, Batch: cfg.Batch, Free: total}
-}
-
-// deviceSeed derives an independent RNG stream seed for batch element i.
-// SplitMix64-style mixing keeps streams decorrelated even for adjacent
-// indices.
-func deviceSeed(seed int64, i int) int64 {
-	z := uint64(seed) + uint64(i)*0x9E3779B97F4A7C15
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	z ^= z >> 31
-	return int64(z & 0x7FFFFFFFFFFFFFFF)
+	free := runner.CountLocal(cfg.Batch, cfg.Workers,
+		func() []float64 { return make([]float64, d.N) },
+		func(buf []float64, i int) bool {
+			r := runner.Rand(cfg.Seed, i)
+			cfg.Model.SampleInto(r, d, buf)
+			return checker.Free(buf)
+		})
+	return Result{Device: d.Name, Qubits: d.N, Batch: cfg.Batch, Free: free}
 }
 
 // Point is one (qubits, yield) sample of a yield-vs-size curve.
@@ -119,15 +82,18 @@ type Point struct {
 }
 
 // MonolithicCurve simulates yield for a ladder of monolithic device sizes
-// (paper Fig. 4: collision-free yield vs qubits).
+// (paper Fig. 4: collision-free yield vs qubits). Sizes run concurrently;
+// each size's simulation is independently seeded, so the curve is
+// identical at any worker count.
 func MonolithicCurve(sizes []int, cfg Config) []Point {
-	out := make([]Point, 0, len(sizes))
-	for _, n := range sizes {
-		d := topo.MonolithicDevice(topo.MonolithicSpec(n))
-		res := Simulate(d, cfg)
-		out = append(out, Point{Qubits: d.N, Yield: res.Fraction()})
-	}
-	return out
+	outer, inner := runner.Split(cfg.Workers, len(sizes))
+	icfg := cfg
+	icfg.Workers = inner
+	return runner.Map(len(sizes), outer, func(i int) Point {
+		d := topo.MonolithicDevice(topo.MonolithicSpec(sizes[i]))
+		res := Simulate(d, icfg)
+		return Point{Qubits: d.N, Yield: res.Fraction()}
+	})
 }
 
 // SizeLadder returns a deterministic ladder of monolithic device sizes
@@ -160,13 +126,15 @@ func SizeLadder(maxQubits int) []int {
 // ChipletYields simulates collision-free yield for every catalog chiplet
 // (paper Fig. 8(b)).
 func ChipletYields(cfg Config) []Result {
-	out := make([]Result, 0, len(topo.Catalog))
-	for _, cs := range topo.Catalog {
+	outer, inner := runner.Split(cfg.Workers, len(topo.Catalog))
+	icfg := cfg
+	icfg.Workers = inner
+	return runner.Map(len(topo.Catalog), outer, func(i int) Result {
+		cs := topo.Catalog[i]
 		d := topo.MonolithicDevice(cs.Spec)
 		d.Name = fmt.Sprintf("chiplet-%d", cs.Qubits)
-		out = append(out, Simulate(d, cfg))
-	}
-	return out
+		return Simulate(d, icfg)
+	})
 }
 
 // DetuningSweep runs the Fig. 4 experiment: for each frequency step and
@@ -178,19 +146,20 @@ type SweepCell struct {
 }
 
 // Sweep runs MonolithicCurve for the cross product of steps and sigmas.
+// Cells run concurrently; each cell's curve is independently seeded. The
+// worker budget is split between the cell fan-out and the nested curve
+// so total concurrency stays near cfg.Workers.
 func Sweep(steps, sigmas []float64, sizes []int, cfg Config) []SweepCell {
-	out := make([]SweepCell, 0, len(steps)*len(sigmas))
-	for _, step := range steps {
-		for _, sigma := range sigmas {
-			c := cfg
-			c.Model.Plan.Step = step
-			c.Model.Sigma = sigma
-			out = append(out, SweepCell{
-				Step:   step,
-				Sigma:  sigma,
-				Points: MonolithicCurve(sizes, c),
-			})
+	outer, inner := runner.Split(cfg.Workers, len(steps)*len(sigmas))
+	return runner.Map(len(steps)*len(sigmas), outer, func(i int) SweepCell {
+		c := cfg
+		c.Workers = inner
+		c.Model.Plan.Step = steps[i/len(sigmas)]
+		c.Model.Sigma = sigmas[i%len(sigmas)]
+		return SweepCell{
+			Step:   c.Model.Plan.Step,
+			Sigma:  c.Model.Sigma,
+			Points: MonolithicCurve(sizes, c),
 		}
-	}
-	return out
+	})
 }
