@@ -162,10 +162,17 @@ type YieldOptions struct {
 	Step    float64 // frequency plan step (default 0.06)
 	Seed    int64
 	Workers int // parallel workers; 0 means all CPU cores, results are identical either way
+	// Precision switches the simulation into adaptive mode: trials
+	// stream until the yield's 95% CI half-width reaches this target
+	// (e.g. 0.01 for +-1%). 0 keeps the fixed-batch mode.
+	Precision float64
+	// MaxTrials caps the adaptive budget; 0 falls back to Batch.
+	MaxTrials int
 }
 
 // SimulateYield estimates the collision-free yield of a device via Monte
-// Carlo simulation (paper Section IV-B).
+// Carlo simulation (paper Section IV-B). The result carries the trials
+// executed (Batch) and 95% Wilson confidence bounds (CILo/CIHi).
 func SimulateYield(d *Device, opts YieldOptions) YieldResult {
 	return simulateYield(d, yieldConfigFromOptions(opts))
 }
@@ -185,6 +192,8 @@ func yieldConfigFromOptions(opts YieldOptions) yield.Config {
 	}
 	cfg.Seed = opts.Seed
 	cfg.Workers = opts.Workers
+	cfg.Precision = opts.Precision
+	cfg.MaxTrials = opts.MaxTrials
 	return cfg
 }
 

@@ -8,20 +8,24 @@
 //	benchrun -chiplet 40 -rows 2 -cols 2   # Fig. 10 for one system
 //	benchrun -all -max 300                 # Fig. 10 over enumerated systems
 //	benchrun -all -workers 8               # pin the worker-pool size
+//	benchrun -perf                         # write BENCH_yield.json perf record
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"testing"
 
 	"chipletqc/internal/eval"
 	"chipletqc/internal/mcm"
 	"chipletqc/internal/report"
 	"chipletqc/internal/topo"
+	"chipletqc/internal/yield"
 )
 
 func main() {
@@ -45,19 +49,23 @@ func run(args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("benchrun", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
-		table2  = fs.Bool("table2", false, "print Table II compiled benchmark details")
-		all     = fs.Bool("all", false, "evaluate Fig. 10 over all enumerated systems")
-		square  = fs.Bool("square", false, "restrict -all to square systems (Fig. 10b)")
-		chiplet = fs.Int("chiplet", 20, "chiplet size for single-system evaluation")
-		rows    = fs.Int("rows", 2, "MCM rows")
-		cols    = fs.Int("cols", 2, "MCM cols")
-		maxQ    = fs.Int("max", 500, "largest system size for -all")
-		batch   = fs.Int("batch", 2000, "chiplet batch size")
-		mono    = fs.Int("mono", 2000, "monolithic batch size")
-		samples = fs.Int("samples", 3, "device instances averaged per architecture")
-		seed    = fs.Int64("seed", 1, "RNG seed")
-		workers = fs.Int("workers", 0, "parallel workers (0 = all CPU cores; results identical either way)")
-		csv     = fs.Bool("csv", false, "emit CSV")
+		table2    = fs.Bool("table2", false, "print Table II compiled benchmark details")
+		all       = fs.Bool("all", false, "evaluate Fig. 10 over all enumerated systems")
+		square    = fs.Bool("square", false, "restrict -all to square systems (Fig. 10b)")
+		chiplet   = fs.Int("chiplet", 20, "chiplet size for single-system evaluation")
+		rows      = fs.Int("rows", 2, "MCM rows")
+		cols      = fs.Int("cols", 2, "MCM cols")
+		maxQ      = fs.Int("max", 500, "largest system size for -all")
+		batch     = fs.Int("batch", 2000, "chiplet batch size")
+		mono      = fs.Int("mono", 2000, "monolithic batch size")
+		samples   = fs.Int("samples", 3, "device instances averaged per architecture")
+		seed      = fs.Int64("seed", 1, "RNG seed")
+		workers   = fs.Int("workers", 0, "parallel workers (0 = all CPU cores; results identical either way)")
+		precision = fs.Float64("precision", 0, "adaptive mode: stop yield simulations once their 95% CI half-width reaches this (0 = fixed batch)")
+		maxTrials = fs.Int("maxtrials", 0, "adaptive mode trial budget per simulation (0 = batch size)")
+		perf      = fs.Bool("perf", false, "run the yield hot-path micro-benchmark and write a machine-readable perf record")
+		perfOut   = fs.String("perfout", "BENCH_yield.json", "perf record output path for -perf")
+		csv       = fs.Bool("csv", false, "emit CSV")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -71,6 +79,12 @@ func run(args []string, out, errw io.Writer) error {
 	cfg.MonoBatch = *mono
 	cfg.MaxQubits = *maxQ
 	cfg.Workers = *workers
+	cfg.Precision = *precision
+	cfg.MaxTrials = *maxTrials
+
+	if *perf {
+		return runPerf(*batch, *workers, *seed, *perfOut, out)
+	}
 
 	if *table2 {
 		rowsOut, err := eval.Table2(cfg)
@@ -131,4 +145,88 @@ func emit(tb *report.Table, out io.Writer, csv bool) error {
 		return tb.WriteCSV(out)
 	}
 	return tb.WriteText(out)
+}
+
+// perfRecord is one machine-readable micro-benchmark measurement of the
+// Monte Carlo yield hot path. cmd/benchrun -perf appends these to
+// BENCH_yield.json so the perf trajectory (ns/op, trials/sec,
+// allocs/op) is tracked across PRs by the CI benchmark artifact.
+type perfRecord struct {
+	Name         string  `json:"name"`
+	Qubits       int     `json:"qubits"`
+	Batch        int     `json:"batch"`
+	Precision    float64 `json:"precision,omitempty"`
+	TrialsUsed   int     `json:"trials_used"`
+	Yield        float64 `json:"yield"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	TrialsPerSec float64 `json:"trials_per_sec"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+}
+
+// runPerf micro-benchmarks yield.Simulate on a 100-qubit device in both
+// fixed-batch and adaptive (1% precision) modes and writes the records
+// as JSON to path.
+func runPerf(batch, workers int, seed int64, path string, out io.Writer) error {
+	if batch <= 0 {
+		batch = 2000
+	}
+	d := topo.MonolithicDevice(topo.MonolithicSpec(100))
+	base := yield.DefaultConfig()
+	base.Batch = batch
+	base.Seed = seed
+	base.Workers = workers
+
+	measure := func(name string, cfg yield.Config) perfRecord {
+		res := yield.Simulate(d, cfg) // warm-up + result snapshot
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				yield.Simulate(d, cfg)
+			}
+		})
+		ns := float64(br.NsPerOp())
+		rec := perfRecord{
+			Name:        name,
+			Qubits:      d.N,
+			Batch:       cfg.Batch,
+			Precision:   cfg.Precision,
+			TrialsUsed:  res.Batch,
+			Yield:       res.Fraction(),
+			NsPerOp:     ns,
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+		}
+		if ns > 0 {
+			rec.TrialsPerSec = float64(res.Batch) / (ns / 1e9)
+		}
+		return rec
+	}
+
+	adaptive := base
+	adaptive.Precision = 0.01
+	records := []perfRecord{
+		measure("yield_simulate_fixed", base),
+		measure("yield_simulate_adaptive_1pct", adaptive),
+	}
+
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	tb := report.New("Yield hot-path micro-benchmark",
+		"name", "trials", "ns_per_op", "trials_per_sec", "allocs_per_op")
+	for _, r := range records {
+		tb.Add(r.Name, r.TrialsUsed, fmt.Sprintf("%.0f", r.NsPerOp),
+			fmt.Sprintf("%.3g", r.TrialsPerSec), r.AllocsPerOp)
+	}
+	if err := tb.WriteText(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nwrote %s\n", path)
+	return nil
 }

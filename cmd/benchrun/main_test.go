@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -23,6 +26,45 @@ func TestRunSingleSystemSmoke(t *testing.T) {
 	// All seven benchmarks should have produced a row for the 1x2 system.
 	if n := strings.Count(got, "1x2"); n < 7 {
 		t.Errorf("expected >= 7 benchmark rows for the 1x2 system, got %d:\n%s", n, got)
+	}
+}
+
+// TestRunPerfWritesRecord exercises -perf: the machine-readable yield
+// hot-path record lands on disk with sane ns/op, trials/sec, and
+// allocs/op fields.
+func TestRunPerfWritesRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_yield.json")
+	var out, errs strings.Builder
+	if err := run([]string{"-perf", "-batch", "200", "-perfout", path}, &out, &errs); err != nil {
+		t.Fatalf("run -perf: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("perf record not written: %v", err)
+	}
+	var records []perfRecord
+	if err := json.Unmarshal(data, &records); err != nil {
+		t.Fatalf("perf record is not valid JSON: %v", err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("records = %d, want fixed + adaptive", len(records))
+	}
+	for _, r := range records {
+		if r.NsPerOp <= 0 || r.TrialsPerSec <= 0 {
+			t.Errorf("%s: non-positive timing %+v", r.Name, r)
+		}
+		if r.TrialsUsed <= 0 || r.TrialsUsed > 200 {
+			t.Errorf("%s: trials_used = %d, want in (0, 200]", r.Name, r.TrialsUsed)
+		}
+		if r.AllocsPerOp < 0 {
+			t.Errorf("%s: negative allocs", r.Name)
+		}
+	}
+	if records[0].Name != "yield_simulate_fixed" || records[1].Name != "yield_simulate_adaptive_1pct" {
+		t.Errorf("unexpected record names: %s, %s", records[0].Name, records[1].Name)
+	}
+	if !strings.Contains(out.String(), "wrote "+path) {
+		t.Errorf("missing confirmation line:\n%s", out.String())
 	}
 }
 

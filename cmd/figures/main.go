@@ -46,10 +46,12 @@ func run(args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
-		outDir  = fs.String("out", "results", "output directory")
-		quick   = fs.Bool("quick", false, "reduced Monte Carlo batches")
-		seed    = fs.Int64("seed", 1, "RNG seed")
-		workers = fs.Int("workers", 0, "parallel workers (0 = all CPU cores; results identical either way)")
+		outDir    = fs.String("out", "results", "output directory")
+		quick     = fs.Bool("quick", false, "reduced Monte Carlo batches")
+		seed      = fs.Int64("seed", 1, "RNG seed")
+		workers   = fs.Int("workers", 0, "parallel workers (0 = all CPU cores; results identical either way)")
+		precision = fs.Float64("precision", 0, "adaptive mode: stop yield simulations once their 95% CI half-width reaches this (0 = fixed batch)")
+		maxTrials = fs.Int("maxtrials", 0, "adaptive mode trial budget per simulation (0 = batch size)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -60,12 +62,16 @@ func run(args []string, out, errw io.Writer) error {
 
 	cfg := eval.DefaultConfig(*seed)
 	cfg.Workers = *workers
+	cfg.Precision = *precision
+	cfg.MaxTrials = *maxTrials
 	fig10Samples := 5
 	fig4Max := 1000
 	fig6Batch := 100000
 	if *quick {
 		cfg = eval.QuickConfig(*seed)
 		cfg.Workers = *workers
+		cfg.Precision = *precision
+		cfg.MaxTrials = *maxTrials
 		cfg.MaxQubits = 200
 		fig10Samples = 2
 		fig4Max = 200
@@ -110,10 +116,11 @@ func run(args []string, out, errw io.Writer) error {
 		}},
 		{"fig4", func() (*report.Table, error) {
 			tb := report.New("Fig. 4: collision-free yield vs qubits",
-				"step_GHz", "sigma_GHz", "qubits", "yield")
+				"step_GHz", "sigma_GHz", "qubits", "yield", "trials", "ci_lo", "ci_hi")
 			for _, c := range eval.Fig4(cfg, fig4Max) {
 				for _, p := range c.Points {
-					tb.Add(report.F(c.Step, 3), report.F(c.Sigma, 4), p.Qubits, report.F(p.Yield, 4))
+					tb.Add(report.F(c.Step, 3), report.F(c.Sigma, 4), p.Qubits, report.F(p.Yield, 4),
+						p.Trials, report.F(p.CILo, 4), report.F(p.CIHi, 4))
 				}
 			}
 			return tb, nil
@@ -144,18 +151,20 @@ func run(args []string, out, errw io.Writer) error {
 		{"fig8", func() (*report.Table, error) {
 			res := eval.Fig8(cfg)
 			tb := report.New("Fig. 8: yield vs qubits, MCM (nominal and 100x bond failure) vs monolithic",
-				"chiplet", "dim", "qubits", "chiplet_yield", "mcm_yield", "mcm_yield_100x", "mono_yield")
+				"chiplet", "dim", "qubits", "chiplet_yield", "mcm_yield", "mcm_yield_100x", "mono_yield",
+				"mono_trials", "mono_ci_lo", "mono_ci_hi")
 			for _, p := range res.Points {
 				tb.Add(p.Grid.Spec.Qubits(), fmt.Sprintf("%dx%d", p.Grid.Rows, p.Grid.Cols),
 					p.Qubits, report.F(p.ChipletYield, 4), report.F(p.MCMYield, 4),
-					report.F(p.MCMYield100x, 4), report.F(p.MonoYield, 4))
+					report.F(p.MCMYield100x, 4), report.F(p.MonoYield, 4),
+					p.MonoTrials, report.F(p.MonoCILo, 4), report.F(p.MonoCIHi, 4))
 			}
-			tb.Add("", "", "", "", "", "", "")
+			tb.Add("", "", "", "", "", "", "", "", "", "")
 			for _, cs := range topo.Catalog {
 				if v, ok := res.Improvements[cs.Qubits]; ok {
-					tb.Add(cs.Qubits, "avg-improvement", "", "", report.F(v, 2)+"x", "", "")
+					tb.Add(cs.Qubits, "avg-improvement", "", "", report.F(v, 2)+"x", "", "", "", "", "")
 				} else {
-					tb.Add(cs.Qubits, "avg-improvement", "", "", "inf (mono 0%)", "", "")
+					tb.Add(cs.Qubits, "avg-improvement", "", "", "inf (mono 0%)", "", "", "", "", "")
 				}
 			}
 			return tb, nil

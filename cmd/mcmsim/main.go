@@ -45,17 +45,19 @@ func run(args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("mcmsim", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
-		chiplet = fs.Int("chiplet", 20, "chiplet size in qubits (catalog: 10..250)")
-		rows    = fs.Int("rows", 2, "MCM rows")
-		cols    = fs.Int("cols", 2, "MCM cols")
-		batch   = fs.Int("batch", 10000, "chiplet fabrication batch size")
-		mono    = fs.Int("mono", 10000, "monolithic Monte Carlo batch size")
-		maxQ    = fs.Int("max", 500, "largest system size for -fig8/-fig9")
-		seed    = fs.Int64("seed", 1, "RNG seed")
-		workers = fs.Int("workers", 0, "parallel workers (0 = all CPU cores; results identical either way)")
-		fig8    = fs.Bool("fig8", false, "run the full Fig. 8 yield comparison")
-		fig9    = fs.Bool("fig9", false, "run the Fig. 9 E_avg ratio heatmaps")
-		csv     = fs.Bool("csv", false, "emit CSV")
+		chiplet   = fs.Int("chiplet", 20, "chiplet size in qubits (catalog: 10..250)")
+		rows      = fs.Int("rows", 2, "MCM rows")
+		cols      = fs.Int("cols", 2, "MCM cols")
+		batch     = fs.Int("batch", 10000, "chiplet fabrication batch size")
+		mono      = fs.Int("mono", 10000, "monolithic Monte Carlo batch size")
+		maxQ      = fs.Int("max", 500, "largest system size for -fig8/-fig9")
+		seed      = fs.Int64("seed", 1, "RNG seed")
+		workers   = fs.Int("workers", 0, "parallel workers (0 = all CPU cores; results identical either way)")
+		precision = fs.Float64("precision", 0, "adaptive mode: stop each yield simulation once its 95% CI half-width reaches this (0 = fixed batch)")
+		maxTrials = fs.Int("maxtrials", 0, "adaptive mode trial budget per simulation (0 = batch size)")
+		fig8      = fs.Bool("fig8", false, "run the full Fig. 8 yield comparison")
+		fig9      = fs.Bool("fig9", false, "run the Fig. 9 E_avg ratio heatmaps")
+		csv       = fs.Bool("csv", false, "emit CSV")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -69,6 +71,8 @@ func run(args []string, out, errw io.Writer) error {
 	cfg.MonoBatch = *mono
 	cfg.MaxQubits = *maxQ
 	cfg.Workers = *workers
+	cfg.Precision = *precision
+	cfg.MaxTrials = *maxTrials
 
 	switch {
 	case *fig8:
@@ -116,12 +120,14 @@ func runSingle(cfg eval.Config, chiplet, rows, cols int, out io.Writer, csv bool
 func runFig8(cfg eval.Config, out io.Writer, csv bool) error {
 	res := eval.Fig8(cfg)
 	tb := report.New("Fig. 8(a): yield vs qubits, MCM vs monolithic",
-		"chiplet", "grid", "qubits", "mcm_yield", "mcm_yield_100x", "mono_yield")
+		"chiplet", "grid", "qubits", "mcm_yield", "mcm_yield_100x", "mono_yield",
+		"mono_trials", "mono_ci_lo", "mono_ci_hi")
 	for _, p := range res.Points {
 		tb.Add(p.Grid.Spec.Qubits(),
 			fmt.Sprintf("%dx%d", p.Grid.Rows, p.Grid.Cols),
 			p.Qubits,
-			report.F(p.MCMYield, 4), report.F(p.MCMYield100x, 4), report.F(p.MonoYield, 4))
+			report.F(p.MCMYield, 4), report.F(p.MCMYield100x, 4), report.F(p.MonoYield, 4),
+			p.MonoTrials, report.F(p.MonoCILo, 4), report.F(p.MonoCIHi, 4))
 	}
 	if err := emit(tb, out, csv); err != nil {
 		return err

@@ -9,6 +9,7 @@
 //	yieldsim -sigma 0.014 -step 0.06 -max 500
 //	yieldsim -chiplets                      # catalog chiplet yields
 //	yieldsim -workers 8                     # pin the worker-pool size
+//	yieldsim -precision 0.01                # adaptive: stop at 1% CI half-width
 package main
 
 import (
@@ -46,15 +47,17 @@ func run(args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("yieldsim", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
-		batch    = fs.Int("batch", 1000, "devices per Monte Carlo batch")
-		sigma    = fs.Float64("sigma", 0, "fabrication precision in GHz (0 = sweep the paper's three values)")
-		step     = fs.Float64("step", 0, "frequency plan step in GHz (0 = sweep 0.04-0.07)")
-		maxQ     = fs.Int("max", 1000, "largest device size in qubits")
-		seed     = fs.Int64("seed", 1, "RNG seed")
-		workers  = fs.Int("workers", 0, "parallel workers (0 = all CPU cores; results identical either way)")
-		chiplets = fs.Bool("chiplets", false, "report catalog chiplet yields instead of the size sweep")
-		analytic = fs.Bool("analytic", false, "add the closed-form yield estimate next to Monte Carlo")
-		csv      = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		batch     = fs.Int("batch", 1000, "devices per Monte Carlo batch")
+		sigma     = fs.Float64("sigma", 0, "fabrication precision in GHz (0 = sweep the paper's three values)")
+		step      = fs.Float64("step", 0, "frequency plan step in GHz (0 = sweep 0.04-0.07)")
+		maxQ      = fs.Int("max", 1000, "largest device size in qubits")
+		seed      = fs.Int64("seed", 1, "RNG seed")
+		workers   = fs.Int("workers", 0, "parallel workers (0 = all CPU cores; results identical either way)")
+		precision = fs.Float64("precision", 0, "adaptive mode: stop each simulation once the yield's 95% CI half-width reaches this (0 = fixed batch)")
+		maxTrials = fs.Int("maxtrials", 0, "adaptive mode trial budget (0 = batch)")
+		chiplets  = fs.Bool("chiplets", false, "report catalog chiplet yields instead of the size sweep")
+		analytic  = fs.Bool("analytic", false, "add the closed-form yield estimate next to Monte Carlo")
+		csv       = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -67,6 +70,8 @@ func run(args []string, out, errw io.Writer) error {
 	cfg.Batch = *batch
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	cfg.Precision = *precision
+	cfg.MaxTrials = *maxTrials
 
 	if *chiplets {
 		if *sigma > 0 {
@@ -75,9 +80,11 @@ func run(args []string, out, errw io.Writer) error {
 		if *step > 0 {
 			cfg.Model.Plan.Step = *step
 		}
-		tb := report.New("Collision-free chiplet yields (Fig. 8b)", "chiplet", "yield")
+		tb := report.New("Collision-free chiplet yields (Fig. 8b)",
+			"chiplet", "yield", "trials", "ci_lo", "ci_hi")
 		for _, r := range yield.ChipletYields(cfg) {
-			tb.Add(r.Qubits, report.F(r.Fraction(), 4))
+			tb.Add(r.Qubits, report.F(r.Fraction(), 4), r.Batch,
+				report.F(r.CILo, 4), report.F(r.CIHi, 4))
 		}
 		return emit(tb, out, *csv)
 	}
@@ -93,7 +100,7 @@ func run(args []string, out, errw io.Writer) error {
 	sizes := yield.SizeLadder(*maxQ)
 	cells := yield.Sweep(steps, sigmas, sizes, cfg)
 
-	headers := []string{"step_GHz", "sigma_GHz", "qubits", "yield"}
+	headers := []string{"step_GHz", "sigma_GHz", "qubits", "yield", "trials", "ci_lo", "ci_hi"}
 	if *analytic {
 		headers = append(headers, "analytic")
 	}
@@ -104,6 +111,7 @@ func run(args []string, out, errw io.Writer) error {
 		for _, p := range c.Points {
 			row := []interface{}{
 				report.F(c.Step, 3), report.F(c.Sigma, 4), p.Qubits, report.F(p.Yield, 4),
+				p.Trials, report.F(p.CILo, 4), report.F(p.CIHi, 4),
 			}
 			if *analytic {
 				dev := topo.MonolithicDevice(topo.MonolithicSpec(p.Qubits))

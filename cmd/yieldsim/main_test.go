@@ -48,6 +48,35 @@ func TestRunWorkerCountInvariance(t *testing.T) {
 	}
 }
 
+// TestRunAdaptivePrecision exercises the -precision flag end to end:
+// the sweep reports trials and CI bounds, extreme-yield sizes stop
+// before the full batch, and the report is worker-count invariant.
+func TestRunAdaptivePrecision(t *testing.T) {
+	render := func(workers string) string {
+		var out, errs strings.Builder
+		err := run([]string{
+			"-batch", "5000", "-max", "30", "-sigma", "0.006", "-step", "0.06",
+			"-precision", "0.02", "-workers", workers,
+		}, &out, &errs)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out.String()
+	}
+	got := render("2")
+	if !strings.Contains(got, "trials") || !strings.Contains(got, "ci_lo") {
+		t.Errorf("adaptive run should report trials and CI columns:\n%s", got)
+	}
+	// Scaling-goal precision yields ~1 at these sizes, so the adaptive
+	// run must stop at the first checkpoint instead of the 5000 budget.
+	if !strings.Contains(got, "1.0000  250") {
+		t.Errorf("near-certain yield should stop at the first checkpoint:\n%s", got)
+	}
+	if parallel := render("7"); parallel != got {
+		t.Error("adaptive report differs across worker counts")
+	}
+}
+
 // TestRunRejectsUnknownFlag pins flag parsing: unknown flags surface as
 // errors, with diagnostics on the error stream rather than mixed into
 // the report stream.

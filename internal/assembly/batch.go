@@ -80,24 +80,29 @@ func Fabricate(spec topo.ChipSpec, size int, cfg BatchConfig) *Batch {
 
 	// Dies fabricate concurrently, each on its own (Seed, index)-derived
 	// RNG stream; nil marks the collision failures KGD testing discards.
-	dies := runner.Map(size, cfg.Workers, func(i int) *Chiplet {
-		r := runner.Rand(cfg.Seed, i)
-		f := cfg.Fab.SampleChip(r, chip)
-		if !checker.Free(f) {
-			return nil
-		}
-		errs := make([]float64, len(edges))
-		var sum float64
-		for j, e := range edges {
-			errs[j] = cfg.Det.Sample(r, f[e.U]-f[e.V])
-			sum += errs[j]
-		}
-		avg := 0.0
-		if len(edges) > 0 {
-			avg = sum / float64(len(edges))
-		}
-		return &Chiplet{ID: i, Freq: f, EdgeErr: errs, AvgErr: avg}
-	})
+	// Workers reuse one RNG and frequency buffer across trials, so a
+	// discarded die costs zero allocations; only KGD survivors allocate
+	// their retained frequency and error vectors.
+	dies := runner.MapLocal(size, cfg.Workers, runner.NewScratch(chip.N),
+		func(l runner.Scratch, i int) *Chiplet {
+			r := l.RNG.At(cfg.Seed, i)
+			cfg.Fab.SampleChipInto(r, chip, l.Buf)
+			if !checker.Free(l.Buf) {
+				return nil
+			}
+			f := append([]float64(nil), l.Buf...)
+			errs := make([]float64, len(edges))
+			var sum float64
+			for j, e := range edges {
+				errs[j] = cfg.Det.Sample(r, f[e.U]-f[e.V])
+				sum += errs[j]
+			}
+			avg := 0.0
+			if len(edges) > 0 {
+				avg = sum / float64(len(edges))
+			}
+			return &Chiplet{ID: i, Freq: f, EdgeErr: errs, AvgErr: avg}
+		})
 
 	b := &Batch{Spec: spec, Chip: chip, Size: size}
 	for _, c := range dies {

@@ -51,9 +51,15 @@ func DefaultParams() Params {
 	}
 }
 
+// NonFinite is the pseudo-criterion reported when a frequency is NaN or
+// infinite: such assignments are rejected outright (never collision-free)
+// instead of silently falling through the Table I comparisons, all of
+// which evaluate false on NaN.
+const NonFinite = -1
+
 // Violation records one triggered criterion.
 type Violation struct {
-	Type    int // 1..7
+	Type    int // 1..7, or NonFinite
 	Control int // control qubit (or first neighbour for types 1/3)
 	Target  int // target qubit (or second neighbour)
 	Target2 int // second target for types 5-7, else -1
@@ -61,6 +67,9 @@ type Violation struct {
 
 // String renders the violation for diagnostics.
 func (v Violation) String() string {
+	if v.Type == NonFinite {
+		return fmt.Sprintf("non-finite frequency: q%d or q%d", v.Control, v.Target)
+	}
 	if v.Target2 >= 0 {
 		return fmt.Sprintf("type %d collision: control q%d targets q%d,q%d",
 			v.Type, v.Control, v.Target, v.Target2)
@@ -102,19 +111,34 @@ func (c *Checker) Edges() int { return len(c.edges) }
 func (c *Checker) Pairs() int { return len(c.pairs) }
 
 // Free reports whether the frequency assignment f (GHz per qubit) is
-// collision-free, returning at the first violation. This is the Monte
-// Carlo hot path.
+// collision-free, returning at the first violation. NaN or infinite
+// frequencies are never collision-free. This is the Monte Carlo hot
+// path; it allocates nothing.
 func (c *Checker) Free(f []float64) bool {
+	return c.FreeInto(nil, f)
+}
+
+// FreeInto is Free with an allocation-free diagnostic: when the
+// assignment is not collision-free it writes the first triggered
+// criterion into *v (callers reuse one Violation across trials) and
+// returns false. v may be nil to skip the diagnostic.
+func (c *Checker) FreeInto(v *Violation, f []float64) bool {
 	p := &c.params
 	for i := range c.edges {
 		e := &c.edges[i]
-		if edgeViolationType(f[e.control], f[e.target], p) != 0 {
+		if t := edgeViolationType(f[e.control], f[e.target], p); t != 0 {
+			if v != nil {
+				*v = Violation{Type: t, Control: e.control, Target: e.target, Target2: -1}
+			}
 			return false
 		}
 	}
 	for i := range c.pairs {
 		cp := &c.pairs[i]
-		if pairViolationType(f[cp.Control], f[cp.T1], f[cp.T2], p) != 0 {
+		if t := pairViolationType(f[cp.Control], f[cp.T1], f[cp.T2], p); t != 0 {
+			if v != nil {
+				*v = Violation{Type: t, Control: cp.Control, Target: cp.T1, Target2: cp.T2}
+			}
 			return false
 		}
 	}
@@ -123,22 +147,37 @@ func (c *Checker) Free(f []float64) bool {
 
 // Violations returns every triggered criterion for assignment f.
 func (c *Checker) Violations(f []float64) []Violation {
-	var out []Violation
+	return c.ViolationsInto(nil, f)
+}
+
+// ViolationsInto appends every triggered criterion for assignment f to
+// dst and returns the extended slice. Hot loops pass dst[:0] to reuse
+// the backing array across trials instead of allocating per call.
+func (c *Checker) ViolationsInto(dst []Violation, f []float64) []Violation {
 	p := &c.params
 	for i := range c.edges {
 		e := &c.edges[i]
-		out = appendEdgeViolations(out, e.control, e.target, f[e.control], f[e.target], p)
+		dst = appendEdgeViolations(dst, e.control, e.target, f[e.control], f[e.target], p)
 	}
 	for i := range c.pairs {
 		cp := &c.pairs[i]
-		out = appendPairViolations(out, cp, f[cp.Control], f[cp.T1], f[cp.T2], p)
+		dst = appendPairViolations(dst, cp, f[cp.Control], f[cp.T1], f[cp.T2], p)
 	}
-	return out
+	return dst
 }
 
+// finite reports whether f is neither NaN nor infinite. The f-f trick
+// compiles to one subtraction and compare, cheap enough for the per-edge
+// hot path (NaN-NaN and Inf-Inf are NaN, which compares unequal to 0).
+func finite(f float64) bool { return f-f == 0 }
+
 // edgeViolationType returns the first violated pairwise criterion
-// (1, 2, 3, or 4) for control frequency fi and target frequency fj, or 0.
+// (1, 2, 3, or 4) for control frequency fi and target frequency fj,
+// NonFinite for NaN/Inf inputs, or 0.
 func edgeViolationType(fi, fj float64, p *Params) int {
+	if !finite(fi) || !finite(fj) {
+		return NonFinite
+	}
 	a := p.Anharmonicity
 	if math.Abs(fi-fj) <= p.T1 {
 		return 1
@@ -158,8 +197,12 @@ func edgeViolationType(fi, fj float64, p *Params) int {
 }
 
 // pairViolationType returns the first violated spectator criterion
-// (5, 6, or 7) for control fi with targets fj, fk, or 0.
+// (5, 6, or 7) for control fi with targets fj, fk, NonFinite for
+// NaN/Inf inputs, or 0.
 func pairViolationType(fi, fj, fk float64, p *Params) int {
+	if !finite(fi) || !finite(fj) || !finite(fk) {
+		return NonFinite
+	}
 	a := p.Anharmonicity
 	if math.Abs(fj-fk) <= p.T5 {
 		return 5
@@ -174,6 +217,9 @@ func pairViolationType(fi, fj, fk float64, p *Params) int {
 }
 
 func appendEdgeViolations(out []Violation, qi, qj int, fi, fj float64, p *Params) []Violation {
+	if !finite(fi) || !finite(fj) {
+		return append(out, Violation{Type: NonFinite, Control: qi, Target: qj, Target2: -1})
+	}
 	a := p.Anharmonicity
 	if math.Abs(fi-fj) <= p.T1 {
 		out = append(out, Violation{Type: 1, Control: qi, Target: qj, Target2: -1})
@@ -191,6 +237,9 @@ func appendEdgeViolations(out []Violation, qi, qj int, fi, fj float64, p *Params
 }
 
 func appendPairViolations(out []Violation, cp *topo.ControlPair, fi, fj, fk float64, p *Params) []Violation {
+	if !finite(fi) || !finite(fj) || !finite(fk) {
+		return append(out, Violation{Type: NonFinite, Control: cp.Control, Target: cp.T1, Target2: cp.T2})
+	}
 	a := p.Anharmonicity
 	if math.Abs(fj-fk) <= p.T5 {
 		out = append(out, Violation{Type: 5, Control: cp.Control, Target: cp.T1, Target2: cp.T2})
@@ -206,13 +255,15 @@ func appendPairViolations(out []Violation, cp *topo.ControlPair, fi, fj, fk floa
 
 // CheckPair exposes the pairwise criteria (types 1-4) for a single
 // control/target frequency pair; used by tests and by the assembly stage
-// when vetting candidate inter-chip links.
+// when vetting candidate inter-chip links. NaN or infinite frequencies
+// return NonFinite.
 func CheckPair(fControl, fTarget float64, p Params) int {
 	return edgeViolationType(fControl, fTarget, &p)
 }
 
 // CheckTriple exposes the spectator criteria (types 5-7) for a control
-// frequency and two target frequencies.
+// frequency and two target frequencies. NaN or infinite frequencies
+// return NonFinite.
 func CheckTriple(fControl, fT1, fT2 float64, p Params) int {
 	return pairViolationType(fControl, fT1, fT2, &p)
 }

@@ -1,0 +1,71 @@
+package eval
+
+import (
+	"testing"
+
+	"chipletqc/internal/yield"
+)
+
+// TestFig4AdaptivePrecisionSavesTrials is the adaptive engine's
+// acceptance criterion: reaching a 1% CI half-width on the Fig. 4
+// monolithic yield sweep must cost >= 3x fewer trials than the fixed
+// default of MonoBatch trials per (step, sigma, size) cell. The sweep's
+// extreme-yield cells (raw precision collapses to 0, scaling-goal
+// precision saturates near 1) stop at the first checkpoint, which is
+// where the bulk of the saving comes from.
+func TestFig4AdaptivePrecisionSavesTrials(t *testing.T) {
+	cfg := DefaultConfig(1) // MonoBatch = 10^4, the paper-scale default
+	cfg.Precision = 0.01
+	cells := Fig4(cfg, 500)
+
+	total, points := 0, 0
+	for _, c := range cells {
+		for _, p := range c.Points {
+			if p.Trials > cfg.MonoBatch {
+				t.Errorf("(%g, %g, %dq): %d trials exceed the fixed budget",
+					c.Step, c.Sigma, p.Qubits, p.Trials)
+			}
+			if hw := (p.CIHi - p.CILo) / 2; hw > 0.01 && p.Trials < cfg.MonoBatch {
+				t.Errorf("(%g, %g, %dq): stopped at %d trials with half-width %v > 1%%",
+					c.Step, c.Sigma, p.Qubits, p.Trials, hw)
+			}
+			total += p.Trials
+			points++
+		}
+	}
+	fixedTotal := cfg.MonoBatch * points
+	if 3*total > fixedTotal {
+		t.Errorf("adaptive spent %d trials over %d points; fixed default is %d — saving < 3x",
+			total, points, fixedTotal)
+	}
+	t.Logf("Fig. 4 adaptive: %d trials vs fixed %d (%.1fx saving)",
+		total, fixedTotal, float64(fixedTotal)/float64(total))
+}
+
+// TestFig4AdaptiveWorkerInvariance pins the determinism contract of the
+// adaptive mode end-to-end: the executed trial counts and yields of the
+// whole sweep must be identical at any worker count.
+func TestFig4AdaptiveWorkerInvariance(t *testing.T) {
+	run := func(workers int) []yield.SweepCell {
+		cfg := QuickConfig(21)
+		cfg.MonoBatch = 2000
+		cfg.Precision = 0.02
+		cfg.Workers = workers
+		return Fig4(cfg, 120)
+	}
+	a, b := run(1), run(8)
+	if len(a) != len(b) {
+		t.Fatalf("cell counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Step != b[i].Step || a[i].Sigma != b[i].Sigma || len(a[i].Points) != len(b[i].Points) {
+			t.Fatalf("cell %d shape diverged", i)
+		}
+		for j := range a[i].Points {
+			if a[i].Points[j] != b[i].Points[j] {
+				t.Errorf("cell %d point %d diverged: %+v vs %+v",
+					i, j, a[i].Points[j], b[i].Points[j])
+			}
+		}
+	}
+}

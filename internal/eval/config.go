@@ -44,6 +44,16 @@ type Config struct {
 	// stream from (seed, trial index), so results are identical at any
 	// worker count.
 	Workers int
+	// Precision switches the yield Monte Carlo loops into adaptive
+	// mode: each simulation streams trials and stops once its 95% CI
+	// half-width falls to this target (e.g. 0.01 for +-1%). 0 keeps the
+	// fixed-batch mode, bit-identical to earlier releases. Early-stop
+	// decisions happen only at fixed checkpoint trial counts, so
+	// adaptive results are still worker-count invariant.
+	Precision float64
+	// MaxTrials caps each adaptive simulation's budget; <= 0 falls back
+	// to the relevant fixed batch size (MonoBatch / ChipletBatch).
+	MaxTrials int
 }
 
 // DefaultConfig returns full-paper-scale settings.
@@ -89,11 +99,13 @@ func (c *Config) batchConfig(seedOffset int64) assembly.BatchConfig {
 // yieldConfig assembles a collision-free yield simulation configuration.
 func (c *Config) yieldConfig(batch int, seed int64) yield.Config {
 	return yield.Config{
-		Batch:   batch,
-		Model:   c.Fab,
-		Params:  c.Params,
-		Seed:    seed,
-		Workers: c.Workers,
+		Batch:     batch,
+		Model:     c.Fab,
+		Params:    c.Params,
+		Seed:      seed,
+		Workers:   c.Workers,
+		Precision: c.Precision,
+		MaxTrials: c.MaxTrials,
 	}
 }
 
@@ -109,9 +121,10 @@ func (c *Config) monoPopulation(spec topo.ChipSpec, batch int, seedOffset int64)
 	edges := dev.G.Edges()
 	campaign := c.Seed + seedOffset
 	samples := runner.MapLocal(batch, c.Workers,
-		func() []float64 { return make([]float64, dev.N) },
-		func(f []float64, i int) float64 {
-			r := runner.Rand(campaign, i)
+		runner.NewScratch(dev.N),
+		func(l runner.Scratch, i int) float64 {
+			r := l.RNG.At(campaign, i)
+			f := l.Buf
 			c.Fab.SampleInto(r, dev, f)
 			if !checker.Free(f) {
 				return math.NaN() // collision: discarded by KGD testing

@@ -20,6 +20,9 @@ type Fig8Point struct {
 	MCMYield     float64 // post-assembly yield, nominal bonding
 	MCMYield100x float64 // post-assembly yield, 100x bond failure (dashed)
 	MonoYield    float64 // monolithic counterpart collision-free yield
+	MonoTrials   int     // Monte Carlo trials behind MonoYield
+	MonoCILo     float64 // 95% Wilson lower bound on MonoYield
+	MonoCIHi     float64 // 95% Wilson upper bound on MonoYield
 }
 
 // Fig8Result is the full Fig. 8 dataset.
@@ -74,13 +77,13 @@ func Fig8(cfg Config) Fig8Result {
 		}
 	}
 	monoOuter, monoInner := runner.Split(cfg.Workers, len(monoQubits))
-	monoList := runner.Map(len(monoQubits), monoOuter, func(i int) float64 {
+	monoList := runner.Map(len(monoQubits), monoOuter, func(i int) yield.Result {
 		q := monoQubits[i]
 		ycfg := cfg.yieldConfig(cfg.MonoBatch, cfg.Seed+1200+int64(q))
 		ycfg.Workers = monoInner
-		return yield.Simulate(topo.MonolithicDevice(topo.MonolithicSpec(q)), ycfg).Fraction()
+		return yield.Simulate(topo.MonolithicDevice(topo.MonolithicSpec(q)), ycfg)
 	})
-	monoYield := map[int]float64{}
+	monoYield := map[int]yield.Result{}
 	for i, q := range monoQubits {
 		monoYield[q] = monoList[i]
 	}
@@ -101,13 +104,17 @@ func Fig8(cfg Config) Fig8Result {
 		_, st := assembly.Assemble(b, g, acfg)
 		// 100x bump-bond failure sensitivity (the paper's dashed line).
 		y100 := st.AssemblyYield * assembly.BondSurvival(st.LinkedQubits, 100)
+		mono := monoYield[g.Qubits()]
 		return Fig8Point{
 			Grid:         g,
 			Qubits:       g.Qubits(),
 			ChipletYield: b.Yield(),
 			MCMYield:     st.PostAssemblyYield,
 			MCMYield100x: y100,
-			MonoYield:    monoYield[g.Qubits()],
+			MonoYield:    mono.Fraction(),
+			MonoTrials:   mono.Batch,
+			MonoCILo:     mono.CILo,
+			MonoCIHi:     mono.CIHi,
 		}
 	})
 

@@ -262,14 +262,14 @@ func monoInstances(cfg Config, dev *topo.Device, want int, seedOffset int64, det
 			hi = cfg.MonoBatch
 		}
 		found := runner.MapLocal(hi-lo, cfg.Workers,
-			func() []float64 { return make([]float64, dev.N) },
-			func(f []float64, j int) *noise.Assignment {
-				r := runner.Rand(campaign, lo+j)
-				cfg.Fab.SampleInto(r, dev, f)
-				if !checker.Free(f) {
+			runner.NewScratch(dev.N),
+			func(l runner.Scratch, j int) *noise.Assignment {
+				r := l.RNG.At(campaign, lo+j)
+				cfg.Fab.SampleInto(r, dev, l.Buf)
+				if !checker.Free(l.Buf) {
 					return nil
 				}
-				a := noise.Assign(r, dev, f, det, link)
+				a := noise.Assign(r, dev, l.Buf, det, link)
 				return &a
 			})
 		for _, a := range found {

@@ -77,8 +77,17 @@ func (m Model) SampleInto(r *rand.Rand, d *topo.Device, f []float64) {
 // by chiplet fabrication batches before MCM assembly).
 func (m Model) SampleChip(r *rand.Rand, c *topo.Chip) []float64 {
 	f := make([]float64, c.N)
+	m.SampleChipInto(r, c, f)
+	return f
+}
+
+// SampleChipInto fills f (length c.N) with realised chip frequencies,
+// avoiding allocation in fabrication loops. It panics if len(f) != c.N.
+func (m Model) SampleChipInto(r *rand.Rand, c *topo.Chip, f []float64) {
+	if len(f) != c.N {
+		panic(fmt.Sprintf("fab: buffer length %d != chip qubits %d", len(f), c.N))
+	}
 	for q := 0; q < c.N; q++ {
 		f[q] = stats.Normal(r, m.Plan.Target(c.Class[q]), m.Sigma)
 	}
-	return f
 }

@@ -1,0 +1,149 @@
+package runner
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// TrialRNG is a reusable per-worker trial RNG: Seek repositions it onto
+// trial i's private (seed, i)-derived SplitMix64 stream without
+// allocating, producing draws bit-identical to Rand(seed, i). Workers
+// keep one TrialRNG in their local scratch so the Monte Carlo hot path
+// stops paying one rand.Rand allocation per trial.
+type TrialRNG struct {
+	src splitmix
+	r   *rand.Rand
+}
+
+// NewTrialRNG returns a reusable trial RNG (two allocations, paid once
+// per worker instead of once per trial).
+func NewTrialRNG() *TrialRNG {
+	t := &TrialRNG{}
+	t.r = rand.New(&t.src)
+	return t
+}
+
+// At repositions the RNG onto trial i's stream and returns it. The
+// returned *rand.Rand is valid until the next At call.
+func (t *TrialRNG) At(seed int64, i int) *rand.Rand {
+	t.src.state = uint64(Seed(seed, i))
+	return t.r
+}
+
+// Scratch is the standard per-worker Monte Carlo scratch state: a
+// reusable trial RNG plus a float64 sample buffer, so the per-trial
+// path allocates nothing.
+type Scratch struct {
+	RNG *TrialRNG
+	Buf []float64
+}
+
+// NewScratch returns a newLocal constructor for MapLocal/CountLocal/
+// Stream that equips each worker with a TrialRNG and an n-element
+// buffer.
+func NewScratch(n int) func() Scratch {
+	return func() Scratch {
+		return Scratch{RNG: NewTrialRNG(), Buf: make([]float64, n)}
+	}
+}
+
+// Checkpoints returns the fixed trial counts at which a streaming
+// campaign may stop: a doubling ladder from min up to max, always
+// ending exactly at max. Stop decisions happen only at these counts,
+// which is what keeps adaptive results worker-count invariant.
+func Checkpoints(min, max int) []int {
+	if max <= 0 {
+		return nil
+	}
+	if min <= 0 {
+		min = 1
+	}
+	var out []int
+	for c := min; c < max; c *= 2 {
+		out = append(out, c)
+	}
+	return append(out, max)
+}
+
+// Stream is the streaming fan-out mode: it runs up to max trials in
+// checkpoint-delimited blocks, feeds every trial's observation to an
+// aggregator in trial-index order, and asks stop after each checkpoint
+// whether the campaign can end early. It returns the number of trials
+// executed.
+//
+// The determinism contract extends CountLocal's: trial i's result must
+// depend only on i (locals are scratch), blocks always run to their
+// checkpoint before any stop decision, and observe sees results in
+// index order — so the executed trial count and every aggregate are
+// bit-identical at any worker count. Checkpoints are clamped to
+// (0, max] and deduplicated; a final checkpoint at max is implied.
+func Stream[L, T any](max, workers int, checkpoints []int, newLocal func() L,
+	trial func(l L, i int) T, observe func(i int, v T), stop func(trials int) bool) int {
+	if max <= 0 {
+		return 0
+	}
+	workers = Workers(workers, max)
+	locals := make([]L, workers)
+	for i := range locals {
+		locals[i] = newLocal()
+	}
+
+	var buf []T
+	done := 0
+	step := func(cp int) bool {
+		if cp > max {
+			cp = max
+		}
+		if cp <= done {
+			return false
+		}
+		n := cp - done
+		if cap(buf) < n {
+			buf = make([]T, n)
+		}
+		buf = buf[:n]
+		runBlock(locals, done, cp, buf, trial)
+		for j := 0; j < n; j++ {
+			observe(done+j, buf[j])
+		}
+		done = cp
+		return done >= max || stop(done)
+	}
+	for _, cp := range checkpoints {
+		if step(cp) {
+			return done
+		}
+	}
+	step(max)
+	return done
+}
+
+// runBlock evaluates trials [lo, hi) across the locals' workers,
+// writing trial i's result to out[i-lo]. Indices are claimed from a
+// shared atomic counter so uneven per-trial cost load-balances.
+func runBlock[L, T any](locals []L, lo, hi int, out []T, trial func(l L, i int) T) {
+	n := hi - lo
+	if len(locals) == 1 || n == 1 {
+		for j := 0; j < n; j++ {
+			out[j] = trial(locals[0], lo+j)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < len(locals); w++ {
+		wg.Add(1)
+		go func(l L) {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= n {
+					return
+				}
+				out[j] = trial(l, lo+j)
+			}
+		}(locals[w])
+	}
+	wg.Wait()
+}

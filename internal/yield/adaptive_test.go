@@ -1,0 +1,164 @@
+package yield
+
+import (
+	"testing"
+
+	"chipletqc/internal/stats"
+	"chipletqc/internal/topo"
+)
+
+func TestAdaptiveDeterministicAcrossWorkers(t *testing.T) {
+	d := topo.MonolithicDevice(topo.MonolithicSpec(100))
+	cfg := DefaultConfig()
+	cfg.Batch = 4000
+	cfg.Precision = 0.02
+	cfg.Workers = 1
+	a := Simulate(d, cfg)
+	cfg.Workers = 8
+	b := Simulate(d, cfg)
+	if a != b {
+		t.Errorf("adaptive result diverged across workers:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestAdaptiveStopsEarlyOnCertainYield(t *testing.T) {
+	// sigma = 0 fabricates every device perfectly: yield 1 with tiny
+	// uncertainty, so the campaign must stop at the first checkpoint.
+	d := topo.MonolithicDevice(topo.MonolithicSpec(60))
+	cfg := DefaultConfig()
+	cfg.Batch = 10000
+	cfg.Model.Sigma = 0
+	cfg.Precision = 0.01
+	res := Simulate(d, cfg)
+	if res.Batch != adaptiveMinTrials {
+		t.Errorf("trials = %d, want first checkpoint %d", res.Batch, adaptiveMinTrials)
+	}
+	if res.Free != res.Batch {
+		t.Errorf("free = %d/%d, want all", res.Free, res.Batch)
+	}
+	if res.HalfWidth() > 0.01 {
+		t.Errorf("half-width = %v, want <= 0.01", res.HalfWidth())
+	}
+}
+
+func TestAdaptiveReportsConsistentCI(t *testing.T) {
+	d := topo.MonolithicDevice(topo.MonolithicSpec(100))
+	cfg := DefaultConfig()
+	cfg.Batch = 2000
+	cfg.Precision = 0.05
+	res := Simulate(d, cfg)
+	lo, hi := stats.Wilson(res.Free, res.Batch, stats.Z95)
+	if res.CILo != lo || res.CIHi != hi {
+		t.Errorf("CI = [%v, %v], want Wilson [%v, %v]", res.CILo, res.CIHi, lo, hi)
+	}
+	y := res.Fraction()
+	if y < res.CILo || y > res.CIHi {
+		t.Errorf("point estimate %v outside its own CI [%v, %v]", y, res.CILo, res.CIHi)
+	}
+}
+
+func TestAdaptiveMaxTrialsCapsBudget(t *testing.T) {
+	// An unreachable precision target must exhaust exactly MaxTrials.
+	d := topo.MonolithicDevice(topo.MonolithicSpec(100))
+	cfg := DefaultConfig()
+	cfg.Batch = 99999
+	cfg.Precision = 1e-9
+	cfg.MaxTrials = 600
+	res := Simulate(d, cfg)
+	if res.Batch != 600 {
+		t.Errorf("trials = %d, want MaxTrials cap 600", res.Batch)
+	}
+}
+
+func TestFixedModeUnchangedByAdaptiveFields(t *testing.T) {
+	// Precision = 0 must reproduce the historical fixed-batch draws
+	// regardless of MaxTrials.
+	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 2, Width: 8})
+	cfg := DefaultConfig()
+	cfg.Batch = 500
+	a := Simulate(d, cfg)
+	cfg.MaxTrials = 123456
+	b := Simulate(d, cfg)
+	if a != b {
+		t.Errorf("MaxTrials leaked into fixed mode: %+v vs %+v", a, b)
+	}
+	if a.Batch != 500 {
+		t.Errorf("fixed mode trials = %d, want 500", a.Batch)
+	}
+}
+
+// TestAdaptiveCurveStaysWithinBudgetAndPrecision checks the per-size
+// contract on one yield curve: a size either reaches the precision
+// target or spends the whole fixed budget, never more. (The >= 3x
+// trial-saving acceptance test runs over the full Fig. 4 sweep in
+// internal/eval, where the extreme-yield cells dominate.)
+func TestAdaptiveCurveStaysWithinBudgetAndPrecision(t *testing.T) {
+	const fixedBatch = 10000
+	sizes := SizeLadder(500)
+	cfg := DefaultConfig()
+	cfg.Batch = fixedBatch
+	cfg.Precision = 0.01
+	pts := MonolithicCurve(sizes, cfg)
+
+	total := 0
+	for _, p := range pts {
+		if p.Trials > fixedBatch {
+			t.Errorf("%dq: adaptive used %d trials, above the fixed budget", p.Qubits, p.Trials)
+		}
+		if hw := (p.CIHi - p.CILo) / 2; hw > 0.01 && p.Trials < fixedBatch {
+			t.Errorf("%dq: stopped at %d trials with half-width %v > 1%%", p.Qubits, p.Trials, hw)
+		}
+		total += p.Trials
+	}
+	if total >= fixedBatch*len(sizes) {
+		t.Errorf("adaptive spent %d trials, no saving over fixed %d", total, fixedBatch*len(sizes))
+	}
+}
+
+func TestSizeLadder(t *testing.T) {
+	cases := []struct {
+		name string
+		max  int
+		// invariants checked for every case below
+	}{
+		{"tiny", 10},
+		{"below first rung", 9},
+		{"mid", 120},
+		{"paper scale", 500},
+		{"beyond paper", 1000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ladder := SizeLadder(tc.max)
+			if tc.max < 10 {
+				if len(ladder) != 0 {
+					t.Fatalf("ladder below 10q should be empty, got %v", ladder)
+				}
+				return
+			}
+			if len(ladder) == 0 {
+				t.Fatal("empty ladder")
+			}
+			if ladder[0] != 10 {
+				t.Errorf("ladder starts at %d, want 10", ladder[0])
+			}
+			seen := map[int]bool{}
+			for i, q := range ladder {
+				if q > tc.max {
+					t.Errorf("rung %d exceeds max %d", q, tc.max)
+				}
+				if seen[q] {
+					t.Errorf("duplicate rung %d", q)
+				}
+				seen[q] = true
+				if i > 0 && q <= ladder[i-1] {
+					t.Errorf("ladder not strictly increasing at %v", ladder[i-1:i+1])
+				}
+				// Every rung must be realisable as an exact heavy-hex spec.
+				if got := topo.MonolithicSpec(q).Qubits(); got != q {
+					t.Errorf("rung %d is not an exact heavy-hex size (spec gives %d)", q, got)
+				}
+			}
+		})
+	}
+}

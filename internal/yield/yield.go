@@ -7,6 +7,9 @@
 // Simulations are deterministic: the result for a given (device, config)
 // depends only on cfg.Seed, regardless of worker count, because each
 // batch element derives its own RNG stream from the seed and its index.
+// That holds for the adaptive mode too: early-stop decisions are made
+// only at fixed checkpoint trial counts, so the executed trial count is
+// itself worker-count invariant.
 package yield
 
 import (
@@ -15,6 +18,7 @@ import (
 	"chipletqc/internal/collision"
 	"chipletqc/internal/fab"
 	"chipletqc/internal/runner"
+	"chipletqc/internal/stats"
 	"chipletqc/internal/topo"
 )
 
@@ -25,7 +29,22 @@ type Config struct {
 	Params  collision.Params // Table I thresholds
 	Seed    int64            // RNG seed
 	Workers int              // parallel workers; <= 0 means GOMAXPROCS
+
+	// Precision switches Simulate into adaptive mode: trials stream in
+	// checkpointed blocks and stop once the 95% Wilson interval on the
+	// yield has half-width <= Precision. 0 keeps the fixed-batch mode,
+	// whose draws are bit-identical to earlier releases.
+	Precision float64
+	// MaxTrials caps the adaptive mode's budget; <= 0 falls back to
+	// Batch, so adaptive runs never exceed the fixed default's cost.
+	MaxTrials int
 }
+
+// adaptiveMinTrials is the first early-stop checkpoint: small enough
+// that near-certain yields (p ~ 0 or 1) stop almost immediately, large
+// enough that the Wilson interval is meaningful before the first
+// decision.
+const adaptiveMinTrials = 250
 
 // DefaultConfig mirrors Fig. 4's setup: batch 1000, laser-tuned sigma,
 // default Table I thresholds.
@@ -38,12 +57,17 @@ func DefaultConfig() Config {
 	}
 }
 
-// Result is the outcome of a yield simulation for one device.
+// Result is the outcome of a yield simulation for one device. Batch is
+// the number of trials actually executed: the configured batch in fixed
+// mode, possibly fewer in adaptive mode. CILo/CIHi bound the yield with
+// the 95% Wilson score interval.
 type Result struct {
 	Device string
 	Qubits int
 	Batch  int
 	Free   int // collision-free devices
+	CILo   float64
+	CIHi   float64
 }
 
 // Fraction returns the collision-free yield in [0, 1].
@@ -54,31 +78,58 @@ func (r Result) Fraction() float64 {
 	return float64(r.Free) / float64(r.Batch)
 }
 
-// String renders "device: free/batch (yield)".
+// HalfWidth returns half the 95% confidence interval width.
+func (r Result) HalfWidth() float64 { return (r.CIHi - r.CILo) / 2 }
+
+// String renders "device: free/batch (yield [lo, hi])".
 func (r Result) String() string {
-	return fmt.Sprintf("%s: %d/%d (%.4f)", r.Device, r.Free, r.Batch, r.Fraction())
+	return fmt.Sprintf("%s: %d/%d (%.4f [%.4f, %.4f])",
+		r.Device, r.Free, r.Batch, r.Fraction(), r.CILo, r.CIHi)
 }
 
 // Simulate estimates the collision-free yield of device d under cfg.
+// With cfg.Precision > 0 it runs adaptively: trials stream in
+// checkpointed blocks until the 95% CI half-width reaches the target or
+// the MaxTrials/Batch budget is spent.
 func Simulate(d *topo.Device, cfg Config) Result {
-	if cfg.Batch <= 0 {
-		return Result{Device: d.Name, Qubits: d.N}
+	res := Result{Device: d.Name, Qubits: d.N, CIHi: 1}
+	max := cfg.Batch
+	if cfg.Precision > 0 && cfg.MaxTrials > 0 {
+		max = cfg.MaxTrials
+	}
+	if max <= 0 {
+		return res
 	}
 	checker := collision.NewChecker(d, cfg.Params)
-	free := runner.CountLocal(cfg.Batch, cfg.Workers,
-		func() []float64 { return make([]float64, d.N) },
-		func(buf []float64, i int) bool {
-			r := runner.Rand(cfg.Seed, i)
-			cfg.Model.SampleInto(r, d, buf)
-			return checker.Free(buf)
-		})
-	return Result{Device: d.Name, Qubits: d.N, Batch: cfg.Batch, Free: free}
+	newLocal := runner.NewScratch(d.N)
+	trial := func(l runner.Scratch, i int) bool {
+		r := l.RNG.At(cfg.Seed, i)
+		cfg.Model.SampleInto(r, d, l.Buf)
+		return checker.Free(l.Buf)
+	}
+	if cfg.Precision > 0 {
+		var p stats.Proportion
+		runner.Stream(max, cfg.Workers, runner.Checkpoints(adaptiveMinTrials, max),
+			newLocal, trial,
+			func(_ int, ok bool) { p.Add(ok) },
+			func(int) bool { return p.HalfWidth(stats.Z95) <= cfg.Precision })
+		res.Batch, res.Free = p.Trials, p.Successes
+	} else {
+		res.Batch = max
+		res.Free = runner.CountLocal(max, cfg.Workers, newLocal, trial)
+	}
+	res.CILo, res.CIHi = stats.Wilson(res.Free, res.Batch, stats.Z95)
+	return res
 }
 
-// Point is one (qubits, yield) sample of a yield-vs-size curve.
+// Point is one (qubits, yield) sample of a yield-vs-size curve, with
+// the trials spent on it and its 95% Wilson confidence bounds.
 type Point struct {
 	Qubits int
 	Yield  float64
+	Trials int
+	CILo   float64
+	CIHi   float64
 }
 
 // MonolithicCurve simulates yield for a ladder of monolithic device sizes
@@ -92,7 +143,10 @@ func MonolithicCurve(sizes []int, cfg Config) []Point {
 	return runner.Map(len(sizes), outer, func(i int) Point {
 		d := topo.MonolithicDevice(topo.MonolithicSpec(sizes[i]))
 		res := Simulate(d, icfg)
-		return Point{Qubits: d.N, Yield: res.Fraction()}
+		return Point{
+			Qubits: d.N, Yield: res.Fraction(),
+			Trials: res.Batch, CILo: res.CILo, CIHi: res.CIHi,
+		}
 	})
 }
 

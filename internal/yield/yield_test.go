@@ -119,24 +119,6 @@ func TestResultString(t *testing.T) {
 	}
 }
 
-func TestSizeLadder(t *testing.T) {
-	sizes := SizeLadder(1000)
-	if len(sizes) < 10 {
-		t.Fatalf("ladder too short: %v", sizes)
-	}
-	for i := 1; i < len(sizes); i++ {
-		if sizes[i] <= sizes[i-1] {
-			t.Errorf("ladder not increasing at %d: %v", i, sizes)
-		}
-	}
-	if sizes[0] != 10 {
-		t.Errorf("ladder starts at %d, want 10", sizes[0])
-	}
-	if sizes[len(sizes)-1] > 1000 {
-		t.Errorf("ladder exceeds max: %v", sizes[len(sizes)-1])
-	}
-}
-
 func TestMonolithicCurveMonotoneTrend(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Batch = 400
