@@ -7,6 +7,7 @@ package chipletqc
 // VII-B), and correlated-error isolation (Section V).
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -34,7 +35,10 @@ func BenchmarkAblationAsymmetricStep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, c := range combos {
 			plan := AsymmetricFreqPlan(5.0, c.lo, c.hi)
-			res := SimulateYieldWithPlan(dev, plan, YieldOptions{Sigma: SigmaLaserTuned, Batch: 800, Seed: benchSeed})
+			res, err := SimulateYieldWithPlan(context.Background(), dev, plan, YieldOptions{Sigma: Ptr(SigmaLaserTuned), Batch: 800, Seed: benchSeed})
+			if err != nil {
+				b.Fatal(err)
+			}
 			yields[c] = res.Fraction()
 		}
 	}
@@ -122,25 +126,26 @@ func BenchmarkAblationLinkAwareRouting(b *testing.B) {
 // BenchmarkAblationReshuffleBudget sweeps the assembly reshuffle timeout
 // (the paper uses 100): does shuffling actually rescue MCMs?
 func BenchmarkAblationReshuffleBudget(b *testing.B) {
-	batch, err := FabricateBatch(20, 1500, BatchOptions{Seed: benchSeed})
+	batch, err := FabricateBatch(context.Background(), 20, 1500, BatchOptions{Seed: benchSeed})
 	if err != nil {
 		b.Fatal(err)
 	}
-	budgets := []int{-1, 10, 100} // -1 encodes "no reshuffles" (0 keeps default)
+	// Zero is expressible since the pointer-option revision: Ptr(0)
+	// really disables reshuffling (the old API silently fell back to
+	// the default of 100 for any value <= 0).
+	budgets := []int{0, 10, 100}
 	yields := map[int]float64{}
 	for i := 0; i < b.N; i++ {
 		for _, budget := range budgets {
-			opts := AssembleOptions{Seed: benchSeed}
-			if budget > 0 {
-				opts.MaxReshuffles = budget
-			} else {
-				opts.MaxReshuffles = 1
+			opts := AssembleOptions{Seed: benchSeed, MaxReshuffles: Ptr(budget)}
+			_, st, err := AssembleMCMs(context.Background(), batch, 3, 3, opts)
+			if err != nil {
+				b.Fatal(err)
 			}
-			_, st := AssembleMCMs(batch, 3, 3, opts)
 			yields[budget] = st.AssemblyYield
 		}
 	}
-	b.ReportMetric(yields[-1], "yield@1")
+	b.ReportMetric(yields[0], "yield@0")
 	b.ReportMetric(yields[10], "yield@10")
 	b.ReportMetric(yields[100], "yield@100")
 }
@@ -148,7 +153,7 @@ func BenchmarkAblationReshuffleBudget(b *testing.B) {
 // BenchmarkAblationBondFailureScale sweeps bump-bond failure from
 // nominal through the paper's 100x sensitivity case and beyond.
 func BenchmarkAblationBondFailureScale(b *testing.B) {
-	batch, err := FabricateBatch(20, 1000, BatchOptions{Seed: benchSeed})
+	batch, err := FabricateBatch(context.Background(), 20, 1000, BatchOptions{Seed: benchSeed})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -156,7 +161,10 @@ func BenchmarkAblationBondFailureScale(b *testing.B) {
 	yields := map[float64]float64{}
 	for i := 0; i < b.N; i++ {
 		for _, s := range scales {
-			_, st := AssembleMCMs(batch, 4, 4, AssembleOptions{Seed: benchSeed, BondFailureScale: s})
+			_, st, err := AssembleMCMs(context.Background(), batch, 4, 4, AssembleOptions{Seed: benchSeed, BondFailureScale: Ptr(s)})
+			if err != nil {
+				b.Fatal(err)
+			}
 			yields[s] = st.PostAssemblyYield
 		}
 	}
@@ -209,7 +217,7 @@ func BenchmarkAblationAnalyticVsMonteCarlo(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		an = AnalyticYield(dev, plan, SigmaLaserTuned)
 	}
-	mc := SimulateYield(dev, YieldOptions{Batch: 1000, Seed: benchSeed}).Fraction()
+	mc := simulateYield(b, dev, YieldOptions{Batch: 1000, Seed: benchSeed}).Fraction()
 	b.ReportMetric(an, "analytic")
 	b.ReportMetric(mc, "monte-carlo")
 }

@@ -13,6 +13,7 @@ package chipletqc
 // *shape* of the results (who wins, by what factor) are visible in CI.
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -32,7 +33,7 @@ func benchConfig() ExperimentConfig {
 func BenchmarkFig1YieldInfidelityTradeoff(b *testing.B) {
 	var rows []Fig1Row
 	for i := 0; i < b.N; i++ {
-		rows = Fig1(benchConfig())
+		rows = must(Fig1(context.Background(), benchConfig()))
 	}
 	b.ReportMetric(rows[0].Yield, "yield@10q")
 	b.ReportMetric(rows[len(rows)-1].Yield, "yield@250q")
@@ -56,7 +57,7 @@ func BenchmarkFig2WaferOutput(b *testing.B) {
 func BenchmarkFig3bCXInfidelityBySize(b *testing.B) {
 	var sums []Summary
 	for i := 0; i < b.N; i++ {
-		sums = Fig3b(benchConfig())
+		sums = must(Fig3b(context.Background(), benchConfig()))
 	}
 	b.ReportMetric(sums[0].Median*1e3, "median@27q")
 	b.ReportMetric(sums[1].Median*1e3, "median@65q")
@@ -71,7 +72,7 @@ func BenchmarkFig4YieldVsQubits(b *testing.B) {
 	cfg.MonoBatch = 150
 	var cells []YieldSweepCell
 	for i := 0; i < b.N; i++ {
-		cells = Fig4(cfg, 300)
+		cells = must(Fig4(context.Background(), cfg, 300))
 	}
 	for _, c := range cells {
 		if c.Sigma != 0.014 {
@@ -105,7 +106,7 @@ func stepName(s float64) string {
 func BenchmarkFig6Configurations(b *testing.B) {
 	var res Fig6Result
 	for i := 0; i < b.N; i++ {
-		res = Fig6(benchConfig(), 2000, 5)
+		res = must(Fig6(context.Background(), benchConfig(), 2000, 5))
 	}
 	b.ReportMetric(res.Yield, "chiplet-yield")
 	b.ReportMetric(res.Rows[0].Log10Configs, "log10cfg@2x2")
@@ -118,7 +119,7 @@ func BenchmarkFig6Configurations(b *testing.B) {
 func BenchmarkFig7DetuningInfidelity(b *testing.B) {
 	var res Fig7Result
 	for i := 0; i < b.N; i++ {
-		res = Fig7(benchConfig())
+		res = must(Fig7(context.Background(), benchConfig()))
 	}
 	b.ReportMetric(res.Median*1e3, "median-milli")
 	b.ReportMetric(res.Mean*1e3, "mean-milli")
@@ -132,7 +133,7 @@ func BenchmarkFig8MCMVsMonolithicYield(b *testing.B) {
 	cfg.MaxQubits = 200
 	var res Fig8Result
 	for i := 0; i < b.N; i++ {
-		res = Fig8(cfg)
+		res = must(Fig8(context.Background(), cfg))
 	}
 	b.ReportMetric(res.ChipletYields[10], "chipyield@10q")
 	b.ReportMetric(res.ChipletYields[20], "chipyield@20q")
@@ -151,7 +152,7 @@ func BenchmarkFig9InfidelityHeatmap(b *testing.B) {
 	cfg.MaxQubits = 180
 	var res map[string][]Fig9Cell
 	for i := 0; i < b.N; i++ {
-		res = Fig9(cfg)
+		res = must(Fig9(context.Background(), cfg))
 	}
 	report := func(name string) {
 		var sum float64
@@ -189,7 +190,7 @@ func BenchmarkFig10ApplicationFidelity(b *testing.B) {
 	var pts []Fig10Point
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = Fig10(cfg, grids, 2)
+		pts, err = Fig10(context.Background(), cfg, grids, 2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -230,7 +231,7 @@ func BenchmarkTable2CompiledBenchmarks(b *testing.B) {
 	var rows []Table2Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = Table2(benchConfig())
+		rows, err = Table2(context.Background(), benchConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -248,9 +249,18 @@ func BenchmarkTable2CompiledBenchmarks(b *testing.B) {
 func BenchmarkEq1FabricationOutput(b *testing.B) {
 	var res Eq1Result
 	for i := 0; i < b.N; i++ {
-		res = Eq1Example(DefaultExperimentConfig(benchSeed))
+		res = must(Eq1Example(context.Background(), DefaultExperimentConfig(benchSeed)))
 	}
 	b.ReportMetric(res.MonoYield, "Ym")
 	b.ReportMetric(res.ChipletYield, "Yc")
 	b.ReportMetric(res.Gain, "gain")
+}
+
+// must unwraps a (value, error) pair inside a benchmark loop; the
+// ctx-first API only fails on cancellation, which benchmarks never do.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

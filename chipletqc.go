@@ -5,31 +5,37 @@
 // multi-chip modules (MCMs), gate-error assignment from empirical
 // calibration data, and application-level fidelity.
 //
-// The package is a curated facade over the internal simulation engine.
-// The typical flow mirrors the paper:
+// The package is a curated, context-first facade over the internal
+// simulation engine: every Monte Carlo entry point takes a
+// context.Context that cancels mid-campaign (within one in-flight trial
+// per worker), option structs validate themselves, and long runs report
+// streaming progress. The typical flow mirrors the paper:
+//
+//	ctx := context.Background()
 //
 //	// 1. Build architectures.
 //	mono := chipletqc.Monolithic(180)
 //	mcmDev, _ := chipletqc.MCM(3, 3, 20) // 3x3 MCM of 20-qubit chiplets
 //
 //	// 2. Estimate collision-free yield (Fig. 4).
-//	res := chipletqc.SimulateYield(mono, chipletqc.YieldOptions{Batch: 1000, Seed: 1})
+//	res, _ := chipletqc.SimulateYield(ctx, mono, chipletqc.YieldOptions{Batch: 1000, Seed: 1})
 //
 //	// 3. Fabricate chiplets and assemble MCMs (Figs. 8-9).
-//	batch := chipletqc.FabricateBatch(20, 10000, chipletqc.BatchOptions{Seed: 1})
-//	mods, stats := chipletqc.AssembleMCMs(batch, 3, 3, chipletqc.AssembleOptions{Seed: 1})
+//	batch, _ := chipletqc.FabricateBatch(ctx, 20, 10000, chipletqc.BatchOptions{Seed: 1})
+//	mods, stats, _ := chipletqc.AssembleMCMs(ctx, batch, 3, 3, chipletqc.AssembleOptions{Seed: 1})
 //
 //	// 4. Compile a benchmark and estimate its success (Fig. 10).
 //	circ := chipletqc.Benchmarks()[0].Generate(chipletqc.UtilizedQubits(mcmDev.N), 1)
 //	compiled, _ := chipletqc.Compile(circ, mcmDev)
 //
-// Every figure and table of the paper's evaluation is regenerable
-// through the Experiments API (see experiments.go) and the cmd/figures
-// binary.
+// Every figure and table of the paper's evaluation is a named, runnable
+// unit of the Experiment registry (see experiments.go and the
+// cmd/figures binary: `figures -list`, `figures -only fig8 -json`).
 package chipletqc
 
 import (
-	"math/rand"
+	"context"
+	"fmt"
 
 	"chipletqc/internal/assembly"
 	"chipletqc/internal/collision"
@@ -38,6 +44,7 @@ import (
 	"chipletqc/internal/mcm"
 	"chipletqc/internal/noise"
 	"chipletqc/internal/qbench"
+	"chipletqc/internal/runner"
 	"chipletqc/internal/topo"
 	"chipletqc/internal/yield"
 )
@@ -83,6 +90,11 @@ type (
 	BenchmarkSpec = qbench.Spec
 	// YieldResult is the outcome of a Monte Carlo yield simulation.
 	YieldResult = yield.Result
+	// ProgressEvent is one streaming progress observation of a running
+	// simulation: a label (device or pipeline stage), trials/units done,
+	// and the budget. Progress callbacks may fire concurrently from
+	// worker goroutines and must be safe for concurrent use.
+	ProgressEvent = runner.Event
 )
 
 // Frequency classes.
@@ -98,6 +110,12 @@ const (
 	SigmaLaserTuned   = fab.SigmaLaserTuned   // 0.014, post laser annealing
 	SigmaScalingGoal  = fab.SigmaScalingGoal  // 0.006, >10^3-qubit threshold
 )
+
+// Ptr boxes a value for the facade's optional pointer fields, which
+// distinguish "use the default" (nil) from an explicit value — including
+// explicit zero: AssembleOptions{LinkMean: chipletqc.Ptr(0.0)} requests
+// perfect links, while a nil LinkMean keeps the state-of-art 7.5%.
+func Ptr[T any](v T) *T { return &v }
 
 // ChipletSizes returns the catalog of paper chiplet sizes (10..250).
 func ChipletSizes() []int {
@@ -140,8 +158,12 @@ func DefaultFabModel() FabModel { return fab.DefaultModel() }
 func DefaultCollisionParams() CollisionParams { return collision.DefaultParams() }
 
 // SampleFrequencies realises one fabrication outcome for a device.
+// Draws come from the runner's O(1)-seeded SplitMix64 stream for seed
+// (the same streams every Monte Carlo trial uses) — a one-time draw
+// change from the stdlib rand.NewSource of the v0 API, statistically
+// equivalent and ~17us cheaper per call.
 func SampleFrequencies(seed int64, m FabModel, d *Device) []float64 {
-	return m.Sample(rand.New(rand.NewSource(seed)), d)
+	return m.Sample(runner.Rand(seed, 0), d)
 }
 
 // CollisionFree evaluates the Table I criteria on a device with realised
@@ -155,105 +177,175 @@ func Collisions(d *Device, f []float64) []Violation {
 	return collision.NewChecker(d, collision.DefaultParams()).Violations(f)
 }
 
-// YieldOptions parameterises SimulateYield.
+// YieldOptions parameterises SimulateYield. Pointer fields distinguish
+// "default" (nil) from an explicit value, so explicit zeros are
+// expressible: Sigma: Ptr(0.0) simulates noise-free fabrication.
 type YieldOptions struct {
-	Batch   int     // devices simulated (default 1000)
-	Sigma   float64 // fabrication precision (default SigmaLaserTuned)
-	Step    float64 // frequency plan step (default 0.06)
-	Seed    int64
-	Workers int // parallel workers; 0 means all CPU cores, results are identical either way
+	Batch int      // devices simulated (default 1000)
+	Sigma *float64 // fabrication precision in GHz (nil = SigmaLaserTuned; 0 = noise-free)
+	Step  *float64 // frequency plan step in GHz (nil = 0.06)
+	Seed  int64
+	// Workers sets the parallel worker count; <= 0 means all CPU cores.
+	// Results are identical at any worker count.
+	Workers int
 	// Precision switches the simulation into adaptive mode: trials
 	// stream until the yield's 95% CI half-width reaches this target
 	// (e.g. 0.01 for +-1%). 0 keeps the fixed-batch mode.
 	Precision float64
 	// MaxTrials caps the adaptive budget; 0 falls back to Batch.
 	MaxTrials int
+	// Progress, when non-nil, receives per-checkpoint trial counts.
+	Progress func(ProgressEvent)
+}
+
+// Validate reports the first invalid option value.
+func (o YieldOptions) Validate() error {
+	if o.Batch < 0 {
+		return fmt.Errorf("chipletqc: YieldOptions.Batch %d is negative", o.Batch)
+	}
+	if o.Sigma != nil && *o.Sigma < 0 {
+		return fmt.Errorf("chipletqc: YieldOptions.Sigma %g is negative", *o.Sigma)
+	}
+	if o.Step != nil && *o.Step < 0 {
+		return fmt.Errorf("chipletqc: YieldOptions.Step %g is negative", *o.Step)
+	}
+	if o.Precision < 0 {
+		return fmt.Errorf("chipletqc: YieldOptions.Precision %g is negative", o.Precision)
+	}
+	if o.MaxTrials < 0 {
+		return fmt.Errorf("chipletqc: YieldOptions.MaxTrials %d is negative", o.MaxTrials)
+	}
+	return nil
 }
 
 // SimulateYield estimates the collision-free yield of a device via Monte
 // Carlo simulation (paper Section IV-B). The result carries the trials
 // executed (Batch) and 95% Wilson confidence bounds (CILo/CIHi).
-func SimulateYield(d *Device, opts YieldOptions) YieldResult {
-	return simulateYield(d, yieldConfigFromOptions(opts))
+// Cancelling ctx aborts the campaign within one in-flight trial per
+// worker and returns ctx.Err().
+func SimulateYield(ctx context.Context, d *Device, opts YieldOptions) (YieldResult, error) {
+	cfg, err := yieldConfigFromOptions(opts)
+	if err != nil {
+		return YieldResult{}, err
+	}
+	return yield.Simulate(ctx, d, cfg)
 }
 
-// yieldConfigFromOptions translates facade options into the internal
-// simulation configuration.
-func yieldConfigFromOptions(opts YieldOptions) yield.Config {
+// yieldConfigFromOptions validates facade options and translates them
+// into the internal simulation configuration.
+func yieldConfigFromOptions(opts YieldOptions) (yield.Config, error) {
+	if err := opts.Validate(); err != nil {
+		return yield.Config{}, err
+	}
 	cfg := yield.DefaultConfig()
 	if opts.Batch > 0 {
 		cfg.Batch = opts.Batch
 	}
-	if opts.Sigma > 0 {
-		cfg.Model.Sigma = opts.Sigma
+	if opts.Sigma != nil {
+		cfg.Model.Sigma = *opts.Sigma
 	}
-	if opts.Step > 0 {
-		cfg.Model.Plan.Step = opts.Step
+	if opts.Step != nil {
+		cfg.Model.Plan.Step = *opts.Step
 	}
 	cfg.Seed = opts.Seed
 	cfg.Workers = opts.Workers
 	cfg.Precision = opts.Precision
 	cfg.MaxTrials = opts.MaxTrials
-	return cfg
-}
-
-func simulateYield(d *Device, cfg yield.Config) YieldResult {
-	return yield.Simulate(d, cfg)
+	cfg.Progress = opts.Progress
+	return cfg, nil
 }
 
 // BatchOptions parameterises chiplet fabrication.
 type BatchOptions struct {
-	Seed    int64
-	Sigma   float64 // default SigmaLaserTuned
-	Det     *DetuningModel
-	Workers int // parallel workers; 0 means all CPU cores, results are identical either way
+	Seed  int64
+	Sigma *float64 // fabrication precision (nil = SigmaLaserTuned; 0 = noise-free)
+	Det   *DetuningModel
+	// Workers sets the parallel worker count; <= 0 means all CPU cores.
+	// Results are identical at any worker count.
+	Workers int
+}
+
+// Validate reports the first invalid option value.
+func (o BatchOptions) Validate() error {
+	if o.Sigma != nil && *o.Sigma < 0 {
+		return fmt.Errorf("chipletqc: BatchOptions.Sigma %g is negative", *o.Sigma)
+	}
+	return nil
 }
 
 // FabricateBatch fabricates and characterises a batch of catalog
 // chiplets, returning the sorted collision-free bin (Section VII-B).
-func FabricateBatch(chipletQubits, size int, opts BatchOptions) (*Batch, error) {
+func FabricateBatch(ctx context.Context, chipletQubits, size int, opts BatchOptions) (*Batch, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	spec, err := topo.SpecForQubits(chipletQubits)
 	if err != nil {
 		return nil, err
 	}
 	cfg := assembly.DefaultBatchConfig(opts.Seed)
-	if opts.Sigma > 0 {
-		cfg.Fab.Sigma = opts.Sigma
+	if opts.Sigma != nil {
+		cfg.Fab.Sigma = *opts.Sigma
 	}
 	if opts.Det != nil {
 		cfg.Det = opts.Det
 	}
 	cfg.Workers = opts.Workers
-	return assembly.Fabricate(spec, size, cfg), nil
+	return assembly.Fabricate(ctx, spec, size, cfg)
 }
 
-// AssembleOptions parameterises MCM assembly.
+// AssembleOptions parameterises MCM assembly. Pointer fields distinguish
+// "default" (nil) from an explicit value, so explicit zeros are
+// expressible: BondFailureScale: Ptr(0.0) models perfect bump bonding,
+// LinkMean: Ptr(0.0) perfect inter-chip links, and
+// MaxReshuffles: Ptr(0) disables collision-driven reshuffling.
 type AssembleOptions struct {
 	Seed             int64
-	MaxReshuffles    int     // default 100
-	BondFailureScale float64 // default 1
-	LinkMean         float64 // default 0.075 (state-of-art)
+	MaxReshuffles    *int     // placement shuffle budget (nil = 100)
+	BondFailureScale *float64 // per-bump failure scale (nil = 1 nominal; 0 = perfect bonds)
+	LinkMean         *float64 // mean link infidelity (nil = 0.075 state-of-art; 0 = perfect links)
+}
+
+// Validate reports the first invalid option value.
+func (o AssembleOptions) Validate() error {
+	if o.MaxReshuffles != nil && *o.MaxReshuffles < 0 {
+		return fmt.Errorf("chipletqc: AssembleOptions.MaxReshuffles %d is negative", *o.MaxReshuffles)
+	}
+	if o.BondFailureScale != nil && *o.BondFailureScale < 0 {
+		return fmt.Errorf("chipletqc: AssembleOptions.BondFailureScale %g is negative", *o.BondFailureScale)
+	}
+	if o.LinkMean != nil && *o.LinkMean < 0 {
+		return fmt.Errorf("chipletqc: AssembleOptions.LinkMean %g is negative", *o.LinkMean)
+	}
+	return nil
 }
 
 // AssembleMCMs stitches as many rows x cols MCMs as possible from the
 // batch, best chiplets first, with collision-driven reshuffles and
-// bump-bond yield accounting.
-func AssembleMCMs(b *Batch, rows, cols int, opts AssembleOptions) ([]*AssembledMCM, AssemblyStats) {
+// bump-bond yield accounting. The context is checked between candidate
+// subsets.
+func AssembleMCMs(ctx context.Context, b *Batch, rows, cols int, opts AssembleOptions) ([]*AssembledMCM, AssemblyStats, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, AssemblyStats{}, err
+	}
 	cfg := assembly.DefaultAssembleConfig(opts.Seed)
-	if opts.MaxReshuffles > 0 {
-		cfg.MaxReshuffles = opts.MaxReshuffles
+	if opts.MaxReshuffles != nil {
+		cfg.MaxReshuffles = *opts.MaxReshuffles
 	}
-	if opts.BondFailureScale > 0 {
-		cfg.BondFailureScale = opts.BondFailureScale
+	if opts.BondFailureScale != nil {
+		cfg.BondFailureScale = *opts.BondFailureScale
 	}
-	if opts.LinkMean > 0 {
-		cfg.Link = cfg.Link.WithMean(opts.LinkMean)
+	if opts.LinkMean != nil {
+		cfg.Link = cfg.Link.WithMean(*opts.LinkMean)
 	}
-	return assembly.Assemble(b, mcm.Grid{Rows: rows, Cols: cols, Spec: b.Spec}, cfg)
+	return assembly.Assemble(ctx, b, mcm.Grid{Rows: rows, Cols: cols, Spec: b.Spec}, cfg)
 }
 
 // NewDetuningModel builds the empirical on-chip error model from the
-// synthetic Washington calibration dataset (Section VI-A).
+// synthetic Washington calibration dataset (Section VI-A). The
+// calibration draws come from the runner's SplitMix64 streams since the
+// v1 API revision — a one-time, statistically equivalent change of the
+// synthetic dataset.
 func NewDetuningModel(seed int64) *DetuningModel {
 	return noise.DefaultDetuningModel(seed)
 }
@@ -264,9 +356,11 @@ func DefaultLinkModel() LinkModel { return noise.DefaultLinkModel() }
 
 // AssignErrors realises per-coupling two-qubit gate errors for a device
 // with realised frequencies f: intra-chip couplings sample the empirical
-// detuning model, inter-chip links the state-of-art link model.
+// detuning model, inter-chip links the state-of-art link model. Like
+// SampleFrequencies, draws come from the runner's SplitMix64 stream for
+// seed (one-time draw change from v0, statistically equivalent).
 func AssignErrors(seed int64, d *Device, f []float64, det *DetuningModel) ErrorAssignment {
-	return noise.Assign(rand.New(rand.NewSource(seed)), d, f, det, noise.DefaultLinkModel())
+	return noise.Assign(runner.Rand(seed, 0), d, f, det, noise.DefaultLinkModel())
 }
 
 // Benchmarks returns the paper's seven-benchmark suite in Table II

@@ -1,6 +1,7 @@
 package chipletqc
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -43,12 +44,12 @@ func TestMonolithicAndMCMConstruction(t *testing.T) {
 
 func TestFacadeYieldPipeline(t *testing.T) {
 	mono := Monolithic(100)
-	res := SimulateYield(mono, YieldOptions{Batch: 500, Seed: 1})
+	res := simulateYield(t, mono, YieldOptions{Batch: 500, Seed: 1})
 	if f := res.Fraction(); f < 0.03 || f > 0.30 {
 		t.Errorf("100q yield = %v, want ~0.11", f)
 	}
 	// Perfect fabrication yields everything.
-	perfect := SimulateYield(mono, YieldOptions{Batch: 50, Seed: 1, Sigma: 1e-9})
+	perfect := simulateYield(t, mono, YieldOptions{Batch: 50, Seed: 1, Sigma: Ptr(1e-9)})
 	if perfect.Fraction() < 0.99 {
 		t.Errorf("near-zero sigma yield = %v", perfect.Fraction())
 	}
@@ -65,14 +66,14 @@ func TestFacadeCollisionChecks(t *testing.T) {
 }
 
 func TestFacadeAssemblyPipeline(t *testing.T) {
-	batch, err := FabricateBatch(20, 400, BatchOptions{Seed: 3})
+	batch, err := FabricateBatch(context.Background(), 20, 400, BatchOptions{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if batch.Yield() < 0.45 || batch.Yield() > 0.85 {
 		t.Errorf("batch yield = %v", batch.Yield())
 	}
-	mods, st := AssembleMCMs(batch, 2, 2, AssembleOptions{Seed: 3})
+	mods, st := assembleMCMs(t, batch, 2, 2, AssembleOptions{Seed: 3})
 	if st.MCMs == 0 || len(mods) != st.MCMs {
 		t.Fatalf("assembled %d MCMs, stats %d", len(mods), st.MCMs)
 	}
@@ -80,12 +81,12 @@ func TestFacadeAssemblyPipeline(t *testing.T) {
 		t.Error("EAvg should be positive")
 	}
 	// Improved links lower EAvg on re-assembly.
-	modsGood, _ := AssembleMCMs(batch, 2, 2, AssembleOptions{Seed: 3, LinkMean: 0.001})
+	modsGood, _ := assembleMCMs(t, batch, 2, 2, AssembleOptions{Seed: 3, LinkMean: Ptr(0.001)})
 	if modsGood[0].EAvg() >= mods[0].EAvg() {
 		t.Errorf("better links should lower EAvg: %v vs %v",
 			modsGood[0].EAvg(), mods[0].EAvg())
 	}
-	if _, err := FabricateBatch(33, 10, BatchOptions{}); err == nil {
+	if _, err := FabricateBatch(context.Background(), 33, 10, BatchOptions{}); err == nil {
 		t.Error("expected error for unknown chiplet size")
 	}
 }
@@ -100,11 +101,11 @@ func TestFacadeCompileAndFidelity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	batch, err := FabricateBatch(20, 300, BatchOptions{Seed: 5})
+	batch, err := FabricateBatch(context.Background(), 20, 300, BatchOptions{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	mods, _ := AssembleMCMs(batch, 2, 2, AssembleOptions{Seed: 5})
+	mods, _ := assembleMCMs(t, batch, 2, 2, AssembleOptions{Seed: 5})
 	if len(mods) == 0 {
 		t.Fatal("no modules")
 	}
@@ -158,25 +159,25 @@ func TestFacadeExperimentEntryPoints(t *testing.T) {
 	cfg.MonoBatch = 100
 	cfg.ChipletBatch = 100
 
-	if rows := Fig1(cfg); len(rows) != 9 {
+	if rows := must(Fig1(context.Background(), cfg)); len(rows) != 9 {
 		t.Errorf("Fig1 rows = %d", len(rows))
 	}
 	if r := Fig2(9, 4, 7); r.ChipletGood <= r.MonoGood {
 		t.Error("Fig2 should favour chiplets")
 	}
-	if s := Fig3b(cfg); len(s) != 3 {
+	if s := must(Fig3b(context.Background(), cfg)); len(s) != 3 {
 		t.Errorf("Fig3b = %d summaries", len(s))
 	}
-	if cells := Fig4(cfg, 60); len(cells) != 12 {
+	if cells := must(Fig4(context.Background(), cfg, 60)); len(cells) != 12 {
 		t.Errorf("Fig4 cells = %d", len(cells))
 	}
-	if res := Fig6(cfg, 500, 3); len(res.Rows) != 2 {
+	if res := must(Fig6(context.Background(), cfg, 500, 3)); len(res.Rows) != 2 {
 		t.Errorf("Fig6 rows = %d", len(res.Rows))
 	}
-	if res := Fig7(cfg); len(res.Points) == 0 {
+	if res := must(Fig7(context.Background(), cfg)); len(res.Points) == 0 {
 		t.Error("Fig7 empty")
 	}
-	if rows, err := Table2(cfg); err != nil || len(rows) != 35 {
+	if rows, err := Table2(context.Background(), cfg); err != nil || len(rows) != 35 {
 		t.Errorf("Table2 = %d rows, err %v", len(rows), err)
 	}
 	if grids := EnumerateMCMs(500); len(grids) < 60 {

@@ -2,16 +2,22 @@
 // monolithic architectures and reports compiled gate counts (Table II)
 // and application fidelity ratios (Fig. 10).
 //
+// The full-catalog modes (-table2, -all) run the registered "table2"
+// and "fig10" experiments from the experiment registry; the
+// single-system and -square modes drive the ctx-first eval API with
+// custom grid selections.
+//
 // Usage examples:
 //
-//	benchrun -table2                       # Table II gate counts
+//	benchrun -table2                       # Table II gate counts (registry artifact)
 //	benchrun -chiplet 40 -rows 2 -cols 2   # Fig. 10 for one system
-//	benchrun -all -max 300                 # Fig. 10 over enumerated systems
+//	benchrun -all -max 300                 # Fig. 10 over enumerated systems (registry artifact)
 //	benchrun -all -workers 8               # pin the worker-pool size
 //	benchrun -perf                         # write BENCH_yield.json perf record
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -19,9 +25,12 @@ import (
 	"io"
 	"math"
 	"os"
+	"os/signal"
+	"syscall"
 	"testing"
 
 	"chipletqc/internal/eval"
+	"chipletqc/internal/experiment"
 	"chipletqc/internal/mcm"
 	"chipletqc/internal/report"
 	"chipletqc/internal/topo"
@@ -29,7 +38,9 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		if errors.Is(err, errUsage) {
 			os.Exit(2)
 		}
@@ -45,12 +56,12 @@ var errUsage = errors.New("usage error")
 // run executes the tool against args, writing reports to out. It is the
 // testable core of the binary: flag errors, compile failures, and report
 // failures surface as returned errors instead of process exits.
-func run(args []string, out, errw io.Writer) error {
+func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("benchrun", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
-		table2    = fs.Bool("table2", false, "print Table II compiled benchmark details")
-		all       = fs.Bool("all", false, "evaluate Fig. 10 over all enumerated systems")
+		table2    = fs.Bool("table2", false, "print Table II compiled benchmark details (registry artifact)")
+		all       = fs.Bool("all", false, "evaluate Fig. 10 over all enumerated systems (registry artifact)")
 		square    = fs.Bool("square", false, "restrict -all to square systems (Fig. 10b)")
 		chiplet   = fs.Int("chiplet", 20, "chiplet size for single-system evaluation")
 		rows      = fs.Int("rows", 2, "MCM rows")
@@ -81,32 +92,25 @@ func run(args []string, out, errw io.Writer) error {
 	cfg.Workers = *workers
 	cfg.Precision = *precision
 	cfg.MaxTrials = *maxTrials
+	cfg.Fig10Samples = *samples
 
 	if *perf {
-		return runPerf(*batch, *workers, *seed, *perfOut, out)
+		return runPerf(ctx, *batch, *workers, *seed, *perfOut, out)
 	}
 
 	if *table2 {
-		rowsOut, err := eval.Table2(cfg)
-		if err != nil {
-			return err
-		}
-		tb := report.New("Table II: compiled benchmarks (1q / 2q / 2q critical)",
-			"chiplet", "dim", "qubits", "bench", "1q", "2q", "2q_critical")
-		for _, r := range rowsOut {
-			tb.Add(r.ChipletQubits, r.Dim, r.SystemQubits, r.Bench,
-				r.Counts.OneQ, r.Counts.TwoQ, r.Counts.TwoQCritical)
-		}
-		return emit(tb, out, *csv)
+		return experiment.RunAndRender(ctx, "table2", cfg, out, *csv)
+	}
+	if *all && !*square {
+		return experiment.RunAndRender(ctx, "fig10", cfg, out, *csv)
 	}
 
+	// Custom grid selections (single system, or -all -square) drive the
+	// ctx-first eval API directly.
 	var grids []mcm.Grid
-	switch {
-	case *all && *square:
+	if *all && *square {
 		grids = mcm.SquareGrids(*maxQ)
-	case *all:
-		grids = mcm.EnumerateGrids(*maxQ)
-	default:
+	} else {
 		spec, err := topo.SpecForQubits(*chiplet)
 		if err != nil {
 			return err
@@ -114,7 +118,7 @@ func run(args []string, out, errw io.Writer) error {
 		grids = []mcm.Grid{{Rows: *rows, Cols: *cols, Spec: spec}}
 	}
 
-	pts, err := eval.Fig10(cfg, grids, *samples)
+	pts, err := eval.Fig10(ctx, cfg, grids, *samples)
 	if err != nil {
 		return err
 	}
@@ -167,7 +171,7 @@ type perfRecord struct {
 // runPerf micro-benchmarks yield.Simulate on a 100-qubit device in both
 // fixed-batch and adaptive (1% precision) modes and writes the records
 // as JSON to path.
-func runPerf(batch, workers int, seed int64, path string, out io.Writer) error {
+func runPerf(ctx context.Context, batch, workers int, seed int64, path string, out io.Writer) error {
 	if batch <= 0 {
 		batch = 2000
 	}
@@ -177,12 +181,17 @@ func runPerf(batch, workers int, seed int64, path string, out io.Writer) error {
 	base.Seed = seed
 	base.Workers = workers
 
-	measure := func(name string, cfg yield.Config) perfRecord {
-		res := yield.Simulate(d, cfg) // warm-up + result snapshot
+	measure := func(name string, cfg yield.Config) (perfRecord, error) {
+		res, err := yield.Simulate(ctx, d, cfg) // warm-up + result snapshot
+		if err != nil {
+			return perfRecord{}, err
+		}
 		br := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				yield.Simulate(d, cfg)
+				if _, err := yield.Simulate(ctx, d, cfg); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 		ns := float64(br.NsPerOp())
@@ -200,15 +209,20 @@ func runPerf(batch, workers int, seed int64, path string, out io.Writer) error {
 		if ns > 0 {
 			rec.TrialsPerSec = float64(res.Batch) / (ns / 1e9)
 		}
-		return rec
+		return rec, nil
 	}
 
 	adaptive := base
 	adaptive.Precision = 0.01
-	records := []perfRecord{
-		measure("yield_simulate_fixed", base),
-		measure("yield_simulate_adaptive_1pct", adaptive),
+	fixed, err := measure("yield_simulate_fixed", base)
+	if err != nil {
+		return err
 	}
+	adapt, err := measure("yield_simulate_adaptive_1pct", adaptive)
+	if err != nil {
+		return err
+	}
+	records := []perfRecord{fixed, adapt}
 
 	data, err := json.MarshalIndent(records, "", "  ")
 	if err != nil {

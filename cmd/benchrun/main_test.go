@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -12,7 +13,7 @@ import (
 // system at reduced scale.
 func TestRunSingleSystemSmoke(t *testing.T) {
 	var out, errs strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-chiplet", "10", "-rows", "1", "-cols", "2",
 		"-batch", "100", "-mono", "100", "-samples", "1", "-workers", "2",
 	}, &out, &errs)
@@ -35,7 +36,7 @@ func TestRunSingleSystemSmoke(t *testing.T) {
 func TestRunPerfWritesRecord(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_yield.json")
 	var out, errs strings.Builder
-	if err := run([]string{"-perf", "-batch", "200", "-perfout", path}, &out, &errs); err != nil {
+	if err := run(context.Background(), []string{"-perf", "-batch", "200", "-perfout", path}, &out, &errs); err != nil {
 		t.Fatalf("run -perf: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -72,7 +73,7 @@ func TestRunPerfWritesRecord(t *testing.T) {
 // size surfaces as an error, not a process exit.
 func TestRunRejectsBadChiplet(t *testing.T) {
 	var out, errs strings.Builder
-	if err := run([]string{"-chiplet", "33"}, &out, &errs); err == nil {
+	if err := run(context.Background(), []string{"-chiplet", "33"}, &out, &errs); err == nil {
 		t.Error("non-catalog chiplet size should return an error")
 	}
 }
@@ -80,7 +81,7 @@ func TestRunRejectsBadChiplet(t *testing.T) {
 // TestRunRejectsUnknownFlag pins flag parsing.
 func TestRunRejectsUnknownFlag(t *testing.T) {
 	var out, errs strings.Builder
-	if err := run([]string{"-definitely-not-a-flag"}, &out, &errs); err == nil {
+	if err := run(context.Background(), []string{"-definitely-not-a-flag"}, &out, &errs); err == nil {
 		t.Error("unknown flag should return an error")
 	}
 	if out.Len() != 0 {
@@ -92,10 +93,25 @@ func TestRunRejectsUnknownFlag(t *testing.T) {
 // run returns nil so the process exits 0.
 func TestRunHelpIsNotAnError(t *testing.T) {
 	var out, errs strings.Builder
-	if err := run([]string{"-h"}, &out, &errs); err != nil {
+	if err := run(context.Background(), []string{"-h"}, &out, &errs); err != nil {
 		t.Errorf("-h should not be an error, got %v", err)
 	}
 	if !strings.Contains(errs.String(), "-workers") {
 		t.Errorf("usage should document -workers:\n%s", errs.String())
+	}
+}
+
+// TestRunTable2ThroughRegistry: the -table2 mode renders the registered
+// experiment's artifact.
+func TestRunTable2ThroughRegistry(t *testing.T) {
+	var out, errs strings.Builder
+	if err := run(context.Background(), []string{"-table2"}, &out, &errs); err != nil {
+		t.Fatalf("run -table2: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"# experiment: table2", "Table II", "2q_critical"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in artifact output:\n%s", want, got)
+		}
 	}
 }

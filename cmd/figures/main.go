@@ -1,33 +1,46 @@
-// Command figures regenerates every table and figure of the paper's
-// evaluation section and writes one text file per artifact into an
-// output directory (default ./results).
+// Command figures runs experiments from the registry — by default every
+// figure and table of the paper's evaluation section — and writes one
+// artifact per experiment into an output directory (default ./results):
+// a stable text rendering (<name>.txt) and, with -json, the full
+// machine-readable Artifact record (<name>.json).
 //
 // Usage:
 //
-//	figures              # paper-scale run (minutes)
-//	figures -quick       # reduced batches (seconds, for smoke testing)
-//	figures -out DIR     # choose the output directory
-//	figures -workers 8   # pin the worker-pool size
+//	figures -list                    # enumerate registered experiments
+//	figures                          # paper-scale run of everything (minutes)
+//	figures -quick                   # reduced batches (seconds, for smoke testing)
+//	figures -only fig8,table2 -json  # a subset, with Artifact JSON records
+//	figures -out DIR                 # choose the output directory
+//	figures -workers 8               # pin the worker-pool size
+//	figures -progress                # stream per-experiment trial counts to stderr
+//
+// Interrupting the process (SIGINT/SIGTERM) cancels the in-flight
+// experiment promptly via its context.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"math"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"chipletqc/internal/eval"
-	"chipletqc/internal/mcm"
-	"chipletqc/internal/report"
-	"chipletqc/internal/topo"
+	"chipletqc/internal/experiment"
+	"chipletqc/internal/runner"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		if errors.Is(err, errUsage) {
 			os.Exit(2)
 		}
@@ -42,7 +55,7 @@ var errUsage = errors.New("usage error")
 
 // run executes the tool against args, writing progress to out. It is the
 // testable core of the binary.
-func run(args []string, out, errw io.Writer) error {
+func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
@@ -52,6 +65,10 @@ func run(args []string, out, errw io.Writer) error {
 		workers   = fs.Int("workers", 0, "parallel workers (0 = all CPU cores; results identical either way)")
 		precision = fs.Float64("precision", 0, "adaptive mode: stop yield simulations once their 95% CI half-width reaches this (0 = fixed batch)")
 		maxTrials = fs.Int("maxtrials", 0, "adaptive mode trial budget per simulation (0 = batch size)")
+		list      = fs.Bool("list", false, "list registered experiments and exit")
+		only      = fs.String("only", "", "comma-separated experiment names to run (default: all)")
+		jsonOut   = fs.Bool("json", false, "additionally write the Artifact JSON record per experiment")
+		progress  = fs.Bool("progress", false, "stream per-experiment trial counts to the error stream")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -60,189 +77,36 @@ func run(args []string, out, errw io.Writer) error {
 		return errUsage
 	}
 
+	if *list {
+		fmt.Fprintf(out, "%-12s %s\n", "NAME", "DESCRIPTION")
+		for _, e := range experiment.All() {
+			fmt.Fprintf(out, "%-12s %s\n", e.Name(), e.Describe())
+		}
+		return nil
+	}
+
 	cfg := eval.DefaultConfig(*seed)
+	if *quick {
+		cfg = eval.QuickConfig(*seed)
+		cfg.MaxQubits = 200
+	}
 	cfg.Workers = *workers
 	cfg.Precision = *precision
 	cfg.MaxTrials = *maxTrials
-	fig10Samples := 5
-	fig4Max := 1000
-	fig6Batch := 100000
-	if *quick {
-		cfg = eval.QuickConfig(*seed)
-		cfg.Workers = *workers
-		cfg.Precision = *precision
-		cfg.MaxTrials = *maxTrials
-		cfg.MaxQubits = 200
-		fig10Samples = 2
-		fig4Max = 200
-		fig6Batch = 2000
+	if *progress {
+		cfg.Progress = progressPrinter(errw)
+	}
+
+	exps, err := selectExperiments(*only)
+	if err != nil {
+		return err
 	}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
 	}
-
-	type artifact struct {
-		name string
-		gen  func() (*report.Table, error)
-	}
-	var fig9StateOfArt []eval.Fig9Cell
-	artifacts := []artifact{
-		{"fig1", func() (*report.Table, error) {
-			tb := report.New("Fig. 1: yield and mean infidelity vs module size",
-				"qubits", "yield", "mean_two_qubit_infidelity")
-			for _, r := range eval.Fig1(cfg) {
-				tb.Add(r.Qubits, report.F(r.Yield, 4), report.F(r.EAvg, 5))
-			}
-			return tb, nil
-		}},
-		{"fig2", func() (*report.Table, error) {
-			r := eval.Fig2(9, 4, 7)
-			tb := report.New("Fig. 2: wafer output with 7 fatal defects per batch",
-				"architecture", "dies", "good_devices")
-			tb.Add("monolithic", r.MonoDies, r.MonoGood)
-			tb.Add("chiplet (4 per monolithic die)", r.ChipletDies, r.ChipletGood)
-			return tb, nil
-		}},
-		{"fig3b", func() (*report.Table, error) {
-			tb := report.New("Fig. 3(b): CX infidelity box plots by processor size",
-				"qubits", "min", "q1", "median", "q3", "max", "mean")
-			for i, s := range eval.Fig3b(cfg) {
-				tb.Add(eval.Fig3bSizes[i], report.F(s.Min, 5), report.F(s.Q1, 5),
-					report.F(s.Median, 5), report.F(s.Q3, 5), report.F(s.Max, 5),
-					report.F(s.Mean, 5))
-			}
-			return tb, nil
-		}},
-		{"fig4", func() (*report.Table, error) {
-			tb := report.New("Fig. 4: collision-free yield vs qubits",
-				"step_GHz", "sigma_GHz", "qubits", "yield", "trials", "ci_lo", "ci_hi")
-			for _, c := range eval.Fig4(cfg, fig4Max) {
-				for _, p := range c.Points {
-					tb.Add(report.F(c.Step, 3), report.F(c.Sigma, 4), p.Qubits, report.F(p.Yield, 4),
-						p.Trials, report.F(p.CILo, 4), report.F(p.CIHi, 4))
-				}
-			}
-			return tb, nil
-		}},
-		{"fig6", func() (*report.Table, error) {
-			res := eval.Fig6(cfg, fig6Batch, 7)
-			tb := report.New(
-				fmt.Sprintf("Fig. 6: MCM configurability (20q chiplets, batch %d, yield %.4f)",
-					res.Batch, res.Yield),
-				"dim", "chips", "log10_configurations", "max_assembled_mcms")
-			for _, r := range res.Rows {
-				tb.Add(fmt.Sprintf("%dx%d", r.Dim, r.Dim), r.Chips,
-					report.F(r.Log10Configs, 1), r.MaxMCMs)
-			}
-			return tb, nil
-		}},
-		{"fig7", func() (*report.Table, error) {
-			res := eval.Fig7(cfg)
-			tb := report.New(
-				fmt.Sprintf("Fig. 7: CX infidelity vs detuning (median %.4f, mean %.4f)",
-					res.Median, res.Mean),
-				"detuning_GHz", "avg_cx_infidelity")
-			for _, p := range res.Points {
-				tb.Add(report.F(p.Detuning, 4), report.F(p.Infidelity, 5))
-			}
-			return tb, nil
-		}},
-		{"fig8", func() (*report.Table, error) {
-			res := eval.Fig8(cfg)
-			tb := report.New("Fig. 8: yield vs qubits, MCM (nominal and 100x bond failure) vs monolithic",
-				"chiplet", "dim", "qubits", "chiplet_yield", "mcm_yield", "mcm_yield_100x", "mono_yield",
-				"mono_trials", "mono_ci_lo", "mono_ci_hi")
-			for _, p := range res.Points {
-				tb.Add(p.Grid.Spec.Qubits(), fmt.Sprintf("%dx%d", p.Grid.Rows, p.Grid.Cols),
-					p.Qubits, report.F(p.ChipletYield, 4), report.F(p.MCMYield, 4),
-					report.F(p.MCMYield100x, 4), report.F(p.MonoYield, 4),
-					p.MonoTrials, report.F(p.MonoCILo, 4), report.F(p.MonoCIHi, 4))
-			}
-			tb.Add("", "", "", "", "", "", "", "", "", "")
-			for _, cs := range topo.Catalog {
-				if v, ok := res.Improvements[cs.Qubits]; ok {
-					tb.Add(cs.Qubits, "avg-improvement", "", "", report.F(v, 2)+"x", "", "", "", "", "")
-				} else {
-					tb.Add(cs.Qubits, "avg-improvement", "", "", "inf (mono 0%)", "", "", "", "", "")
-				}
-			}
-			return tb, nil
-		}},
-		{"fig9", func() (*report.Table, error) {
-			res := eval.Fig9(cfg)
-			fig9StateOfArt = res["state-of-art"]
-			tb := report.New("Fig. 9: E_avg,MCM / E_avg,Mono heatmaps (square MCMs)",
-				"link_quality", "chiplet", "dim", "qubits", "ratio")
-			for _, name := range eval.Fig9Ratios {
-				for _, c := range res[name] {
-					ratio := "n/a (mono 0%)"
-					if c.MonoAvailable && !math.IsNaN(c.Ratio) {
-						ratio = report.F(c.Ratio, 4)
-					}
-					tb.Add(name, c.Grid.Spec.Qubits(),
-						fmt.Sprintf("%dx%d", c.Grid.Rows, c.Grid.Cols), c.Qubits, ratio)
-				}
-			}
-			return tb, nil
-		}},
-		{"fig10", func() (*report.Table, error) {
-			grids := mcm.EnumerateGrids(cfg.MaxQubits)
-			pts, err := eval.Fig10(cfg, grids, fig10Samples)
-			if err != nil {
-				return nil, err
-			}
-			tb := report.New("Fig. 10: benchmark fidelity ratio MCM/monolithic",
-				"chiplet", "dim", "qubits", "bench", "log_ratio", "square", "note")
-			for _, p := range pts {
-				logS, note := report.F(p.LogRatio, 3), ""
-				if p.MonoZero {
-					logS, note = "+inf", "mono 0% yield (red X)"
-				} else if math.IsNaN(p.LogRatio) {
-					logS, note = "nan", "no MCM instances"
-				}
-				tb.Add(p.Grid.Spec.Qubits(), fmt.Sprintf("%dx%d", p.Grid.Rows, p.Grid.Cols),
-					p.Qubits, p.Bench, logS, p.Square, note)
-			}
-			// The paper's closing Fig. 10(b) observation, quantified: rank
-			// correlation between each square system's E_avg ratio and its
-			// per-gate application advantage.
-			if corr := eval.Fig10Correlation(fig9StateOfArt, pts); len(corr.Systems) >= 2 {
-				tb.Add("", "", "", "", "", "", "")
-				tb.Add("correlation", "spearman", report.F(corr.Spearman, 3),
-					"pearson", report.F(corr.Pearson, 3),
-					fmt.Sprintf("%d", len(corr.Systems)), "systems")
-			}
-			return tb, nil
-		}},
-		{"table2", func() (*report.Table, error) {
-			rows, err := eval.Table2(cfg)
-			if err != nil {
-				return nil, err
-			}
-			tb := report.New("Table II: compiled benchmark details",
-				"chiplet", "dim", "qubits", "bench", "1q", "2q", "2q_critical")
-			for _, r := range rows {
-				tb.Add(r.ChipletQubits, r.Dim, r.SystemQubits, r.Bench,
-					r.Counts.OneQ, r.Counts.TwoQ, r.Counts.TwoQCritical)
-			}
-			return tb, nil
-		}},
-		{"eq1", func() (*report.Table, error) {
-			r := eval.Eq1Example(cfg)
-			tb := report.New("Eq. 1 / Section V-C: fabrication output example (B=1000, 100q systems)",
-				"metric", "value")
-			tb.Add("monolithic yield Ym", report.F(r.MonoYield, 4))
-			tb.Add("chiplet yield Yc (10q)", report.F(r.ChipletYield, 4))
-			tb.Add("monolithic devices", report.F(r.MonoDevices, 0))
-			tb.Add("MCM devices (Eq. 1)", report.F(r.MCMDevices, 0))
-			tb.Add("gain", report.F(r.Gain, 2)+"x")
-			return tb, nil
-		}},
-	}
-
-	for _, a := range artifacts {
-		if err := writeArtifact(a.name, *outDir, out, a.gen); err != nil {
+	for _, e := range exps {
+		if err := runOne(ctx, e, cfg, *outDir, *jsonOut, out); err != nil {
 			return err
 		}
 	}
@@ -250,23 +114,81 @@ func run(args []string, out, errw io.Writer) error {
 	return nil
 }
 
-// writeArtifact times one artifact generation and writes it to
-// <dir>/<name>.txt.
-func writeArtifact(name, dir string, progress io.Writer, gen func() (*report.Table, error)) error {
-	start := time.Now()
-	tb, err := gen()
+// selectExperiments resolves the -only list against the registry, or
+// returns the full catalog when empty.
+func selectExperiments(only string) ([]experiment.Experiment, error) {
+	if only == "" {
+		return experiment.All(), nil
+	}
+	var out []experiment.Experiment
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		e, ok := experiment.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q (known: %s)",
+				name, strings.Join(experiment.Names(), ", "))
+		}
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-only selected no experiments")
+	}
+	return out, nil
+}
+
+// runOne executes one experiment and writes its artifact files.
+func runOne(ctx context.Context, e experiment.Experiment, cfg eval.Config, dir string, jsonOut bool, progress io.Writer) error {
+	a, err := e.Run(ctx, cfg)
 	if err != nil {
 		return err
 	}
-	path := filepath.Join(dir, name+".txt")
+	txtPath := filepath.Join(dir, a.Name+".txt")
+	if err := writeFile(txtPath, a.WriteText); err != nil {
+		return err
+	}
+	paths := txtPath
+	if jsonOut {
+		jsonPath := filepath.Join(dir, a.Name+".json")
+		if err := writeFile(jsonPath, a.WriteJSON); err != nil {
+			return err
+		}
+		paths += ", " + jsonPath
+	}
+	fmt.Fprintf(progress, "%-10s -> %s (%.1fs, %d trials)\n",
+		a.Name, paths, a.WallSeconds, a.Trials)
+	return nil
+}
+
+// writeFile creates path and streams render into it.
+func writeFile(path string, render func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := tb.WriteText(f); err != nil {
+	if err := render(f); err != nil {
 		return err
 	}
-	fmt.Fprintf(progress, "%-8s -> %s (%.1fs)\n", name, path, time.Since(start).Seconds())
-	return nil
+	return f.Close()
+}
+
+// progressPrinter serialises concurrent progress events onto one
+// stream, throttled per label so checkpoint-dense campaigns don't flood
+// the terminal.
+func progressPrinter(w io.Writer) func(runner.Event) {
+	var mu sync.Mutex
+	last := map[string]time.Time{}
+	return func(e runner.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		now := time.Now()
+		if t, ok := last[e.Label]; ok && now.Sub(t) < 200*time.Millisecond && e.Done < e.Total {
+			return
+		}
+		last[e.Label] = now
+		fmt.Fprintf(w, "  %s: %d/%d\n", e.Label, e.Done, e.Total)
+	}
 }

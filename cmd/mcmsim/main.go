@@ -2,31 +2,40 @@
 // modules, and compares them against monolithic devices in yield and
 // average two-qubit infidelity (paper Sections V, VII-C1/C2; Figs. 8-9).
 //
+// The full-figure modes run the registered "fig8"/"fig9" experiments
+// from the experiment registry (the same artifacts cmd/figures emits);
+// the single-system mode drives the ctx-first assembly API directly.
+//
 // Usage examples:
 //
 //	mcmsim -chiplet 20 -rows 3 -cols 3            # one MCM configuration
-//	mcmsim -fig8 -batch 2000 -max 500             # full yield comparison
-//	mcmsim -fig9 -batch 2000 -max 500             # E_avg ratio heatmaps
+//	mcmsim -fig8 -batch 2000 -max 500             # full yield comparison (registry artifact)
+//	mcmsim -fig9 -batch 2000 -max 500             # E_avg ratio heatmaps (registry artifact)
 //	mcmsim -fig8 -workers 8                       # pin the worker-pool size
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"math"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"chipletqc/internal/assembly"
 	"chipletqc/internal/eval"
+	"chipletqc/internal/experiment"
 	"chipletqc/internal/mcm"
 	"chipletqc/internal/report"
 	"chipletqc/internal/topo"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		if errors.Is(err, errUsage) {
 			os.Exit(2)
 		}
@@ -41,7 +50,7 @@ var errUsage = errors.New("usage error")
 
 // run executes the tool against args, writing reports to out. It is the
 // testable core of the binary.
-func run(args []string, out, errw io.Writer) error {
+func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("mcmsim", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
@@ -55,8 +64,8 @@ func run(args []string, out, errw io.Writer) error {
 		workers   = fs.Int("workers", 0, "parallel workers (0 = all CPU cores; results identical either way)")
 		precision = fs.Float64("precision", 0, "adaptive mode: stop each yield simulation once its 95% CI half-width reaches this (0 = fixed batch)")
 		maxTrials = fs.Int("maxtrials", 0, "adaptive mode trial budget per simulation (0 = batch size)")
-		fig8      = fs.Bool("fig8", false, "run the full Fig. 8 yield comparison")
-		fig9      = fs.Bool("fig9", false, "run the Fig. 9 E_avg ratio heatmaps")
+		fig8      = fs.Bool("fig8", false, "run the registered fig8 experiment (full yield comparison)")
+		fig9      = fs.Bool("fig9", false, "run the registered fig9 experiment (E_avg ratio heatmaps)")
 		csv       = fs.Bool("csv", false, "emit CSV")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -76,15 +85,15 @@ func run(args []string, out, errw io.Writer) error {
 
 	switch {
 	case *fig8:
-		return runFig8(cfg, out, *csv)
+		return experiment.RunAndRender(ctx, "fig8", cfg, out, *csv)
 	case *fig9:
-		return runFig9(cfg, out, *csv)
+		return experiment.RunAndRender(ctx, "fig9", cfg, out, *csv)
 	default:
-		return runSingle(cfg, *chiplet, *rows, *cols, out, *csv)
+		return runSingle(ctx, cfg, *chiplet, *rows, *cols, out, *csv)
 	}
 }
 
-func runSingle(cfg eval.Config, chiplet, rows, cols int, out io.Writer, csv bool) error {
+func runSingle(ctx context.Context, cfg eval.Config, chiplet, rows, cols int, out io.Writer, csv bool) error {
 	spec, err := topo.SpecForQubits(chiplet)
 	if err != nil {
 		return err
@@ -92,8 +101,14 @@ func runSingle(cfg eval.Config, chiplet, rows, cols int, out io.Writer, csv bool
 	grid := mcm.Grid{Rows: rows, Cols: cols, Spec: spec}
 	bcfg := assembly.DefaultBatchConfig(cfg.Seed)
 	bcfg.Workers = cfg.Workers
-	b := assembly.Fabricate(spec, cfg.ChipletBatch, bcfg)
-	mods, st := assembly.Assemble(b, grid, assembly.DefaultAssembleConfig(cfg.Seed))
+	b, err := assembly.Fabricate(ctx, spec, cfg.ChipletBatch, bcfg)
+	if err != nil {
+		return err
+	}
+	mods, st, err := assembly.Assemble(ctx, b, grid, assembly.DefaultAssembleConfig(cfg.Seed))
+	if err != nil {
+		return err
+	}
 
 	tb := report.New(fmt.Sprintf("MCM assembly: %s", grid), "metric", "value")
 	tb.Add("chiplets fabricated", st.BatchSize)
@@ -115,72 +130,6 @@ func runSingle(cfg eval.Config, chiplet, rows, cols int, out io.Writer, csv bool
 		tb.Add("worst MCM E_avg", report.F(mods[len(mods)-1].EAvg(), 5))
 	}
 	return emit(tb, out, csv)
-}
-
-func runFig8(cfg eval.Config, out io.Writer, csv bool) error {
-	res := eval.Fig8(cfg)
-	tb := report.New("Fig. 8(a): yield vs qubits, MCM vs monolithic",
-		"chiplet", "grid", "qubits", "mcm_yield", "mcm_yield_100x", "mono_yield",
-		"mono_trials", "mono_ci_lo", "mono_ci_hi")
-	for _, p := range res.Points {
-		tb.Add(p.Grid.Spec.Qubits(),
-			fmt.Sprintf("%dx%d", p.Grid.Rows, p.Grid.Cols),
-			p.Qubits,
-			report.F(p.MCMYield, 4), report.F(p.MCMYield100x, 4), report.F(p.MonoYield, 4),
-			p.MonoTrials, report.F(p.MonoCILo, 4), report.F(p.MonoCIHi, 4))
-	}
-	if err := emit(tb, out, csv); err != nil {
-		return err
-	}
-
-	fmt.Fprintln(out)
-	cy := report.New("Fig. 8(b): chiplet yields", "chiplet", "yield")
-	for _, cs := range topo.Catalog {
-		cy.Add(cs.Qubits, report.F(res.ChipletYields[cs.Qubits], 4))
-	}
-	if err := emit(cy, out, csv); err != nil {
-		return err
-	}
-
-	fmt.Fprintln(out)
-	imp := report.New("Average MCM vs monolithic yield improvement",
-		"chiplet", "improvement_x")
-	for _, cs := range topo.Catalog {
-		if v, ok := res.Improvements[cs.Qubits]; ok {
-			imp.Add(cs.Qubits, report.F(v, 2))
-		} else {
-			imp.Add(cs.Qubits, "inf (0% mono yield)")
-		}
-	}
-	return emit(imp, out, csv)
-}
-
-func runFig9(cfg eval.Config, out io.Writer, csv bool) error {
-	res := eval.Fig9(cfg)
-	for _, name := range eval.Fig9Ratios {
-		tb := report.New(fmt.Sprintf("Fig. 9 (%s): E_avg,MCM / E_avg,Mono", name),
-			"chiplet", "dim", "qubits", "eavg_mcm", "eavg_mono", "ratio")
-		for _, c := range res[name] {
-			ratio := "n/a (0% mono yield)"
-			monoS := "-"
-			if c.MonoAvailable {
-				ratio = report.F(c.Ratio, 4)
-				monoS = report.F(c.EAvgMono, 5)
-			}
-			mcmS := "-"
-			if !math.IsNaN(c.EAvgMCM) {
-				mcmS = report.F(c.EAvgMCM, 5)
-			}
-			tb.Add(c.Grid.Spec.Qubits(),
-				fmt.Sprintf("%dx%d", c.Grid.Rows, c.Grid.Cols),
-				c.Qubits, mcmS, monoS, ratio)
-		}
-		if err := emit(tb, out, csv); err != nil {
-			return err
-		}
-		fmt.Fprintln(out)
-	}
-	return nil
 }
 
 func emit(tb *report.Table, out io.Writer, csv bool) error {

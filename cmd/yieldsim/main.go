@@ -13,11 +13,14 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	analyticpkg "chipletqc/internal/analytic"
 	"chipletqc/internal/fab"
@@ -27,7 +30,9 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		if errors.Is(err, errUsage) {
 			os.Exit(2)
 		}
@@ -43,7 +48,7 @@ var errUsage = errors.New("usage error")
 // run executes the tool against args, writing reports to out. It is the
 // testable core of the binary: flag errors and report failures surface
 // as returned errors instead of process exits.
-func run(args []string, out, errw io.Writer) error {
+func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("yieldsim", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
@@ -82,7 +87,11 @@ func run(args []string, out, errw io.Writer) error {
 		}
 		tb := report.New("Collision-free chiplet yields (Fig. 8b)",
 			"chiplet", "yield", "trials", "ci_lo", "ci_hi")
-		for _, r := range yield.ChipletYields(cfg) {
+		chipRes, err := yield.ChipletYields(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		for _, r := range chipRes {
 			tb.Add(r.Qubits, report.F(r.Fraction(), 4), r.Batch,
 				report.F(r.CILo, 4), report.F(r.CIHi, 4))
 		}
@@ -98,7 +107,10 @@ func run(args []string, out, errw io.Writer) error {
 		sigmas = []float64{*sigma}
 	}
 	sizes := yield.SizeLadder(*maxQ)
-	cells := yield.Sweep(steps, sigmas, sizes, cfg)
+	cells, err := yield.Sweep(ctx, steps, sigmas, sizes, cfg)
+	if err != nil {
+		return err
+	}
 
 	headers := []string{"step_GHz", "sigma_GHz", "qubits", "yield", "trials", "ci_lo", "ci_hi"}
 	if *analytic {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ import (
 // at reduced scale.
 func TestRunSweepSmoke(t *testing.T) {
 	var out, errs strings.Builder
-	err := run([]string{"-batch", "50", "-max", "40", "-sigma", "0.014", "-step", "0.06", "-workers", "3"}, &out, &errs)
+	err := run(context.Background(), []string{"-batch", "50", "-max", "40", "-sigma", "0.014", "-step", "0.06", "-workers", "3"}, &out, &errs)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -25,7 +26,7 @@ func TestRunSweepSmoke(t *testing.T) {
 // TestRunChipletsSmoke exercises the -chiplets mode and CSV emission.
 func TestRunChipletsSmoke(t *testing.T) {
 	var out, errs strings.Builder
-	if err := run([]string{"-chiplets", "-batch", "50", "-csv"}, &out, &errs); err != nil {
+	if err := run(context.Background(), []string{"-chiplets", "-batch", "50", "-csv"}, &out, &errs); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(out.String(), "chiplet,yield") {
@@ -38,7 +39,7 @@ func TestRunChipletsSmoke(t *testing.T) {
 func TestRunWorkerCountInvariance(t *testing.T) {
 	render := func(workers string) string {
 		var out, errs strings.Builder
-		if err := run([]string{"-batch", "80", "-max", "30", "-workers", workers}, &out, &errs); err != nil {
+		if err := run(context.Background(), []string{"-batch", "80", "-max", "30", "-workers", workers}, &out, &errs); err != nil {
 			t.Fatalf("run(-workers %s): %v", workers, err)
 		}
 		return out.String()
@@ -54,7 +55,7 @@ func TestRunWorkerCountInvariance(t *testing.T) {
 func TestRunAdaptivePrecision(t *testing.T) {
 	render := func(workers string) string {
 		var out, errs strings.Builder
-		err := run([]string{
+		err := run(context.Background(), []string{
 			"-batch", "5000", "-max", "30", "-sigma", "0.006", "-step", "0.06",
 			"-precision", "0.02", "-workers", workers,
 		}, &out, &errs)
@@ -82,7 +83,7 @@ func TestRunAdaptivePrecision(t *testing.T) {
 // the report stream.
 func TestRunRejectsUnknownFlag(t *testing.T) {
 	var out, errs strings.Builder
-	if err := run([]string{"-definitely-not-a-flag"}, &out, &errs); err == nil {
+	if err := run(context.Background(), []string{"-definitely-not-a-flag"}, &out, &errs); err == nil {
 		t.Error("unknown flag should return an error")
 	}
 	if out.Len() != 0 {
@@ -97,7 +98,7 @@ func TestRunRejectsUnknownFlag(t *testing.T) {
 // run returns nil so the process exits 0.
 func TestRunHelpIsNotAnError(t *testing.T) {
 	var out, errs strings.Builder
-	if err := run([]string{"-h"}, &out, &errs); err != nil {
+	if err := run(context.Background(), []string{"-h"}, &out, &errs); err != nil {
 		t.Errorf("-h should not be an error, got %v", err)
 	}
 	if !strings.Contains(errs.String(), "-workers") {

@@ -5,6 +5,7 @@ package chipletqc_test
 // check under `go test`.
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -136,4 +137,41 @@ func ExampleFig2() {
 		r.MonoGood, r.MonoDies, r.ChipletGood, r.ChipletDies)
 	// Output:
 	// monolithic: 2/9 good; chiplets: 29/36 good
+}
+
+// ExampleSimulateYield shows the context-first Monte Carlo API with
+// pointer options: an explicit Sigma of 0 (noise-free fabrication) is
+// distinguishable from "use the default", so every device survives.
+func ExampleSimulateYield() {
+	dev := chipletqc.Monolithic(60)
+	res, err := chipletqc.SimulateYield(context.Background(), dev, chipletqc.YieldOptions{
+		Batch: 200,
+		Seed:  1,
+		Sigma: chipletqc.Ptr(0.0), // noise-free: expressible since v1
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("noise-free yield: %.0f%% over %d trials\n", 100*res.Fraction(), res.Batch)
+	// Output:
+	// noise-free yield: 100% over 200 trials
+}
+
+// ExampleLookupExperiment runs a paper workload by name through the
+// Experiment registry and renders its self-describing artifact — the
+// same machinery behind `figures -only fig2 -json`.
+func ExampleLookupExperiment() {
+	exp, ok := chipletqc.LookupExperiment("fig2")
+	if !ok {
+		panic("fig2 not registered")
+	}
+	artifact, err := exp.Run(context.Background(), chipletqc.QuickExperimentConfig(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(artifact.Name, "-", artifact.Description)
+	fmt.Print(artifact.Payload.Title)
+	// Output:
+	// fig2 - illustrative wafer output, monolithic vs chiplet
+	// Fig. 2: wafer output with 7 fatal defects per batch
 }

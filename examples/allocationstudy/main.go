@@ -9,12 +9,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"chipletqc"
 )
 
 func main() {
+	ctx := context.Background()
 	spec, err := chipletqc.ChipletSpec(60)
 	if err != nil {
 		panic(err)
@@ -41,9 +44,13 @@ func main() {
 	fmt.Printf("%12s %12s %12s\n", "sigma_GHz", "analytic", "monte_carlo")
 	for _, sigma := range []float64{0.006, 0.010, 0.014, 0.0185} {
 		an := chipletqc.AnalyticYield(dev, plan, sigma)
-		mc := chipletqc.SimulateYield(dev, chipletqc.YieldOptions{
-			Batch: 3000, Sigma: sigma, Step: lo, Seed: 11,
-		}).Fraction()
+		mcRes, err := chipletqc.SimulateYield(ctx, dev, chipletqc.YieldOptions{
+			Batch: 3000, Sigma: chipletqc.Ptr(sigma), Step: chipletqc.Ptr(lo), Seed: 11,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mc := mcRes.Fraction()
 		fmt.Printf("%12.4f %12.4f %12.4f\n", sigma, an, mc)
 	}
 

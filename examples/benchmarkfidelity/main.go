@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -23,6 +24,7 @@ const (
 )
 
 func main() {
+	ctx := context.Background()
 	mcmDev, err := chipletqc.MCM(rows, cols, chipletQubits)
 	if err != nil {
 		log.Fatal(err)
@@ -36,11 +38,14 @@ func main() {
 	fmt.Printf("comparing %s vs %s on the 7-benchmark suite\n\n", mcmDev.Name, mono.Name)
 
 	// MCM instances: best modules from a fabricated batch.
-	b, err := chipletqc.FabricateBatch(chipletQubits, batch, chipletqc.BatchOptions{Seed: seed})
+	b, err := chipletqc.FabricateBatch(ctx, chipletQubits, batch, chipletqc.BatchOptions{Seed: seed})
 	if err != nil {
 		log.Fatal(err)
 	}
-	mods, st := chipletqc.AssembleMCMs(b, rows, cols, chipletqc.AssembleOptions{Seed: seed})
+	mods, st, err := chipletqc.AssembleMCMs(ctx, b, rows, cols, chipletqc.AssembleOptions{Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
 	if len(mods) == 0 {
 		log.Fatal("no MCMs assembled")
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -30,6 +31,7 @@ type candidate struct {
 }
 
 func main() {
+	ctx := context.Background()
 	fmt.Printf("designing a ~%d-qubit machine from catalog chiplets\n\n", targetQubits)
 
 	var cands []candidate
@@ -38,11 +40,14 @@ func main() {
 		if !ok {
 			continue
 		}
-		batch, err := chipletqc.FabricateBatch(cq, batchSize, chipletqc.BatchOptions{Seed: seed})
+		batch, err := chipletqc.FabricateBatch(ctx, cq, batchSize, chipletqc.BatchOptions{Seed: seed})
 		if err != nil {
 			log.Fatal(err)
 		}
-		mods, st := chipletqc.AssembleMCMs(batch, rows, cols, chipletqc.AssembleOptions{Seed: seed})
+		mods, st, err := chipletqc.AssembleMCMs(ctx, batch, rows, cols, chipletqc.AssembleOptions{Seed: seed})
+		if err != nil {
+			log.Fatal(err)
+		}
 		c := candidate{
 			chiplet: cq, rows: rows, cols: cols,
 			qubits:    rows * cols * cq,
@@ -65,7 +70,10 @@ func main() {
 
 	// Monolithic baseline.
 	mono := chipletqc.Monolithic(targetQubits)
-	monoYield := chipletqc.SimulateYield(mono, chipletqc.YieldOptions{Batch: batchSize, Seed: seed})
+	monoYield, err := chipletqc.SimulateYield(ctx, mono, chipletqc.YieldOptions{Batch: batchSize, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("%8s %6s %7s %6s %11s %10s %10s\n",
 		"chiplet", "dim", "qubits", "MCMs", "post_yield", "best_Eavg", "mean_Eavg")

@@ -1,17 +1,25 @@
 // Quickstart: build a 3x3 multi-chip module of 20-qubit chiplets, walk
 // the full paper pipeline — yield simulation, chiplet fabrication, KGD
-// binning, MCM assembly — and compare the result against the equivalent
-// 180-qubit monolithic device.
+// binning, MCM assembly — through the context-first API, compare the
+// result against the equivalent 180-qubit monolithic device, and finish
+// with a run through the Experiment registry.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
 	"chipletqc"
 )
 
 func main() {
+	// Every Monte Carlo entry point is context-first: cancelling ctx
+	// (e.g. on SIGINT, or a deadline) stops a campaign within one
+	// in-flight trial per worker.
+	ctx := context.Background()
+
 	// Architectures: a 3x3 MCM of 20q chiplets and its 180q monolithic
 	// counterpart.
 	mcmDev, err := chipletqc.MCM(3, 3, 20)
@@ -25,18 +33,24 @@ func main() {
 
 	// Collision-free yield at laser-tuned fabrication precision
 	// (sigma_f = 0.014 GHz), Table I criteria.
-	monoYield := chipletqc.SimulateYield(mono, chipletqc.YieldOptions{Batch: 2000, Seed: 1})
+	monoYield, err := chipletqc.SimulateYield(ctx, mono, chipletqc.YieldOptions{Batch: 2000, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("monolithic 180q collision-free yield: %.4f\n", monoYield.Fraction())
 
 	// Chiplet route: fabricate a batch, keep the collision-free bin,
 	// assemble MCMs best-chiplets-first.
-	batch, err := chipletqc.FabricateBatch(20, 2000, chipletqc.BatchOptions{Seed: 1})
+	batch, err := chipletqc.FabricateBatch(ctx, 20, 2000, chipletqc.BatchOptions{Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("20q chiplet collision-free yield:     %.4f\n", batch.Yield())
 
-	mods, st := chipletqc.AssembleMCMs(batch, 3, 3, chipletqc.AssembleOptions{Seed: 1})
+	mods, st, err := chipletqc.AssembleMCMs(ctx, batch, 3, 3, chipletqc.AssembleOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("complete collision-free MCMs:         %d (post-assembly yield %.4f)\n",
 		st.MCMs, st.PostAssemblyYield)
 	if monoYield.Fraction() > 0 {
@@ -60,4 +74,22 @@ func main() {
 	}
 	fmt.Printf("\nGHZ-%d compiled onto the MCM: %s (1q / 2q / 2q critical), %d SWAPs inserted\n",
 		width, res.Counts, res.SwapsInserted)
+
+	// The Experiment registry makes every paper workload addressable by
+	// name (the same catalog cmd/figures runs: `figures -list`). Each
+	// run yields a self-describing Artifact with a stable text
+	// rendering and a JSON form for machine consumption.
+	fmt.Println("\nregistered experiments:")
+	for _, e := range chipletqc.Experiments() {
+		fmt.Printf("  %-10s %s\n", e.Name(), e.Describe())
+	}
+	exp, _ := chipletqc.LookupExperiment("eq1")
+	artifact, err := exp.Run(ctx, chipletqc.QuickExperimentConfig(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := artifact.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -7,12 +7,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"chipletqc"
 )
 
 func main() {
+	ctx := context.Background()
 	const batch = 800
 	sizes := []int{20, 60, 120, 250, 500}
 	steps := []float64{0.040, 0.050, 0.055, 0.060, 0.065, 0.070}
@@ -34,9 +37,12 @@ func main() {
 			fmt.Printf("%8.3f", step)
 			for _, n := range sizes {
 				dev := chipletqc.Monolithic(n)
-				res := chipletqc.SimulateYield(dev, chipletqc.YieldOptions{
-					Batch: batch, Sigma: sigma, Step: step, Seed: 7,
+				res, err := chipletqc.SimulateYield(ctx, dev, chipletqc.YieldOptions{
+					Batch: batch, Sigma: chipletqc.Ptr(sigma), Step: chipletqc.Ptr(step), Seed: 7,
 				})
+				if err != nil {
+					log.Fatal(err)
+				}
 				y := res.Fraction()
 				fmt.Printf("%8.3f", y)
 				if n == 120 && y > bestYield {

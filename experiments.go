@@ -1,22 +1,46 @@
 package chipletqc
 
 import (
+	"context"
+
 	"chipletqc/internal/eval"
+	"chipletqc/internal/experiment"
 	"chipletqc/internal/mcm"
 	"chipletqc/internal/stats"
 	"chipletqc/internal/yield"
 )
 
-// Experiment re-exports: one entry point per figure/table of the paper's
-// evaluation section. ExperimentConfig scales the Monte Carlo batches;
-// DefaultExperimentConfig matches the paper, QuickExperimentConfig is
-// sized for smoke tests. ExperimentConfig.Workers fans every Monte Carlo
-// and sweep loop out across goroutines (0 = all CPU cores); results are
-// bit-identical at any worker count because each trial derives its RNG
-// stream from (seed, trial index).
+// Experiment re-exports: every figure/table of the paper's evaluation
+// section is available two ways.
+//
+//  1. The Experiment registry: named, discoverable, cancellable units of
+//     work that emit self-describing Artifacts —
+//
+//     exp, _ := chipletqc.LookupExperiment("fig8")
+//     artifact, err := exp.Run(ctx, chipletqc.QuickExperimentConfig(1))
+//     artifact.WriteText(os.Stdout)  // stable text rendering
+//     artifact.WriteJSON(f)          // machine-readable record
+//
+//  2. Typed ctx-first entry points (Fig1, Fig8, Table2, ...) returning
+//     structured results for programmatic consumption.
+//
+// ExperimentConfig scales the Monte Carlo batches; DefaultExperimentConfig
+// matches the paper, QuickExperimentConfig is sized for smoke tests.
+// ExperimentConfig.Workers fans every Monte Carlo and sweep loop out
+// across goroutines (0 = all CPU cores); results are bit-identical at
+// any worker count because each trial derives its RNG stream from
+// (seed, trial index). ExperimentConfig.Progress streams per-experiment
+// trial counts for long runs; cancelling the context stops a run within
+// one in-flight trial per worker.
 type (
 	// ExperimentConfig scales the experiment harness batches.
 	ExperimentConfig = eval.Config
+	// Experiment is one named, cancellable workload from the registry.
+	Experiment = experiment.Experiment
+	// Artifact is a self-describing, JSON-serializable experiment result:
+	// name, seed, config fingerprint, wall time, trials used, payload
+	// table, with a stable text rendering.
+	Artifact = experiment.Artifact
 	// Summary is a five-number box-plot summary (Fig. 3b rows).
 	Summary = stats.Summary
 	// YieldSweepCell is one (step, sigma) yield curve of Fig. 4.
@@ -34,6 +58,25 @@ type (
 	Eq1Result  = eval.Eq1Result
 )
 
+// Experiments returns every registered experiment in paper order
+// (fig1..fig10, fig10corr, table2, eq1, plus any caller registrations).
+func Experiments() []Experiment { return experiment.All() }
+
+// ExperimentNames returns the registered experiment names in order.
+func ExperimentNames() []string { return experiment.Names() }
+
+// LookupExperiment returns the experiment registered under name.
+func LookupExperiment(name string) (Experiment, bool) { return experiment.Lookup(name) }
+
+// RegisterExperiment adds a caller-defined experiment to the registry,
+// making it addressable by the cmd tools and Experiments(). It panics
+// on a duplicate name.
+func RegisterExperiment(e Experiment) { experiment.Register(e) }
+
+// ConfigFingerprint hashes every determinism-relevant field of an
+// experiment config into the short stable token Artifacts carry.
+func ConfigFingerprint(cfg ExperimentConfig) string { return experiment.Fingerprint(cfg) }
+
 // DefaultExperimentConfig returns full-paper-scale settings (batch 10^4,
 // systems to 500 qubits).
 func DefaultExperimentConfig(seed int64) ExperimentConfig {
@@ -46,51 +89,66 @@ func QuickExperimentConfig(seed int64) ExperimentConfig {
 }
 
 // Fig1 quantifies the yield/infidelity trade-off versus module size.
-func Fig1(cfg ExperimentConfig) []Fig1Row { return eval.Fig1(cfg) }
+func Fig1(ctx context.Context, cfg ExperimentConfig) ([]Fig1Row, error) {
+	return eval.Fig1(ctx, cfg)
+}
 
-// Fig2 computes the illustrative wafer-output comparison.
+// Fig2 computes the illustrative wafer-output comparison (pure
+// arithmetic, hence no context).
 func Fig2(monoDies, chipletsPerMono, defects int) Fig2Result {
 	return eval.Fig2(monoDies, chipletsPerMono, defects)
 }
 
 // Fig3b generates CX-infidelity box plots for 27/65/127-qubit devices.
-func Fig3b(cfg ExperimentConfig) []Summary { return eval.Fig3b(cfg) }
+func Fig3b(ctx context.Context, cfg ExperimentConfig) ([]Summary, error) {
+	return eval.Fig3b(ctx, cfg)
+}
 
 // Fig4 runs the detuning x precision collision-free yield sweep.
-func Fig4(cfg ExperimentConfig, maxQubits int) []YieldSweepCell {
-	return eval.Fig4(cfg, maxQubits)
+func Fig4(ctx context.Context, cfg ExperimentConfig, maxQubits int) ([]YieldSweepCell, error) {
+	return eval.Fig4(ctx, cfg, maxQubits)
 }
 
 // Fig6 reproduces the MCM configurability analysis (20q chiplets).
-func Fig6(cfg ExperimentConfig, batch, maxDim int) Fig6Result {
-	return eval.Fig6(cfg, batch, maxDim)
+func Fig6(ctx context.Context, cfg ExperimentConfig, batch, maxDim int) (Fig6Result, error) {
+	return eval.Fig6(ctx, cfg, batch, maxDim)
 }
 
 // Fig7 generates the CX-infidelity-vs-detuning calibration scatter.
-func Fig7(cfg ExperimentConfig) Fig7Result { return eval.Fig7(cfg) }
+func Fig7(ctx context.Context, cfg ExperimentConfig) (Fig7Result, error) {
+	return eval.Fig7(ctx, cfg)
+}
 
 // Fig8 runs the MCM-vs-monolithic yield comparison over every enumerated
 // system.
-func Fig8(cfg ExperimentConfig) Fig8Result { return eval.Fig8(cfg) }
+func Fig8(ctx context.Context, cfg ExperimentConfig) (Fig8Result, error) {
+	return eval.Fig8(ctx, cfg)
+}
 
 // Fig9 computes the E_avg ratio heatmaps for the four link-quality
 // assumptions; keys are eval.Fig9Ratios.
-func Fig9(cfg ExperimentConfig) map[string][]Fig9Cell { return eval.Fig9(cfg) }
+func Fig9(ctx context.Context, cfg ExperimentConfig) (map[string][]Fig9Cell, error) {
+	return eval.Fig9(ctx, cfg)
+}
 
 // Fig9Ratios orders the Fig. 9 link-quality sweep keys.
 var Fig9Ratios = eval.Fig9Ratios
 
 // Fig10 evaluates the benchmark suite on the given MCM systems against
 // their monolithic counterparts.
-func Fig10(cfg ExperimentConfig, grids []Grid, samples int) ([]Fig10Point, error) {
-	return eval.Fig10(cfg, grids, samples)
+func Fig10(ctx context.Context, cfg ExperimentConfig, grids []Grid, samples int) ([]Fig10Point, error) {
+	return eval.Fig10(ctx, cfg, grids, samples)
 }
 
 // Table2 compiles the benchmark suite onto the Table II systems.
-func Table2(cfg ExperimentConfig) ([]Table2Row, error) { return eval.Table2(cfg) }
+func Table2(ctx context.Context, cfg ExperimentConfig) ([]Table2Row, error) {
+	return eval.Table2(ctx, cfg)
+}
 
 // Eq1Example reproduces the Section V-C fabrication-output example.
-func Eq1Example(cfg ExperimentConfig) Eq1Result { return eval.Eq1Example(cfg) }
+func Eq1Example(ctx context.Context, cfg ExperimentConfig) (Eq1Result, error) {
+	return eval.Eq1Example(ctx, cfg)
+}
 
 // EnumerateMCMs reproduces the paper's experimental system selection:
 // unique-size MCMs per chiplet category up to maxQubits, square-first.

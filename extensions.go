@@ -7,6 +7,7 @@ package chipletqc
 // interoperability.
 
 import (
+	"context"
 	"io"
 
 	"chipletqc/internal/analytic"
@@ -20,6 +21,7 @@ import (
 	"chipletqc/internal/qsim"
 	"chipletqc/internal/rays"
 	"chipletqc/internal/topo"
+	"chipletqc/internal/yield"
 )
 
 // Laser tuning (Section III-C): two-stage fabrication.
@@ -48,11 +50,14 @@ func AsymmetricFreqPlan(base, stepLow, stepHigh float64) FreqPlan {
 // frequency plan (for asymmetric-spacing explorations). All YieldOptions
 // knobs apply, including Workers; opts.Step is ignored in favour of the
 // plan's spacing.
-func SimulateYieldWithPlan(d *Device, plan FreqPlan, opts YieldOptions) YieldResult {
-	opts.Step = 0
-	cfg := yieldConfigFromOptions(opts)
+func SimulateYieldWithPlan(ctx context.Context, d *Device, plan FreqPlan, opts YieldOptions) (YieldResult, error) {
+	opts.Step = nil
+	cfg, err := yieldConfigFromOptions(opts)
+	if err != nil {
+		return YieldResult{}, err
+	}
 	cfg.Model.Plan = plan
-	return simulateYield(d, cfg)
+	return yield.Simulate(ctx, d, cfg)
 }
 
 // Link/error-aware compilation (Section VIII future work).

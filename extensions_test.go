@@ -1,6 +1,7 @@
 package chipletqc
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -28,7 +29,7 @@ func TestAsymmetricFreqPlanFacade(t *testing.T) {
 		t.Errorf("F2 target = %v, want 5.12", p.Target(F2))
 	}
 	dev := Monolithic(20)
-	res := SimulateYieldWithPlan(dev, p, YieldOptions{Sigma: SigmaLaserTuned, Batch: 300, Seed: 3})
+	res := must(SimulateYieldWithPlan(context.Background(), dev, p, YieldOptions{Sigma: Ptr(SigmaLaserTuned), Batch: 300, Seed: 3}))
 	if res.Fraction() <= 0 || res.Fraction() > 1 {
 		t.Errorf("yield = %v", res.Fraction())
 	}
@@ -38,9 +39,9 @@ func TestSymmetricStepBeatsAsymmetricNeighbours(t *testing.T) {
 	// The future-work exploration's answer in this model: the paper's
 	// symmetric 0.06 GHz spacing beats skewed variants.
 	dev := Monolithic(60)
-	sym := SimulateYieldWithPlan(dev, AsymmetricFreqPlan(5, 0.06, 0.06), YieldOptions{Sigma: SigmaLaserTuned, Batch: 1500, Seed: 5})
-	skewA := SimulateYieldWithPlan(dev, AsymmetricFreqPlan(5, 0.05, 0.07), YieldOptions{Sigma: SigmaLaserTuned, Batch: 1500, Seed: 5})
-	skewB := SimulateYieldWithPlan(dev, AsymmetricFreqPlan(5, 0.07, 0.05), YieldOptions{Sigma: SigmaLaserTuned, Batch: 1500, Seed: 5})
+	sym := must(SimulateYieldWithPlan(context.Background(), dev, AsymmetricFreqPlan(5, 0.06, 0.06), YieldOptions{Sigma: Ptr(SigmaLaserTuned), Batch: 1500, Seed: 5}))
+	skewA := must(SimulateYieldWithPlan(context.Background(), dev, AsymmetricFreqPlan(5, 0.05, 0.07), YieldOptions{Sigma: Ptr(SigmaLaserTuned), Batch: 1500, Seed: 5}))
+	skewB := must(SimulateYieldWithPlan(context.Background(), dev, AsymmetricFreqPlan(5, 0.07, 0.05), YieldOptions{Sigma: Ptr(SigmaLaserTuned), Batch: 1500, Seed: 5}))
 	if sym.Fraction() < skewA.Fraction() || sym.Fraction() < skewB.Fraction() {
 		t.Errorf("symmetric %v should beat skews %v, %v",
 			sym.Fraction(), skewA.Fraction(), skewB.Fraction())
@@ -149,7 +150,7 @@ func TestAnalyticYieldFacade(t *testing.T) {
 	if y < 0.4 || y > 0.9 {
 		t.Errorf("analytic 20q yield = %v, want ~0.65", y)
 	}
-	mc := SimulateYield(dev, YieldOptions{Batch: 2000, Seed: 1}).Fraction()
+	mc := simulateYield(t, dev, YieldOptions{Batch: 2000, Seed: 1}).Fraction()
 	if math.Abs(y-mc) > 0.12 {
 		t.Errorf("analytic %v far from MC %v", y, mc)
 	}

@@ -1,0 +1,36 @@
+package chipletqc
+
+import (
+	"context"
+	"testing"
+)
+
+// Test-side wrappers over the ctx-first facade: they run under
+// context.Background() and fail the test on an unexpected error.
+
+func simulateYield(tb testing.TB, d *Device, opts YieldOptions) YieldResult {
+	tb.Helper()
+	res, err := SimulateYield(context.Background(), d, opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res
+}
+
+func fabricateBatch(tb testing.TB, chipletQubits, size int, opts BatchOptions) *Batch {
+	tb.Helper()
+	b, err := FabricateBatch(context.Background(), chipletQubits, size, opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return b
+}
+
+func assembleMCMs(tb testing.TB, b *Batch, rows, cols int, opts AssembleOptions) ([]*AssembledMCM, AssemblyStats) {
+	tb.Helper()
+	mods, st, err := AssembleMCMs(context.Background(), b, rows, cols, opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return mods, st
+}

@@ -5,6 +5,7 @@ package chipletqc
 // downstream user would.
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"strings"
@@ -26,8 +27,8 @@ func TestIntegrationFullPaperPipeline(t *testing.T) {
 	}
 
 	// Stage 1: yield.
-	monoYield := SimulateYield(mono, YieldOptions{Batch: 800, Seed: 1})
-	batch, err := FabricateBatch(chiplet, 800, BatchOptions{Seed: 1})
+	monoYield := simulateYield(t, mono, YieldOptions{Batch: 800, Seed: 1})
+	batch, err := FabricateBatch(context.Background(), chiplet, 800, BatchOptions{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestIntegrationFullPaperPipeline(t *testing.T) {
 	}
 
 	// Stage 2: assembly.
-	mods, st := AssembleMCMs(batch, 2, 2, AssembleOptions{Seed: 1})
+	mods, st := assembleMCMs(t, batch, 2, 2, AssembleOptions{Seed: 1})
 	if st.MCMs == 0 {
 		t.Fatal("no MCMs")
 	}
@@ -152,7 +153,7 @@ func TestIntegrationDeviceJSON(t *testing.T) {
 		t.Errorf("links %d != %d", len(back.Link), len(dev.Link))
 	}
 	// The rebuilt device is fully usable: run a yield simulation on it.
-	y := SimulateYield(&back, YieldOptions{Batch: 100, Seed: 2})
+	y := simulateYield(t, &back, YieldOptions{Batch: 100, Seed: 2})
 	if y.Qubits != dev.N {
 		t.Errorf("yield sim saw %d qubits", y.Qubits)
 	}
@@ -169,7 +170,7 @@ func TestIntegrationAnalyticTracksMonteCarlo(t *testing.T) {
 		}
 		dev := Monolithic(spec.Qubits())
 		an := AnalyticYield(dev, plan, SigmaLaserTuned)
-		mc := SimulateYield(dev, YieldOptions{Batch: 1500, Seed: 3}).Fraction()
+		mc := simulateYield(t, dev, YieldOptions{Batch: 1500, Seed: 3}).Fraction()
 		if math.Abs(an-mc) > 0.05+0.25*mc {
 			t.Errorf("%dq: analytic %v vs MC %v", q, an, mc)
 		}

@@ -1,6 +1,7 @@
 package analytic
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -85,7 +86,11 @@ func TestAnalyticMatchesMonteCarlo(t *testing.T) {
 		cfg := yield.DefaultConfig()
 		cfg.Batch = 4000
 		cfg.Model.Sigma = c.sigma
-		mc := yield.Simulate(d, cfg).Fraction()
+		mcRes, err := yield.Simulate(context.Background(), d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc := mcRes.Fraction()
 		// The independence approximation systematically underestimates
 		// (overlapping criteria share qubits and are positively
 		// correlated), with the gap growing with device size: accept

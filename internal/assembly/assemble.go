@@ -1,6 +1,7 @@
 package assembly
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
@@ -119,8 +120,10 @@ type Stats struct {
 // lowest-error chiplets first; if the stitched module shows an
 // inter-chiplet collision, shuffle placement up to MaxReshuffles times;
 // on timeout, set the best chiplet of the failed subset aside and
-// continue with the next subset.
-func Assemble(b *Batch, grid mcm.Grid, cfg AssembleConfig) ([]*AssembledMCM, Stats) {
+// continue with the next subset. The context is checked between
+// candidate subsets; a cancelled ctx returns ctx.Err() and discards the
+// partial assembly.
+func Assemble(ctx context.Context, b *Batch, grid mcm.Grid, cfg AssembleConfig) ([]*AssembledMCM, Stats, error) {
 	dev := mcm.MustBuild(grid)
 	checker := collision.NewChecker(dev, cfg.Params)
 	chips := grid.Chips()
@@ -146,6 +149,9 @@ func Assemble(b *Batch, grid mcm.Grid, cfg AssembleConfig) ([]*AssembledMCM, Sta
 	}
 
 	for len(bin) >= chips {
+		if err := ctx.Err(); err != nil {
+			return nil, Stats{}, err
+		}
 		subset := append([]*Chiplet(nil), bin[:chips]...)
 		placed := false
 		for attempt := 0; attempt <= cfg.MaxReshuffles; attempt++ {
@@ -202,7 +208,7 @@ func Assemble(b *Batch, grid mcm.Grid, cfg AssembleConfig) ([]*AssembledMCM, Sta
 		st.AssemblyYield = float64(st.ChipsUsed) / float64(b.Size)
 	}
 	st.PostAssemblyYield = st.AssemblyYield * BondSurvival(linked, cfg.BondFailureScale)
-	return out, st
+	return out, st, nil
 }
 
 // ResampleLinks redraws every link error of the module from a new link

@@ -5,6 +5,7 @@
 package assembly
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -72,7 +73,9 @@ func DefaultBatchConfig(seed int64) BatchConfig {
 // frequencies, discard collision-free failures, characterise survivors
 // (per-coupling error sampled from the empirical detuning model), and
 // sort the bin best-first. This is the KGD pipeline of Section V-B/VII-B.
-func Fabricate(spec topo.ChipSpec, size int, cfg BatchConfig) *Batch {
+// Cancelling ctx aborts fabrication within one in-flight die per worker
+// and returns ctx.Err().
+func Fabricate(ctx context.Context, spec topo.ChipSpec, size int, cfg BatchConfig) (*Batch, error) {
 	chip := topo.BuildChip(spec)
 	dev := topo.MonolithicDevice(spec)
 	checker := collision.NewChecker(dev, cfg.Params)
@@ -83,7 +86,7 @@ func Fabricate(spec topo.ChipSpec, size int, cfg BatchConfig) *Batch {
 	// Workers reuse one RNG and frequency buffer across trials, so a
 	// discarded die costs zero allocations; only KGD survivors allocate
 	// their retained frequency and error vectors.
-	dies := runner.MapLocal(size, cfg.Workers, runner.NewScratch(chip.N),
+	dies, err := runner.MapLocal(ctx, size, cfg.Workers, runner.NewScratch(chip.N),
 		func(l runner.Scratch, i int) *Chiplet {
 			r := l.RNG.At(cfg.Seed, i)
 			cfg.Fab.SampleChipInto(r, chip, l.Buf)
@@ -103,6 +106,9 @@ func Fabricate(spec topo.ChipSpec, size int, cfg BatchConfig) *Batch {
 			}
 			return &Chiplet{ID: i, Freq: f, EdgeErr: errs, AvgErr: avg}
 		})
+	if err != nil {
+		return nil, err
+	}
 
 	b := &Batch{Spec: spec, Chip: chip, Size: size}
 	for _, c := range dies {
@@ -113,7 +119,7 @@ func Fabricate(spec topo.ChipSpec, size int, cfg BatchConfig) *Batch {
 	sort.SliceStable(b.Free, func(i, j int) bool {
 		return b.Free[i].AvgErr < b.Free[j].AvgErr
 	})
-	return b
+	return b, nil
 }
 
 // Bump-bond assembly constants (Section VII-B): the per-bump success

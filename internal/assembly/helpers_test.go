@@ -1,0 +1,30 @@
+package assembly
+
+import (
+	"context"
+	"testing"
+
+	"chipletqc/internal/mcm"
+	"chipletqc/internal/topo"
+)
+
+// Test-side wrappers over the ctx-first API: they run under
+// context.Background() and fail the test on an unexpected error.
+
+func fabricate(tb testing.TB, spec topo.ChipSpec, size int, cfg BatchConfig) *Batch {
+	tb.Helper()
+	b, err := Fabricate(context.Background(), spec, size, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return b
+}
+
+func assemble(tb testing.TB, b *Batch, grid mcm.Grid, cfg AssembleConfig) ([]*AssembledMCM, Stats) {
+	tb.Helper()
+	mods, st, err := Assemble(context.Background(), b, grid, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return mods, st
+}

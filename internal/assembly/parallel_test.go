@@ -17,7 +17,7 @@ func TestFabricateWorkerCountInvariance(t *testing.T) {
 	fab := func(workers int) *Batch {
 		cfg := DefaultBatchConfig(2024)
 		cfg.Workers = workers
-		return Fabricate(spec, 400, cfg)
+		return fabricate(t, spec, 400, cfg)
 	}
 	serial := fab(1)
 	parallel := fab(8)
@@ -53,8 +53,8 @@ func TestFabricateWorkerCountInvarianceThroughAssembly(t *testing.T) {
 	build := func(workers int) (int, float64) {
 		cfg := DefaultBatchConfig(7)
 		cfg.Workers = workers
-		b := Fabricate(spec, 300, cfg)
-		mods, st := Assemble(b, grid, DefaultAssembleConfig(8))
+		b := fabricate(t, spec, 300, cfg)
+		mods, st := assemble(t, b, grid, DefaultAssembleConfig(8))
 		var sum float64
 		for _, m := range mods {
 			sum += m.EAvg()
@@ -77,6 +77,6 @@ func BenchmarkFabricate(b *testing.B) {
 	cfg.Workers = runtime.GOMAXPROCS(0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Fabricate(spec, 1000, cfg)
+		fabricate(b, spec, 1000, cfg)
 	}
 }

@@ -24,9 +24,9 @@ func TestAssemblyAccountingProperty(t *testing.T) {
 			cols = 2
 		}
 		cfg := DefaultBatchConfig(int64(seedRaw))
-		b := Fabricate(spec, size, cfg)
+		b := fabricate(t, spec, size, cfg)
 		grid := mcm.Grid{Rows: rows, Cols: cols, Spec: spec}
-		mods, st := Assemble(b, grid, DefaultAssembleConfig(int64(seedRaw)+1))
+		mods, st := assemble(t, b, grid, DefaultAssembleConfig(int64(seedRaw)+1))
 
 		if st.ChipsUsed+st.Leftover != st.FreeChiplets {
 			return false
@@ -65,8 +65,8 @@ func TestAssembledModulesAreCollisionFreeProperty(t *testing.T) {
 	grid := mcm.Grid{Rows: 2, Cols: 2, Spec: spec}
 	dev := mcm.MustBuild(grid)
 	cfg := DefaultBatchConfig(99)
-	b := Fabricate(spec, 400, cfg)
-	mods, _ := Assemble(b, grid, DefaultAssembleConfig(100))
+	b := fabricate(t, spec, 400, cfg)
+	mods, _ := assemble(t, b, grid, DefaultAssembleConfig(100))
 	if len(mods) == 0 {
 		t.Fatal("no modules to check")
 	}

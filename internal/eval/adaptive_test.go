@@ -16,7 +16,7 @@ import (
 func TestFig4AdaptivePrecisionSavesTrials(t *testing.T) {
 	cfg := DefaultConfig(1) // MonoBatch = 10^4, the paper-scale default
 	cfg.Precision = 0.01
-	cells := Fig4(cfg, 500)
+	cells := runFig4(t, cfg, 500)
 
 	total, points := 0, 0
 	for _, c := range cells {
@@ -51,7 +51,7 @@ func TestFig4AdaptiveWorkerInvariance(t *testing.T) {
 		cfg.MonoBatch = 2000
 		cfg.Precision = 0.02
 		cfg.Workers = workers
-		return Fig4(cfg, 120)
+		return runFig4(t, cfg, 120)
 	}
 	a, b := run(1), run(8)
 	if len(a) != len(b) {

@@ -1,0 +1,131 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// The cancellation contract for the experiment pipelines: a
+// pre-cancelled context returns ctx.Err() without doing work, a mid-run
+// cancellation returns promptly (bounded by one in-flight trial per
+// worker, i.e. well under a checkpoint), and no goroutines outlive the
+// call.
+
+func TestFig4PreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := Fig4(ctx, DefaultConfig(1), 1000)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("pre-cancelled Fig4 took %v", d)
+	}
+}
+
+func TestFig8PreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := Fig8(ctx, DefaultConfig(1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("pre-cancelled Fig8 took %v", d)
+	}
+}
+
+// midRunCancel runs fn against a paper-scale config, cancels the
+// context shortly after launch, and requires a prompt context.Canceled
+// return plus goroutine recovery to the pre-run baseline.
+func midRunCancel(t *testing.T, name string, fn func(ctx context.Context, cfg Config) error) {
+	t.Helper()
+	runtime.GC()
+	base := runtime.NumGoroutine()
+
+	cfg := DefaultConfig(31) // paper-scale batches: minutes if uncancelled
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	start := time.Now()
+	go func() { errc <- fn(ctx, cfg) }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s err = %v, want context.Canceled", name, err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("%s did not return within 10s of cancellation", name)
+	}
+	// Prompt: one in-flight trial per worker, not a full batch. A paper
+	// batch takes minutes; allow generous slack for slow CI machines.
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("%s returned %v after launch; cancellation not prompt", name, d)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s leaked goroutines: baseline %d, now %d",
+				name, base, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestFig4MidRunCancellation(t *testing.T) {
+	midRunCancel(t, "Fig4", func(ctx context.Context, cfg Config) error {
+		_, err := Fig4(ctx, cfg, 1000)
+		return err
+	})
+}
+
+func TestFig8MidRunCancellation(t *testing.T) {
+	midRunCancel(t, "Fig8", func(ctx context.Context, cfg Config) error {
+		_, err := Fig8(ctx, cfg)
+		return err
+	})
+}
+
+// TestProgressEventsReportTrialCounts wires a Progress hook through a
+// small Fig. 4 run and checks that per-device checkpoint events arrive
+// with sane monotone counts.
+func TestProgressEventsReportTrialCounts(t *testing.T) {
+	cfg := QuickConfig(5)
+	cfg.MonoBatch = 600
+	cfg.Workers = 4
+	events := make(chan Event, 4096)
+	cfg.Progress = func(e Event) {
+		select {
+		case events <- e:
+		default:
+		}
+	}
+	runFig4(t, cfg, 40)
+	close(events)
+	n := 0
+	for e := range events {
+		n++
+		if e.Label == "" {
+			t.Error("event with empty label")
+		}
+		if e.Done < 0 || e.Total <= 0 || e.Done > e.Total {
+			t.Errorf("implausible event %+v", e)
+		}
+	}
+	if n == 0 {
+		t.Error("no progress events delivered")
+	}
+}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"math"
 
 	"chipletqc/internal/assembly"
@@ -12,6 +13,10 @@ import (
 	"chipletqc/internal/topo"
 	"chipletqc/internal/yield"
 )
+
+// Event is the progress observation type delivered to Config.Progress
+// (an alias of runner.Event: label, units done, unit budget).
+type Event = runner.Event
 
 // Config scales the experiment harness. Full-paper settings are the
 // defaults; tests and benchmarks shrink the batches.
@@ -54,17 +59,41 @@ type Config struct {
 	// MaxTrials caps each adaptive simulation's budget; <= 0 falls back
 	// to the relevant fixed batch size (MonoBatch / ChipletBatch).
 	MaxTrials int
+
+	// Progress, when non-nil, receives streaming progress events from
+	// the experiment pipelines: per-device trial counts at every
+	// checkpoint of the yield Monte Carlo loops, and per-unit counts
+	// for the coarser fan-out stages (fabrication batches, assembled
+	// grids). Events may arrive concurrently from worker goroutines;
+	// the callback must be safe for concurrent use. Progress never
+	// affects results.
+	Progress func(Event)
+
+	// Registry knobs: the per-experiment parameters the cmd/figures
+	// catalog passed positionally before the Experiment registry
+	// existed. Entry points that take these values as explicit
+	// arguments (Fig4, Fig6, Fig10) ignore the Config fields; the
+	// registry wrappers read them. Zero values fall back to the
+	// paper-scale defaults inside each experiment.
+	Fig4MaxQubits int // Fig. 4 size-ladder bound (paper: ~10^3)
+	Fig6Batch     int // Fig. 6 chiplet batch (paper: 10^5)
+	Fig6MaxDim    int // Fig. 6 largest square dimension (default 7)
+	Fig10Samples  int // Fig. 10 device instances per architecture (default 3)
 }
 
 // DefaultConfig returns full-paper-scale settings.
 func DefaultConfig(seed int64) Config {
 	return Config{
-		Seed:         seed,
-		MonoBatch:    10000,
-		ChipletBatch: 10000,
-		MaxQubits:    500,
-		Fab:          fab.DefaultModel(),
-		Params:       collision.DefaultParams(),
+		Seed:          seed,
+		MonoBatch:     10000,
+		ChipletBatch:  10000,
+		MaxQubits:     500,
+		Fab:           fab.DefaultModel(),
+		Params:        collision.DefaultParams(),
+		Fig4MaxQubits: 1000,
+		Fig6Batch:     100000,
+		Fig6MaxDim:    7,
+		Fig10Samples:  5,
 	}
 }
 
@@ -73,6 +102,9 @@ func QuickConfig(seed int64) Config {
 	c := DefaultConfig(seed)
 	c.MonoBatch = 500
 	c.ChipletBatch = 500
+	c.Fig4MaxQubits = 200
+	c.Fig6Batch = 2000
+	c.Fig10Samples = 2
 	return c
 }
 
@@ -83,6 +115,13 @@ func (c *Config) det() *noise.DetuningModel {
 		c.Det = noise.DefaultDetuningModel(c.Seed + 1000003)
 	}
 	return c.Det
+}
+
+// progress emits a unit-level event when a Progress hook is installed.
+func (c *Config) progress(label string, done, total int) {
+	if c.Progress != nil {
+		c.Progress(Event{Label: label, Done: done, Total: total})
+	}
 }
 
 // batchConfig assembles the chiplet fabrication configuration.
@@ -97,6 +136,8 @@ func (c *Config) batchConfig(seedOffset int64) assembly.BatchConfig {
 }
 
 // yieldConfig assembles a collision-free yield simulation configuration.
+// The Progress hook is forwarded so long Monte Carlo campaigns report
+// per-device checkpoint counts.
 func (c *Config) yieldConfig(batch int, seed int64) yield.Config {
 	return yield.Config{
 		Batch:     batch,
@@ -106,6 +147,7 @@ func (c *Config) yieldConfig(batch int, seed int64) yield.Config {
 		Workers:   c.Workers,
 		Precision: c.Precision,
 		MaxTrials: c.MaxTrials,
+		Progress:  c.Progress,
 	}
 }
 
@@ -114,13 +156,13 @@ func (c *Config) yieldConfig(batch int, seed int64) yield.Config {
 // samples, plus the collision-free yield. Trials run concurrently, each
 // on its own (seed, index)-derived RNG stream, and samples are collected
 // in trial order, so the population is identical at any worker count.
-func (c *Config) monoPopulation(spec topo.ChipSpec, batch int, seedOffset int64) (eavgs []float64, yld float64) {
+func (c *Config) monoPopulation(ctx context.Context, spec topo.ChipSpec, batch int, seedOffset int64) (eavgs []float64, yld float64, err error) {
 	dev := topo.MonolithicDevice(spec)
 	checker := collision.NewChecker(dev, c.Params)
 	det := c.det()
 	edges := dev.G.Edges()
 	campaign := c.Seed + seedOffset
-	samples := runner.MapLocal(batch, c.Workers,
+	samples, err := runner.MapLocal(ctx, batch, c.Workers,
 		runner.NewScratch(dev.N),
 		func(l runner.Scratch, i int) float64 {
 			r := l.RNG.At(campaign, i)
@@ -139,6 +181,9 @@ func (c *Config) monoPopulation(spec topo.ChipSpec, batch int, seedOffset int64)
 			}
 			return sum / float64(len(edges))
 		})
+	if err != nil {
+		return nil, 0, err
+	}
 	for _, s := range samples {
 		if !math.IsNaN(s) {
 			eavgs = append(eavgs, s)
@@ -147,7 +192,7 @@ func (c *Config) monoPopulation(spec topo.ChipSpec, batch int, seedOffset int64)
 	if batch > 0 {
 		yld = float64(len(eavgs)) / float64(batch)
 	}
-	return eavgs, yld
+	return eavgs, yld, nil
 }
 
 // meanOrNaN returns the mean of xs or NaN when empty.

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -53,7 +54,7 @@ func TestLogFidelityTotalLoss(t *testing.T) {
 
 func TestFig1TradeoffShape(t *testing.T) {
 	cfg := QuickConfig(1)
-	rows := Fig1(cfg)
+	rows := runFig1(t, cfg)
 	if len(rows) != len(topo.Catalog) {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -81,7 +82,7 @@ func TestFig2WaferOutput(t *testing.T) {
 }
 
 func TestFig3bOrdering(t *testing.T) {
-	sums := Fig3b(QuickConfig(2))
+	sums := runFig3b(t, QuickConfig(2))
 	if len(sums) != 3 {
 		t.Fatalf("summaries = %d", len(sums))
 	}
@@ -94,7 +95,7 @@ func TestFig3bOrdering(t *testing.T) {
 func TestFig4SweepStructure(t *testing.T) {
 	cfg := QuickConfig(3)
 	cfg.MonoBatch = 100
-	cells := Fig4(cfg, 120)
+	cells := runFig4(t, cfg, 120)
 	if len(cells) != len(Fig4Steps)*len(Fig4Sigmas) {
 		t.Fatalf("cells = %d, want %d", len(cells), len(Fig4Steps)*len(Fig4Sigmas))
 	}
@@ -118,7 +119,7 @@ func TestFig4SweepStructure(t *testing.T) {
 
 func TestFig6Configurability(t *testing.T) {
 	cfg := QuickConfig(4)
-	res := Fig6(cfg, 2000, 5)
+	res := runFig6(t, cfg, 2000, 5)
 	if res.FreeChiplets == 0 {
 		t.Fatal("no free chiplets")
 	}
@@ -140,7 +141,7 @@ func TestFig6Configurability(t *testing.T) {
 }
 
 func TestFig7Statistics(t *testing.T) {
-	res := Fig7(QuickConfig(5))
+	res := runFig7(t, QuickConfig(5))
 	if len(res.Points) == 0 {
 		t.Fatal("no calibration points")
 	}
@@ -153,7 +154,7 @@ func TestFig7Statistics(t *testing.T) {
 }
 
 func TestTable2AllBenchmarksCompile(t *testing.T) {
-	rows, err := Table2(QuickConfig(6))
+	rows, err := runTable2(t, QuickConfig(6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestTable2AllBenchmarksCompile(t *testing.T) {
 }
 
 func TestEq1ExampleMatchesPaper(t *testing.T) {
-	res := Eq1Example(DefaultConfig(7))
+	res := runEq1(t, DefaultConfig(7))
 	// Paper: Ym ~ 0.11, Yc ~ 0.85, N = 850, gain ~ 7.7x.
 	if res.MonoYield < 0.06 || res.MonoYield > 0.18 {
 		t.Errorf("Ym = %v, want ~0.11", res.MonoYield)
@@ -194,7 +195,7 @@ func TestFig8SmallScale(t *testing.T) {
 	cfg.MaxQubits = 200
 	cfg.MonoBatch = 400
 	cfg.ChipletBatch = 400
-	res := Fig8(cfg)
+	res := runFig8(t, cfg)
 	if len(res.Points) == 0 {
 		t.Fatal("no Fig8 points")
 	}
@@ -232,7 +233,7 @@ func TestFig9SmallScale(t *testing.T) {
 	cfg.MaxQubits = 180
 	cfg.MonoBatch = 600
 	cfg.ChipletBatch = 600
-	res := Fig9(cfg)
+	res := runFig9(t, cfg)
 	if len(res) != 4 {
 		t.Fatalf("ratio maps = %d", len(res))
 	}
@@ -274,7 +275,7 @@ func TestFig10SmallScale(t *testing.T) {
 		{Rows: 2, Cols: 2, Spec: topo.ChipSpec{DenseRows: 2, Width: 8}}, // 80q of 20q chiplets
 		{Rows: 2, Cols: 2, Spec: topo.ChipSpec{DenseRows: 4, Width: 8}}, // 160q of 40q chiplets
 	}
-	pts, err := Fig10(cfg, grids, 2)
+	pts, err := runFig10(t, cfg, grids, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +303,10 @@ func TestMonoInstancesZeroYield(t *testing.T) {
 	cfg := QuickConfig(11)
 	cfg.MonoBatch = 50
 	dev := topo.MonolithicDevice(topo.MonolithicSpec(500))
-	got := monoInstances(cfg, dev, 3, 1, cfg.det())
+	got, err := monoInstances(context.Background(), cfg, dev, 3, 1, cfg.det())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != 0 {
 		t.Errorf("expected zero instances for 500q, got %d", len(got))
 	}
@@ -341,9 +345,9 @@ func TestFig10CorrelationOnRealPipeline(t *testing.T) {
 	cfg.MaxQubits = 400
 	cfg.MonoBatch = 800
 	cfg.ChipletBatch = 300
-	cells := Fig9(cfg)["state-of-art"]
+	cells := runFig9(t, cfg)["state-of-art"]
 	grids := mcm.SquareGrids(cfg.MaxQubits)
-	pts, err := Fig10(cfg, grids, 2)
+	pts, err := runFig10(t, cfg, grids, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"chipletqc/internal/assembly"
@@ -27,13 +28,17 @@ type Fig1Row struct {
 // Fig1 quantifies the conceptual trade-off of the paper's Fig. 1 with
 // the actual models: as module size grows, yield falls and average
 // infidelity rises.
-func Fig1(cfg Config) []Fig1Row {
+func Fig1(ctx context.Context, cfg Config) ([]Fig1Row, error) {
 	out := make([]Fig1Row, 0, len(topo.Catalog))
 	for i, cs := range topo.Catalog {
-		eavgs, yld := cfg.monoPopulation(cs.Spec, cfg.ChipletBatch, 100+int64(i))
+		eavgs, yld, err := cfg.monoPopulation(ctx, cs.Spec, cfg.ChipletBatch, 100+int64(i))
+		if err != nil {
+			return nil, err
+		}
 		out = append(out, Fig1Row{Qubits: cs.Qubits, Yield: yld, EAvg: meanOrNaN(eavgs)})
+		cfg.progress("fig1", i+1, len(topo.Catalog))
 	}
-	return out
+	return out, nil
 }
 
 // --- Fig. 2: wafer output, monolithic vs chiplet ---------------------------
@@ -51,7 +56,9 @@ type Fig2Result struct {
 
 // Fig2 computes the comparison. Each defect is assumed to kill one die
 // (defects beyond the die count are ignored), matching the figure's
-// seven-faulty-devices illustration.
+// seven-faulty-devices illustration. It is pure arithmetic — the one
+// experiment entry point without a context, since there is nothing to
+// cancel.
 func Fig2(monoDies, chipletsPerMono, defects int) Fig2Result {
 	r := Fig2Result{
 		MonoDies:    monoDies,
@@ -78,8 +85,11 @@ var Fig3bSizes = []int{27, 65, 127}
 
 // Fig3b generates box-plot summaries of per-coupling CX infidelity for
 // the three processor sizes over 15 calibration cycles.
-func Fig3b(cfg Config) []stats.Summary {
-	return noise.SizeSeries(Fig3bSizes, 15, cfg.Seed+300, noise.DefaultCalibConfig())
+func Fig3b(ctx context.Context, cfg Config) ([]stats.Summary, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return noise.SizeSeries(Fig3bSizes, 15, cfg.Seed+300, noise.DefaultCalibConfig()), nil
 }
 
 // --- Fig. 4: collision-free yield vs qubits --------------------------------
@@ -91,14 +101,16 @@ var (
 )
 
 // Fig4 runs the detuning x precision yield sweep over a monolithic size
-// ladder up to cfg.MaxQubits (the paper sweeps to ~10^3 qubits).
-func Fig4(cfg Config, maxQubits int) []yield.SweepCell {
+// ladder up to maxQubits (the paper sweeps to ~10^3 qubits; <= 0
+// defaults to 1000). Cancelling ctx aborts the sweep within one
+// in-flight trial per worker.
+func Fig4(ctx context.Context, cfg Config, maxQubits int) ([]yield.SweepCell, error) {
 	if maxQubits <= 0 {
 		maxQubits = 1000
 	}
 	ycfg := cfg.yieldConfig(cfg.MonoBatch, cfg.Seed+400)
 	sizes := yield.SizeLadder(maxQubits)
-	return yield.Sweep(Fig4Steps, Fig4Sigmas, sizes, ycfg)
+	return yield.Sweep(ctx, Fig4Steps, Fig4Sigmas, sizes, ycfg)
 }
 
 // --- Fig. 6: MCM configurability --------------------------------------------
@@ -123,7 +135,7 @@ type Fig6Result struct {
 // Fig6 reproduces the configurability analysis: a batch of 20-qubit
 // chiplets (paper: 10^5 units, ~69.4% yield) feeding square MCMs of
 // growing dimension.
-func Fig6(cfg Config, batch int, maxDim int) Fig6Result {
+func Fig6(ctx context.Context, cfg Config, batch int, maxDim int) (Fig6Result, error) {
 	if batch <= 0 {
 		batch = 100000
 	}
@@ -132,9 +144,12 @@ func Fig6(cfg Config, batch int, maxDim int) Fig6Result {
 	}
 	spec, err := topo.SpecForQubits(20)
 	if err != nil {
-		panic(err)
+		return Fig6Result{}, err
 	}
-	b := assembly.Fabricate(spec, batch, cfg.batchConfig(600))
+	b, err := assembly.Fabricate(ctx, spec, batch, cfg.batchConfig(600))
+	if err != nil {
+		return Fig6Result{}, err
+	}
 	res := Fig6Result{Batch: batch, FreeChiplets: len(b.Free), Yield: b.Yield()}
 	for m := 2; m <= maxDim; m++ {
 		chips := m * m
@@ -145,7 +160,7 @@ func Fig6(cfg Config, batch int, maxDim int) Fig6Result {
 			MaxMCMs:      assembly.MaxAssemblies(len(b.Free), chips),
 		})
 	}
-	return res
+	return res, nil
 }
 
 // --- Fig. 7: CX infidelity vs detuning --------------------------------------
@@ -159,7 +174,10 @@ type Fig7Result struct {
 }
 
 // Fig7 generates the calibration dataset behind the on-chip error model.
-func Fig7(cfg Config) Fig7Result {
+func Fig7(ctx context.Context, cfg Config) (Fig7Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Fig7Result{}, err
+	}
 	pts := noise.DefaultCalibration(cfg.Seed + 700)
 	var ys []float64
 	for _, p := range pts {
@@ -169,7 +187,7 @@ func Fig7(cfg Config) Fig7Result {
 		Points: pts,
 		Median: stats.Median(ys),
 		Mean:   stats.Mean(ys),
-	}
+	}, nil
 }
 
 // --- Table II: compiled benchmark details -----------------------------------
@@ -188,9 +206,14 @@ var Table2Chiplets = []int{10, 20, 40, 60, 90}
 
 // Table2 compiles the seven benchmarks onto 2x2 MCMs of the Table II
 // chiplet sizes at 80% utilisation and reports 1q / 2q / 2q-critical.
-func Table2(cfg Config) ([]Table2Row, error) {
+// The context is checked between systems (compilation is CPU-bound but
+// short per system).
+func Table2(ctx context.Context, cfg Config) ([]Table2Row, error) {
 	var out []Table2Row
-	for _, cq := range Table2Chiplets {
+	for i, cq := range Table2Chiplets {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		spec, err := topo.SpecForQubits(cq)
 		if err != nil {
 			return nil, err
@@ -212,6 +235,7 @@ func Table2(cfg Config) ([]Table2Row, error) {
 				Counts:        r.Counts,
 			})
 		}
+		cfg.progress("table2", i+1, len(Table2Chiplets))
 	}
 	return out, nil
 }
@@ -230,7 +254,7 @@ type Eq1Result struct {
 // Eq1Example reproduces Section V-C: B = 1000 monolithic 100-qubit dies
 // versus 2x5 MCMs of 10-qubit chiplets on the same wafer area, using
 // simulated yields (paper: Ym ~ 0.11, Yc ~ 0.85, gain ~ 7.7x).
-func Eq1Example(cfg Config) Eq1Result {
+func Eq1Example(ctx context.Context, cfg Config) (Eq1Result, error) {
 	const (
 		batch = 1000
 		qm    = 100
@@ -238,12 +262,18 @@ func Eq1Example(cfg Config) Eq1Result {
 		chips = 10 // 2 x 5
 	)
 	ycfg := cfg.yieldConfig(batch, cfg.Seed+900)
-	mono := yield.Simulate(topo.MonolithicDevice(topo.MonolithicSpec(qm)), ycfg)
+	mono, err := yield.Simulate(ctx, topo.MonolithicDevice(topo.MonolithicSpec(qm)), ycfg)
+	if err != nil {
+		return Eq1Result{}, err
+	}
 	spec, err := topo.SpecForQubits(qc)
 	if err != nil {
-		panic(err)
+		return Eq1Result{}, err
 	}
-	chipRes := yield.Simulate(topo.MonolithicDevice(spec), ycfg)
+	chipRes, err := yield.Simulate(ctx, topo.MonolithicDevice(spec), ycfg)
+	if err != nil {
+		return Eq1Result{}, err
+	}
 	res := Eq1Result{
 		MonoYield:    mono.Fraction(),
 		ChipletYield: chipRes.Fraction(),
@@ -253,5 +283,5 @@ func Eq1Example(cfg Config) Eq1Result {
 	if res.MonoDevices > 0 {
 		res.Gain = res.MCMDevices / res.MonoDevices
 	}
-	return res
+	return res, nil
 }

@@ -1,7 +1,9 @@
 package eval
 
 import (
+	"context"
 	"sort"
+	"sync/atomic"
 
 	"chipletqc/internal/assembly"
 	"chipletqc/internal/mcm"
@@ -48,8 +50,9 @@ type Fig8Result struct {
 // MCM system up to cfg.MaxQubits. The three stages — chiplet batch
 // fabrication, monolithic yield simulation, and per-grid assembly — each
 // fan out over cfg.Workers; every unit is independently seeded, so the
-// result is identical at any worker count.
-func Fig8(cfg Config) Fig8Result {
+// result is identical at any worker count. Cancelling ctx aborts the
+// run within one in-flight trial per worker and returns ctx.Err().
+func Fig8(ctx context.Context, cfg Config) (Fig8Result, error) {
 	cfg.det() // resolve the shared detuning model before fanning out
 	grids := mcm.EnumerateGrids(cfg.MaxQubits)
 
@@ -59,9 +62,17 @@ func Fig8(cfg Config) Fig8Result {
 	fabOuter, fabInner := runner.Split(cfg.Workers, len(topo.Catalog))
 	fabCfg := cfg
 	fabCfg.Workers = fabInner
-	batchList := runner.Map(len(topo.Catalog), fabOuter, func(i int) *assembly.Batch {
-		return assembly.Fabricate(topo.Catalog[i].Spec, cfg.ChipletBatch, fabCfg.batchConfig(1100+int64(i)))
+	var fabDone atomic.Int64
+	batchList, err := runner.Map(ctx, len(topo.Catalog), fabOuter, func(i int) *assembly.Batch {
+		// A nested cancellation surfaces through the outer Map's own
+		// context check, so the per-batch error can be dropped here.
+		b, _ := assembly.Fabricate(ctx, topo.Catalog[i].Spec, cfg.ChipletBatch, fabCfg.batchConfig(1100+int64(i)))
+		cfg.progress("fig8/fabricate", int(fabDone.Add(1)), len(topo.Catalog))
+		return b
 	})
+	if err != nil {
+		return Fig8Result{}, err
+	}
 	batches := map[int]*assembly.Batch{}
 	for i, cs := range topo.Catalog {
 		batches[cs.Qubits] = batchList[i]
@@ -77,12 +88,18 @@ func Fig8(cfg Config) Fig8Result {
 		}
 	}
 	monoOuter, monoInner := runner.Split(cfg.Workers, len(monoQubits))
-	monoList := runner.Map(len(monoQubits), monoOuter, func(i int) yield.Result {
+	var monoDone atomic.Int64
+	monoList, err := runner.Map(ctx, len(monoQubits), monoOuter, func(i int) yield.Result {
 		q := monoQubits[i]
 		ycfg := cfg.yieldConfig(cfg.MonoBatch, cfg.Seed+1200+int64(q))
 		ycfg.Workers = monoInner
-		return yield.Simulate(topo.MonolithicDevice(topo.MonolithicSpec(q)), ycfg)
+		res, _ := yield.Simulate(ctx, topo.MonolithicDevice(topo.MonolithicSpec(q)), ycfg)
+		cfg.progress("fig8/mono", int(monoDone.Add(1)), len(monoQubits))
+		return res
 	})
+	if err != nil {
+		return Fig8Result{}, err
+	}
 	monoYield := map[int]yield.Result{}
 	for i, q := range monoQubits {
 		monoYield[q] = monoList[i]
@@ -97,14 +114,16 @@ func Fig8(cfg Config) Fig8Result {
 	}
 
 	// Assembly is read-only on the shared batches, so grids fan out too.
-	res.Points = runner.Map(len(grids), cfg.Workers, func(gi int) Fig8Point {
+	var asmDone atomic.Int64
+	res.Points, err = runner.Map(ctx, len(grids), cfg.Workers, func(gi int) Fig8Point {
 		g := grids[gi]
 		b := batches[g.Spec.Qubits()]
 		acfg := assembly.DefaultAssembleConfig(cfg.Seed + 1300 + int64(gi))
-		_, st := assembly.Assemble(b, g, acfg)
+		_, st, _ := assembly.Assemble(ctx, b, g, acfg)
 		// 100x bump-bond failure sensitivity (the paper's dashed line).
 		y100 := st.AssemblyYield * assembly.BondSurvival(st.LinkedQubits, 100)
 		mono := monoYield[g.Qubits()]
+		cfg.progress("fig8/assemble", int(asmDone.Add(1)), len(grids))
 		return Fig8Point{
 			Grid:         g,
 			Qubits:       g.Qubits(),
@@ -117,6 +136,9 @@ func Fig8(cfg Config) Fig8Result {
 			MonoCIHi:     mono.CIHi,
 		}
 	})
+	if err != nil {
+		return Fig8Result{}, err
+	}
 
 	mcmYieldSums := map[int]float64{}
 	monoYieldSums := map[int]float64{}
@@ -146,5 +168,5 @@ func Fig8(cfg Config) Fig8Result {
 		}
 		return a.Qubits < b.Qubits
 	})
-	return res
+	return res, nil
 }

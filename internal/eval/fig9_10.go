@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"chipletqc/internal/assembly"
 	"chipletqc/internal/collision"
@@ -45,7 +46,26 @@ type Fig9Cell struct {
 // KGD post-selection ("speed binning") offset the higher link error:
 // when monolithic yield is tiny, the matching MCM population is an elite
 // slice of a much larger supply.
-func Fig9(cfg Config) map[string][]Fig9Cell {
+func Fig9(ctx context.Context, cfg Config) (map[string][]Fig9Cell, error) {
+	return fig9Ratios(ctx, cfg, Fig9Ratios)
+}
+
+// Fig9StateOfArt computes only the state-of-art cells — the subset the
+// Fig. 10(b) correlation consumes — at a quarter of the full link sweep's
+// resampling cost (the fabricate/assemble/mono pipeline dominates either
+// way).
+func Fig9StateOfArt(ctx context.Context, cfg Config) ([]Fig9Cell, error) {
+	res, err := fig9Ratios(ctx, cfg, Fig9Ratios[:1])
+	if err != nil {
+		return nil, err
+	}
+	return res[Fig9Ratios[0]], nil
+}
+
+// fig9Ratios runs the Fig. 9 pipeline for a subset of the ratio sweep.
+// Each ratio resamples links from its own freshly seeded stream, so a
+// subset's cells are bit-identical to the same cells of the full sweep.
+func fig9Ratios(ctx context.Context, cfg Config, ratios []string) (map[string][]Fig9Cell, error) {
 	cfg.det() // resolve the shared detuning model before fanning out
 	grids := mcm.SquareGrids(cfg.MaxQubits)
 	links := noise.LinkRatioModels(noise.ChipMeanInfidelity)
@@ -59,18 +79,28 @@ func Fig9(cfg Config) map[string][]Fig9Cell {
 	outer, inner := runner.Split(cfg.Workers, len(grids))
 	icfg := cfg
 	icfg.Workers = inner
-	perGrid := runner.Map(len(grids), outer, func(gi int) []Fig9Cell {
+	var gridsDone atomic.Int64
+	perGrid, err := runner.Map(ctx, len(grids), outer, func(gi int) []Fig9Cell {
 		g := grids[gi]
 		cfg := icfg
 		// Wafer-area scaling: a qm-qubit monolithic die's area hosts
 		// qm/qc chiplets, so B monolithic dies correspond to B*chips
 		// chiplet dies for an MCM of `chips` chiplets.
 		scaled := cfg.ChipletBatch * g.Chips()
-		b := assembly.Fabricate(g.Spec, scaled, cfg.batchConfig(2100+int64(gi)))
+		b, err := assembly.Fabricate(ctx, g.Spec, scaled, cfg.batchConfig(2100+int64(gi)))
+		if err != nil {
+			return nil // cancellation: surfaced by the outer Map
+		}
 		acfg := assembly.DefaultAssembleConfig(cfg.Seed + 2200 + int64(gi))
-		mods, _ := assembly.Assemble(b, g, acfg)
+		mods, _, err := assembly.Assemble(ctx, b, g, acfg)
+		if err != nil {
+			return nil
+		}
 
-		monoEavgs, _ := cfg.monoPopulation(g.MonolithicCounterpart(), cfg.MonoBatch, 2300+int64(gi))
+		monoEavgs, _, err := cfg.monoPopulation(ctx, g.MonolithicCounterpart(), cfg.MonoBatch, 2300+int64(gi))
+		if err != nil {
+			return nil
+		}
 		monoMean := meanOrNaN(monoEavgs)
 
 		// Equal-count population: the top-K MCMs (the bin is sorted, so
@@ -81,8 +111,8 @@ func Fig9(cfg Config) map[string][]Fig9Cell {
 			sel = sel[:k]
 		}
 
-		cells := make([]Fig9Cell, 0, len(Fig9Ratios))
-		for _, name := range Fig9Ratios {
+		cells := make([]Fig9Cell, 0, len(ratios))
+		for _, name := range ratios {
 			link := links[name]
 			r := runner.Rand(cfg.Seed+2400, gi)
 			var eavgs []float64
@@ -104,16 +134,20 @@ func Fig9(cfg Config) map[string][]Fig9Cell {
 			}
 			cells = append(cells, cell)
 		}
+		cfg.progress("fig9", int(gridsDone.Add(1)), len(grids))
 		return cells
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	out := map[string][]Fig9Cell{}
 	for _, cells := range perGrid {
-		for i, name := range Fig9Ratios {
+		for i, name := range ratios {
 			out[name] = append(out[name], cells[i])
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Fig10Point is one benchmark evaluated on one MCM system against its
@@ -141,7 +175,7 @@ func (p Fig10Point) Ratio() float64 { return math.Exp(p.LogRatio) }
 // Systems fan out over cfg.Workers; a compile failure on any system
 // cancels the remaining work and the lowest-indexed error is returned,
 // so both results and errors are deterministic at any worker count.
-func Fig10(cfg Config, grids []mcm.Grid, samples int) ([]Fig10Point, error) {
+func Fig10(ctx context.Context, cfg Config, grids []mcm.Grid, samples int) ([]Fig10Point, error) {
 	if samples < 1 {
 		samples = 3
 	}
@@ -151,9 +185,14 @@ func Fig10(cfg Config, grids []mcm.Grid, samples int) ([]Fig10Point, error) {
 	outer, inner := runner.Split(cfg.Workers, len(grids))
 	icfg := cfg
 	icfg.Workers = inner
-	perGrid, err := runner.MapErr(context.Background(), len(grids), outer, func(gi int) ([]Fig10Point, error) {
+	var gridsDone atomic.Int64
+	perGrid, err := runner.MapErr(ctx, len(grids), outer, func(gi int) ([]Fig10Point, error) {
 		g := grids[gi]
-		return fig10System(icfg, g, gi, samples, det)
+		pts, err := fig10System(ctx, icfg, g, gi, samples, det)
+		if err == nil {
+			cfg.progress("fig10", int(gridsDone.Add(1)), len(grids))
+		}
+		return pts, err
 	})
 	if err != nil {
 		return nil, err
@@ -167,18 +206,24 @@ func Fig10(cfg Config, grids []mcm.Grid, samples int) ([]Fig10Point, error) {
 
 // fig10System evaluates the benchmark suite on one MCM system against
 // its monolithic counterpart.
-func fig10System(cfg Config, g mcm.Grid, gi, samples int, det *noise.DetuningModel) ([]Fig10Point, error) {
+func fig10System(ctx context.Context, cfg Config, g mcm.Grid, gi, samples int, det *noise.DetuningModel) ([]Fig10Point, error) {
 	var out []Fig10Point
 	// MCM side: assemble instances from a wafer-area-scaled batch
 	// and keep the best `samples` (equal-count selection, matching
 	// the Fig. 9 comparison semantics).
 	scaled := cfg.ChipletBatch * g.Chips()
-	b := assembly.Fabricate(g.Spec, scaled, cfg.batchConfig(3100+int64(gi)))
+	b, err := assembly.Fabricate(ctx, g.Spec, scaled, cfg.batchConfig(3100+int64(gi)))
+	if err != nil {
+		return nil, err
+	}
 	acfg := assembly.DefaultAssembleConfig(cfg.Seed + 3200 + int64(gi))
 	if cfg.LinkMean > 0 {
 		acfg.Link = acfg.Link.WithMean(cfg.LinkMean)
 	}
-	mods, _ := assembly.Assemble(b, g, acfg)
+	mods, _, err := assembly.Assemble(ctx, b, g, acfg)
+	if err != nil {
+		return nil, err
+	}
 	if len(mods) > samples {
 		mods = mods[:samples]
 	}
@@ -187,7 +232,10 @@ func fig10System(cfg Config, g mcm.Grid, gi, samples int, det *noise.DetuningMod
 
 	// Monolithic side: collision-free instances with error maps.
 	monoDev := topo.MonolithicDevice(g.MonolithicCounterpart())
-	monoAssignments := monoInstances(cfg, monoDev, samples, 3300+int64(gi), det)
+	monoAssignments, err := monoInstances(ctx, cfg, monoDev, samples, 3300+int64(gi), det)
+	if err != nil {
+		return nil, err
+	}
 
 	// Link-aware routing penalises seam crossings by the state-of-art
 	// error ratio when enabled.
@@ -199,6 +247,9 @@ func fig10System(cfg Config, g mcm.Grid, gi, samples int, det *noise.DetuningMod
 
 	width := qbench.UtilizedQubits(g.Qubits())
 	for _, bs := range qbench.Suite() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		circ := bs.Generate(width, cfg.Seed+3400)
 		mcmRes, err := compiler.CompileWithOptions(circ, mcmDev, mcmOpts)
 		if err != nil {
@@ -246,9 +297,9 @@ func fig10System(cfg Config, g mcm.Grid, gi, samples int, det *noise.DetuningMod
 // derived RNG stream; selection keeps the first `want` collision-free
 // trial indices, so the instances are identical at any worker count
 // while the scan still stops early once enough survivors are found.
-func monoInstances(cfg Config, dev *topo.Device, want int, seedOffset int64, det *noise.DetuningModel) []noise.Assignment {
+func monoInstances(ctx context.Context, cfg Config, dev *topo.Device, want int, seedOffset int64, det *noise.DetuningModel) ([]noise.Assignment, error) {
 	if want <= 0 || cfg.MonoBatch <= 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	checker := collision.NewChecker(dev, cfg.Params)
 	link := noise.DefaultLinkModel()
@@ -261,7 +312,7 @@ func monoInstances(cfg Config, dev *topo.Device, want int, seedOffset int64, det
 		if hi > cfg.MonoBatch {
 			hi = cfg.MonoBatch
 		}
-		found := runner.MapLocal(hi-lo, cfg.Workers,
+		found, err := runner.MapLocal(ctx, hi-lo, cfg.Workers,
 			runner.NewScratch(dev.N),
 			func(l runner.Scratch, j int) *noise.Assignment {
 				r := l.RNG.At(campaign, lo+j)
@@ -272,6 +323,9 @@ func monoInstances(cfg Config, dev *topo.Device, want int, seedOffset int64, det
 				a := noise.Assign(r, dev, l.Buf, det, link)
 				return &a
 			})
+		if err != nil {
+			return nil, err
+		}
 		for _, a := range found {
 			if a != nil {
 				out = append(out, *a)
@@ -281,5 +335,5 @@ func monoInstances(cfg Config, dev *topo.Device, want int, seedOffset int64, det
 			}
 		}
 	}
-	return out
+	return out, nil
 }

@@ -123,7 +123,7 @@ type goldenFig4Cell struct {
 
 func TestGoldenFig4(t *testing.T) {
 	cfg := goldenConfig()
-	cells := Fig4(cfg, 120)
+	cells := runFig4(t, cfg, 120)
 	got := make([]goldenFig4Cell, len(cells))
 	for i, c := range cells {
 		gc := goldenFig4Cell{Step: c.Step, Sigma: c.Sigma}
@@ -174,7 +174,7 @@ type goldenFig8Point struct {
 }
 
 func TestGoldenFig8(t *testing.T) {
-	res := Fig8(goldenConfig())
+	res := runFig8(t, goldenConfig())
 	got := goldenFig8{
 		Chiplt: map[string]float64{},
 		Improv: map[string]float64{},
@@ -229,7 +229,7 @@ type goldenFig9Cell struct {
 }
 
 func TestGoldenFig9(t *testing.T) {
-	res := Fig9(goldenConfig())
+	res := runFig9(t, goldenConfig())
 	got := map[string][]goldenFig9Cell{}
 	for _, name := range Fig9Ratios {
 		for _, c := range res[name] {
@@ -279,7 +279,7 @@ func TestGoldenFig10(t *testing.T) {
 		{Rows: 2, Cols: 2, Spec: topo.ChipSpec{DenseRows: 2, Width: 8}}, // 80q of 20q chiplets
 		{Rows: 2, Cols: 2, Spec: topo.ChipSpec{DenseRows: 4, Width: 8}}, // 160q of 40q chiplets
 	}
-	pts, err := Fig10(cfg, grids, 2)
+	pts, err := runFig10(t, cfg, grids, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

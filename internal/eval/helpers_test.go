@@ -1,0 +1,94 @@
+package eval
+
+import (
+	"context"
+	"testing"
+
+	"chipletqc/internal/mcm"
+	"chipletqc/internal/stats"
+	"chipletqc/internal/yield"
+)
+
+// Test-side wrappers over the ctx-first experiment API: they run under
+// context.Background() and fail the test on an unexpected error, so the
+// statistics and determinism tests stay focused on their assertions.
+
+func runFig1(tb testing.TB, cfg Config) []Fig1Row {
+	tb.Helper()
+	rows, err := Fig1(context.Background(), cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return rows
+}
+
+func runFig3b(tb testing.TB, cfg Config) []stats.Summary {
+	tb.Helper()
+	sums, err := Fig3b(context.Background(), cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sums
+}
+
+func runFig4(tb testing.TB, cfg Config, maxQubits int) []yield.SweepCell {
+	tb.Helper()
+	cells, err := Fig4(context.Background(), cfg, maxQubits)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return cells
+}
+
+func runFig6(tb testing.TB, cfg Config, batch, maxDim int) Fig6Result {
+	tb.Helper()
+	res, err := Fig6(context.Background(), cfg, batch, maxDim)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res
+}
+
+func runFig7(tb testing.TB, cfg Config) Fig7Result {
+	tb.Helper()
+	res, err := Fig7(context.Background(), cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res
+}
+
+func runFig8(tb testing.TB, cfg Config) Fig8Result {
+	tb.Helper()
+	res, err := Fig8(context.Background(), cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res
+}
+
+func runFig9(tb testing.TB, cfg Config) map[string][]Fig9Cell {
+	tb.Helper()
+	res, err := Fig9(context.Background(), cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res
+}
+
+func runFig10(tb testing.TB, cfg Config, grids []mcm.Grid, samples int) ([]Fig10Point, error) {
+	return Fig10(context.Background(), cfg, grids, samples)
+}
+
+func runTable2(tb testing.TB, cfg Config) ([]Table2Row, error) {
+	return Table2(context.Background(), cfg)
+}
+
+func runEq1(tb testing.TB, cfg Config) Eq1Result {
+	tb.Helper()
+	res, err := Eq1Example(context.Background(), cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res
+}

@@ -25,8 +25,8 @@ func tinyConfig(seed int64, workers int) Config {
 // the parallel Fig. 8 pipeline: workers=1 and workers=8 must produce
 // identical results for the same seed.
 func TestFig8WorkerCountInvariance(t *testing.T) {
-	serial := Fig8(tinyConfig(11, 1))
-	parallel := Fig8(tinyConfig(11, 8))
+	serial := runFig8(t, tinyConfig(11, 1))
+	parallel := runFig8(t, tinyConfig(11, 8))
 	if !reflect.DeepEqual(serial, parallel) {
 		t.Errorf("Fig8 diverged across worker counts:\nserial:   %+v\nparallel: %+v",
 			serial, parallel)
@@ -37,8 +37,8 @@ func TestFig8WorkerCountInvariance(t *testing.T) {
 // parallel monoPopulation underneath it. NaN-valued cells (zero
 // monolithic yield) compare by position rather than value.
 func TestFig9WorkerCountInvariance(t *testing.T) {
-	serial := Fig9(tinyConfig(12, 1))
-	parallel := Fig9(tinyConfig(12, 8))
+	serial := runFig9(t, tinyConfig(12, 1))
+	parallel := runFig9(t, tinyConfig(12, 8))
 	if len(serial) != len(parallel) {
 		t.Fatalf("ratio sets differ: %d vs %d", len(serial), len(parallel))
 	}
@@ -64,11 +64,11 @@ func TestFig9WorkerCountInvariance(t *testing.T) {
 // chunked monoInstances scan.
 func TestFig10WorkerCountInvariance(t *testing.T) {
 	grids := mcm.EnumerateGrids(80)
-	serial, err := Fig10(tinyConfig(13, 1), grids, 2)
+	serial, err := runFig10(t, tinyConfig(13, 1), grids, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := Fig10(tinyConfig(13, 8), grids, 2)
+	parallel, err := runFig10(t, tinyConfig(13, 8), grids, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func BenchmarkFig8(b *testing.B) {
 	b.ResetTimer()
 	var res Fig8Result
 	for i := 0; i < b.N; i++ {
-		res = Fig8(cfg)
+		res = runFig8(b, cfg)
 	}
 	b.ReportMetric(res.ChipletYields[20], "chipyield@20q")
 }

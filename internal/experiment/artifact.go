@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"chipletqc/internal/eval"
+	"chipletqc/internal/report"
+)
+
+// Artifact is the self-describing result of one experiment run. It is
+// JSON-serializable as-is (WriteJSON) and has a stable text rendering
+// (WriteText) that replaces the ad-hoc per-figure writers the cmd tools
+// used to carry.
+type Artifact struct {
+	// Name is the experiment's registry name.
+	Name string `json:"name"`
+	// Description is the experiment's one-line summary.
+	Description string `json:"description"`
+	// Seed is the RNG seed the run was parameterised with.
+	Seed int64 `json:"seed"`
+	// Fingerprint is a short stable hash of every determinism-relevant
+	// config field (see Fingerprint): two artifacts with equal
+	// (Name, Seed, Fingerprint) carry identical payloads.
+	Fingerprint string `json:"config_fingerprint"`
+	// WallSeconds is the wall-clock run time. It is excluded from the
+	// text rendering, which must be byte-stable for a given config.
+	WallSeconds float64 `json:"wall_time_seconds"`
+	// Trials counts the Monte Carlo trials the run scheduled across its
+	// pipelines (0 for purely analytic experiments).
+	Trials int `json:"trials"`
+	// Payload is the figure/table data itself.
+	Payload *report.Table `json:"payload"`
+}
+
+// WriteText renders the artifact as a deterministic text report: a
+// header of the identifying metadata (wall time deliberately omitted)
+// followed by the payload table.
+func (a Artifact) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# experiment: %s\n# description: %s\n# seed: %d  config: %s  trials: %d\n\n",
+		a.Name, a.Description, a.Seed, a.Fingerprint, a.Trials); err != nil {
+		return err
+	}
+	if a.Payload == nil {
+		return nil
+	}
+	return a.Payload.WriteText(w)
+}
+
+// WriteJSON renders the artifact as indented JSON.
+func (a Artifact) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// WriteCSV renders only the payload table as CSV.
+func (a Artifact) WriteCSV(w io.Writer) error {
+	if a.Payload == nil {
+		return nil
+	}
+	return a.Payload.WriteCSV(w)
+}
+
+// String returns the text rendering.
+func (a Artifact) String() string {
+	var sb strings.Builder
+	_ = a.WriteText(&sb)
+	return sb.String()
+}
+
+// Fingerprint hashes every determinism-relevant field of an experiment
+// config into a short stable token. Workers and Progress are excluded —
+// results are worker-count invariant and progress never affects them —
+// as is a custom Det model (callers injecting one are flagged with a
+// "det=custom" component, since the model itself has no canonical
+// serialisation).
+func Fingerprint(cfg eval.Config) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "seed=%d;mono=%d;chip=%d;maxq=%d;", cfg.Seed, cfg.MonoBatch, cfg.ChipletBatch, cfg.MaxQubits)
+	fmt.Fprintf(&sb, "fab=%g/%g/%g;", cfg.Fab.Plan.Base, cfg.Fab.Plan.Step, cfg.Fab.Sigma)
+	fmt.Fprintf(&sb, "params=%+v;", cfg.Params)
+	fmt.Fprintf(&sb, "linkaware=%t;linkmean=%g;", cfg.LinkAwareRouting, cfg.LinkMean)
+	fmt.Fprintf(&sb, "precision=%g;maxtrials=%d;", cfg.Precision, cfg.MaxTrials)
+	fmt.Fprintf(&sb, "fig4max=%d;fig6batch=%d;fig6dim=%d;fig10samples=%d;",
+		cfg.Fig4MaxQubits, cfg.Fig6Batch, cfg.Fig6MaxDim, cfg.Fig10Samples)
+	if cfg.Det != nil {
+		sb.WriteString("det=custom;")
+	}
+	sum := sha256.Sum256([]byte(sb.String()))
+	return fmt.Sprintf("%x", sum[:6])
+}

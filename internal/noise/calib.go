@@ -19,6 +19,7 @@ import (
 	"math/rand"
 
 	"chipletqc/internal/fab"
+	"chipletqc/internal/runner"
 	"chipletqc/internal/stats"
 	"chipletqc/internal/topo"
 )
@@ -128,9 +129,14 @@ type CalibPoint struct {
 // a synthetic device of the given spec (frequency spread sigmaF), then
 // observe each coupling's CX infidelity over `cycles` calibration cycles and
 // average. The returned points are the Fig. 7 scatter.
+//
+// Since the v1 API revision the draws come from the runner's O(1)-seeded
+// SplitMix64 trial streams instead of stdlib rand.NewSource — a one-time
+// change of the synthetic dataset (statistically equivalent; the golden
+// figures were regenerated alongside).
 func CalibrationRun(spec topo.ChipSpec, sigmaF float64, cycles int, seed int64, cfg CalibConfig) []CalibPoint {
 	d := topo.MonolithicDevice(spec)
-	r := rand.New(rand.NewSource(seed))
+	r := runner.Rand(seed, 0)
 	model := fab.Model{Plan: topo.DefaultFreqPlan, Sigma: sigmaF}
 	f := model.Sample(r, d)
 	edges := d.G.Edges()
@@ -172,7 +178,7 @@ func SizeSeries(sizes []int, cycles int, seed int64, cfg CalibConfig) []stats.Su
 	for i, n := range sizes {
 		spec := topo.MonolithicSpec(n)
 		d := topo.MonolithicDevice(spec)
-		r := rand.New(rand.NewSource(seed + int64(i)*7919))
+		r := runner.Rand(seed, i)
 		sigma := FreqSpreadFig7 * (0.7 + 0.3*float64(n)/127.0)
 		model := fab.Model{Plan: topo.DefaultFreqPlan, Sigma: sigma}
 		var obs []float64

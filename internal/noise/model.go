@@ -87,9 +87,15 @@ func DefaultLinkModel() LinkModel {
 
 // WithMean rescales the distribution to the given arithmetic mean while
 // keeping the lognormal shape, implementing the Fig. 9 e_link sweeps.
+// A mean of exactly 0 yields the degenerate perfect-link model: every
+// sample is 0 (while still consuming one draw, so RNG streams stay
+// aligned with the nonzero case).
 func (l LinkModel) WithMean(mean float64) LinkModel {
-	if mean <= 0 {
-		panic(fmt.Sprintf("noise: non-positive link mean %g", mean))
+	if mean < 0 {
+		panic(fmt.Sprintf("noise: negative link mean %g", mean))
+	}
+	if mean == 0 {
+		return LinkModel{Mu: math.Inf(-1), Sigma: l.Sigma, Floor: 0, Ceil: 0}
 	}
 	cur := math.Exp(l.Mu + l.Sigma*l.Sigma/2)
 	l.Mu += math.Log(mean / cur)

@@ -153,10 +153,36 @@ func TestLinkModelWithMean(t *testing.T) {
 func TestLinkModelWithMeanPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Error("expected panic for non-positive mean")
+			t.Error("expected panic for negative mean")
 		}
 	}()
-	DefaultLinkModel().WithMean(0)
+	DefaultLinkModel().WithMean(-0.01)
+}
+
+// TestLinkModelWithMeanZero: mean 0 is the degenerate perfect-link
+// model — every sample is exactly 0, and the draw is still consumed so
+// RNG streams stay aligned with the nonzero case.
+func TestLinkModelWithMeanZero(t *testing.T) {
+	l := DefaultLinkModel().WithMean(0)
+	if m := l.Mean(); m != 0 {
+		t.Errorf("mean = %v, want 0", m)
+	}
+	r := rand.New(rand.NewSource(4))
+	ref := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		if v := l.Sample(r); v != 0 {
+			t.Fatalf("sample %d = %v, want 0", i, v)
+		}
+	}
+	// Stream alignment: the zero model consumed exactly as many draws
+	// as the nonzero model would have.
+	nz := DefaultLinkModel()
+	for i := 0; i < 100; i++ {
+		nz.Sample(ref)
+	}
+	if r.Int63() != ref.Int63() {
+		t.Error("zero-mean model consumed a different number of draws")
+	}
 }
 
 func TestLinkRatioModels(t *testing.T) {

@@ -10,6 +10,13 @@
 // are collected into index-ordered slices so downstream aggregation is
 // order-stable too.
 //
+// Every campaign entry point is context-first: workers poll a shared
+// cancellation flag before claiming each trial index, so a cancelled
+// context stops a campaign within one in-flight trial per worker, and
+// every worker goroutine exits before the call returns (no leaks). A
+// cancelled campaign returns ctx.Err() and discards partial results;
+// a completed campaign's results are unaffected by the context.
+//
 // Worker counts <= 0 resolve to GOMAXPROCS, so the zero value of any
 // Workers knob means "use the whole machine".
 package runner
@@ -21,6 +28,21 @@ import (
 	"sync"
 	"sync/atomic"
 )
+
+// Event is one progress observation of a running campaign, delivered to
+// the Progress hooks threaded through the simulation configs. Done
+// counts completed trials (or completed units for unit-level stages);
+// Total is the campaign budget, 0 when unknown in advance.
+//
+// Progress callbacks may be invoked concurrently from worker
+// goroutines; implementations must be safe for concurrent use.
+type Event struct {
+	// Label identifies the campaign, e.g. "fig8/fabricate" or a device
+	// name like "mono-180q".
+	Label string `json:"label"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+}
 
 // Workers resolves a worker-count knob against n schedulable trials:
 // values <= 0 mean GOMAXPROCS, and the result is clamped to [1, n]
@@ -87,11 +109,40 @@ func Split(workers, n int) (outer, inner int) {
 	return outer, inner
 }
 
+// watchCancel adapts a context to a poll function cheap enough for the
+// per-trial claim loops: an atomic-flag load instead of ctx.Err()'s
+// mutex. The returned stop function must be called (deferred) so the
+// watcher goroutine exits with the campaign; until then it blocks on
+// either the context or the campaign finishing, never both leaking.
+// Contexts that can never be cancelled (Done() == nil) cost nothing.
+func watchCancel(ctx context.Context) (cancelled func() bool, stop func()) {
+	done := ctx.Done()
+	if done == nil {
+		return func() bool { return false }, func() {}
+	}
+	if ctx.Err() != nil {
+		return func() bool { return true }, func() {}
+	}
+	var flag atomic.Bool
+	quit := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+			flag.Store(true)
+		case <-quit:
+		}
+	}()
+	var once sync.Once
+	return flag.Load, func() { once.Do(func() { close(quit) }) }
+}
+
 // Map runs fn over [0, n) across the given number of workers and
 // returns the results in index order. Indices are claimed from a shared
 // atomic counter so uneven per-trial cost load-balances automatically.
-func Map[T any](n, workers int, fn func(i int) T) []T {
-	return MapLocal(n, workers, func() struct{} { return struct{}{} },
+// A cancelled context stops the campaign within one in-flight trial per
+// worker and returns ctx.Err().
+func Map[T any](ctx context.Context, n, workers int, fn func(i int) T) ([]T, error) {
+	return MapLocal(ctx, n, workers, func() struct{} { return struct{}{} },
 		func(_ struct{}, i int) T { return fn(i) })
 }
 
@@ -100,18 +151,33 @@ func Map[T any](n, workers int, fn func(i int) T) []T {
 // fn call that worker executes. fn must derive its result from i alone —
 // the local is scratch, not input — to preserve the determinism
 // contract.
-func MapLocal[L, T any](n, workers int, newLocal func() L, fn func(l L, i int) T) []T {
+func MapLocal[L, T any](ctx context.Context, n, workers int, newLocal func() L, fn func(l L, i int) T) ([]T, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	out := make([]T, n)
 	if n <= 0 {
-		return out
+		return out, nil
 	}
+	cancelled, stopWatch := watchCancel(ctx)
+	defer stopWatch()
 	workers = Workers(workers, n)
 	if workers == 1 {
 		l := newLocal()
 		for i := 0; i < n; i++ {
+			if cancelled() {
+				return nil, ctx.Err()
+			}
 			out[i] = fn(l, i)
 		}
-		return out
+		// ctx.Err() directly, not the flag: the watcher sets the flag
+		// asynchronously, so a cancellation observed by a nested call
+		// (whose dropped error left a zero result in out) could race
+		// the flag and leak a nil-error partial result to the caller.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return out, nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -120,7 +186,7 @@ func MapLocal[L, T any](n, workers int, newLocal func() L, fn func(l L, i int) T
 		go func() {
 			defer wg.Done()
 			l := newLocal()
-			for {
+			for !cancelled() {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -130,26 +196,40 @@ func MapLocal[L, T any](n, workers int, newLocal func() L, fn func(l L, i int) T
 		}()
 	}
 	wg.Wait()
-	return out
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // CountLocal runs pred over [0, n) with per-worker local scratch state
 // (for hot Monte Carlo loops that reuse a sample buffer across trials)
 // and returns how many trials reported true.
-func CountLocal[L any](n, workers int, newLocal func() L, pred func(l L, i int) bool) int {
-	if n <= 0 {
-		return 0
+func CountLocal[L any](ctx context.Context, n, workers int, newLocal func() L, pred func(l L, i int) bool) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
 	}
+	if n <= 0 {
+		return 0, nil
+	}
+	cancelled, stopWatch := watchCancel(ctx)
+	defer stopWatch()
 	workers = Workers(workers, n)
 	if workers == 1 {
 		l := newLocal()
 		total := 0
 		for i := 0; i < n; i++ {
+			if cancelled() {
+				return 0, ctx.Err()
+			}
 			if pred(l, i) {
 				total++
 			}
 		}
-		return total
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		return total, nil
 	}
 	var total atomic.Int64
 	var next atomic.Int64
@@ -160,7 +240,7 @@ func CountLocal[L any](n, workers int, newLocal func() L, pred func(l L, i int) 
 			defer wg.Done()
 			l := newLocal()
 			count := 0
-			for {
+			for !cancelled() {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					break
@@ -173,7 +253,11 @@ func CountLocal[L any](n, workers int, newLocal func() L, pred func(l L, i int) 
 		}()
 	}
 	wg.Wait()
-	return int(total.Load())
+	// ctx.Err(), not the async flag — see MapLocal.
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return int(total.Load()), nil
 }
 
 // MapErr is Map for fallible trials with cooperative cancellation: once

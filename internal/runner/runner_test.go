@@ -9,7 +9,11 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
+
+// bg is the no-cancellation context used by the determinism tests.
+var bg = context.Background()
 
 func TestWorkersResolution(t *testing.T) {
 	procs := runtime.GOMAXPROCS(0)
@@ -50,15 +54,18 @@ func TestSeedDecorrelatesAdjacentIndices(t *testing.T) {
 
 func TestMapOrderedAndComplete(t *testing.T) {
 	for _, workers := range []int{1, 2, 7, 64} {
-		got := Map(100, workers, func(i int) int { return i * i })
+		got, err := Map(bg, 100, workers, func(i int) int { return i * i })
+		if err != nil {
+			t.Fatal(err)
+		}
 		for i, v := range got {
 			if v != i*i {
 				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
 			}
 		}
 	}
-	if out := Map(0, 4, func(i int) int { return i }); len(out) != 0 {
-		t.Errorf("empty campaign returned %d results", len(out))
+	if out, err := Map(bg, 0, 4, func(i int) int { return i }); err != nil || len(out) != 0 {
+		t.Errorf("empty campaign returned %d results, err %v", len(out), err)
 	}
 }
 
@@ -67,7 +74,7 @@ func TestMapOrderedAndComplete(t *testing.T) {
 // any worker count.
 func TestMapWorkerCountInvariance(t *testing.T) {
 	run := func(workers int) []float64 {
-		return MapLocal(500, workers,
+		out, err := MapLocal(bg, 500, workers,
 			func() []float64 { return make([]float64, 8) },
 			func(buf []float64, i int) float64 {
 				r := Rand(99, i)
@@ -78,6 +85,10 @@ func TestMapWorkerCountInvariance(t *testing.T) {
 				}
 				return sum
 			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
 	}
 	serial := run(1)
 	for _, workers := range []int{2, 5, 16} {
@@ -89,8 +100,10 @@ func TestMapWorkerCountInvariance(t *testing.T) {
 
 func TestMapLocalAllocatesPerWorker(t *testing.T) {
 	var allocs atomic.Int64
-	MapLocal(50, 4, func() int { allocs.Add(1); return 0 },
-		func(int, int) int { return 0 })
+	if _, err := MapLocal(bg, 50, 4, func() int { allocs.Add(1); return 0 },
+		func(int, int) int { return 0 }); err != nil {
+		t.Fatal(err)
+	}
 	if n := allocs.Load(); n < 1 || n > 4 {
 		t.Errorf("newLocal ran %d times, want 1..4", n)
 	}
@@ -99,14 +112,17 @@ func TestMapLocalAllocatesPerWorker(t *testing.T) {
 func TestCountLocalMatchesSerial(t *testing.T) {
 	pred := func(_ struct{}, i int) bool { return Rand(7, i).Float64() < 0.3 }
 	local := func() struct{} { return struct{}{} }
-	want := CountLocal(2000, 1, local, pred)
+	want, err := CountLocal(bg, 2000, 1, local, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, workers := range []int{2, 8} {
-		if got := CountLocal(2000, workers, local, pred); got != want {
-			t.Errorf("workers=%d: count %d, want %d", workers, got, want)
+		if got, err := CountLocal(bg, 2000, workers, local, pred); err != nil || got != want {
+			t.Errorf("workers=%d: count %d (err %v), want %d", workers, got, err, want)
 		}
 	}
-	if CountLocal(0, 4, local, pred) != 0 {
-		t.Error("empty count should be 0")
+	if got, err := CountLocal(bg, 0, 4, local, pred); err != nil || got != 0 {
+		t.Error("empty count should be 0 with no error")
 	}
 }
 
@@ -135,7 +151,7 @@ func TestSplitKeepsTotalNearBudget(t *testing.T) {
 }
 
 func TestMapErrSuccess(t *testing.T) {
-	out, err := MapErr(context.Background(), 50, 4, func(i int) (int, error) {
+	out, err := MapErr(bg, 50, 4, func(i int) (int, error) {
 		return i + 1, nil
 	})
 	if err != nil {
@@ -151,7 +167,7 @@ func TestMapErrSuccess(t *testing.T) {
 func TestMapErrLowestIndexErrorWins(t *testing.T) {
 	sentinel := errors.New("trial 13 failed")
 	for _, workers := range []int{1, 8} {
-		_, err := MapErr(context.Background(), 100, workers, func(i int) (int, error) {
+		_, err := MapErr(bg, 100, workers, func(i int) (int, error) {
 			if i >= 13 {
 				return 0, fmt.Errorf("trial %d failed", i)
 			}
@@ -178,6 +194,133 @@ func TestMapErrContextCancellation(t *testing.T) {
 	if n := ran.Load(); n >= 1_000_000 {
 		t.Error("cancellation did not stop the campaign early")
 	}
+}
+
+func noLocal() struct{} { return struct{}{} }
+
+// TestPreCancelledContextShortCircuits: a context cancelled before the
+// call must return ctx.Err() without running a single trial.
+func TestPreCancelledContextShortCircuits(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	trial := func(_ struct{}, i int) int { ran.Add(1); return i }
+
+	if _, err := MapLocal(ctx, 100, 4, noLocal, trial); !errors.Is(err, context.Canceled) {
+		t.Errorf("MapLocal err = %v, want context.Canceled", err)
+	}
+	if _, err := CountLocal(ctx, 100, 4, noLocal,
+		func(_ struct{}, i int) bool { ran.Add(1); return true }); !errors.Is(err, context.Canceled) {
+		t.Errorf("CountLocal err = %v, want context.Canceled", err)
+	}
+	if _, err := Stream(ctx, 100, 4, nil, noLocal, trial, func(int, int) {},
+		func(int) bool { return false }); !errors.Is(err, context.Canceled) {
+		t.Errorf("Stream err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Errorf("%d trials ran under a pre-cancelled context", n)
+	}
+}
+
+// TestMidRunCancellationStopsPromptly: cancelling mid-campaign must
+// return context.Canceled well before the trial budget is spent.
+func TestMidRunCancellationStopsPromptly(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		_, err := MapLocal(ctx, 1_000_000, workers, noLocal,
+			func(_ struct{}, i int) int {
+				if ran.Add(1) == 100 {
+					cancel()
+				}
+				time.Sleep(10 * time.Microsecond)
+				return i
+			})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := ran.Load(); n >= 1_000_000 {
+			t.Errorf("workers=%d: cancellation did not stop the campaign early", workers)
+		}
+		cancel()
+	}
+}
+
+// TestStreamMidRunCancellation: a Stream campaign cancelled mid-block
+// returns ctx.Err() without reaching the trial budget.
+func TestStreamMidRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	_, err := Stream(ctx, 1_000_000, 4, Checkpoints(250, 1_000_000), noLocal,
+		func(_ struct{}, i int) int {
+			if ran.Add(1) == 100 {
+				cancel()
+			}
+			return i
+		},
+		func(int, int) {}, func(int) bool { return false })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 1_000_000 {
+		t.Error("cancellation did not stop the stream early")
+	}
+}
+
+// waitForGoroutineBaseline polls until the goroutine count settles back
+// to (near) the pre-campaign baseline; it is the goleak-style check for
+// the cancellation paths: the watcher and every worker must have
+// exited once a campaign returns.
+func waitForGoroutineBaseline(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: baseline %d, now %d", base, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestCancellationLeaksNoGoroutines(t *testing.T) {
+	runtime.GC()
+	base := runtime.NumGoroutine()
+	for iter := 0; iter < 20; iter++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		_, err := MapLocal(ctx, 100_000, 8, noLocal,
+			func(_ struct{}, i int) int {
+				if ran.Add(1) == 50 {
+					cancel()
+				}
+				return i
+			})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("iter %d: err = %v", iter, err)
+		}
+		cancel()
+	}
+	waitForGoroutineBaseline(t, base)
+}
+
+// TestCompletedCampaignLeaksNoGoroutines covers the success path: the
+// cancel watcher must exit when the campaign completes normally even
+// though the context is never cancelled.
+func TestCompletedCampaignLeaksNoGoroutines(t *testing.T) {
+	runtime.GC()
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for iter := 0; iter < 50; iter++ {
+		if _, err := Map(ctx, 100, 8, func(i int) int { return i }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitForGoroutineBaseline(t, base)
 }
 
 // TestSeedMatchesLegacyYieldDerivation pins the mixing function to the

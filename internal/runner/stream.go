@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -78,11 +79,21 @@ func Checkpoints(min, max int) []int {
 // index order — so the executed trial count and every aggregate are
 // bit-identical at any worker count. Checkpoints are clamped to
 // (0, max] and deduplicated; a final checkpoint at max is implied.
-func Stream[L, T any](max, workers int, checkpoints []int, newLocal func() L,
-	trial func(l L, i int) T, observe func(i int, v T), stop func(trials int) bool) int {
-	if max <= 0 {
-		return 0
+//
+// A cancelled context stops the campaign within one in-flight trial per
+// worker and returns ctx.Err(); observations already delivered to the
+// aggregator before cancellation stay delivered, but the partial
+// campaign must be discarded by the caller.
+func Stream[L, T any](ctx context.Context, max, workers int, checkpoints []int, newLocal func() L,
+	trial func(l L, i int) T, observe func(i int, v T), stop func(trials int) bool) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
 	}
+	if max <= 0 {
+		return 0, nil
+	}
+	cancelled, stopWatch := watchCancel(ctx)
+	defer stopWatch()
 	workers = Workers(workers, max)
 	locals := make([]L, workers)
 	for i := range locals {
@@ -103,7 +114,14 @@ func Stream[L, T any](max, workers int, checkpoints []int, newLocal func() L,
 			buf = make([]T, n)
 		}
 		buf = buf[:n]
-		runBlock(locals, done, cp, buf, trial)
+		runBlock(locals, done, cp, buf, trial, cancelled)
+		// ctx.Err() directly, not the async watcher flag: a
+		// cancellation observed synchronously by a nested call inside
+		// trial could race the flag and let a block of zero-valued
+		// results reach the aggregator as if valid.
+		if ctx.Err() != nil {
+			return true
+		}
 		for j := 0; j < n; j++ {
 			observe(done+j, buf[j])
 		}
@@ -112,20 +130,24 @@ func Stream[L, T any](max, workers int, checkpoints []int, newLocal func() L,
 	}
 	for _, cp := range checkpoints {
 		if step(cp) {
-			return done
+			return done, ctx.Err()
 		}
 	}
 	step(max)
-	return done
+	return done, ctx.Err()
 }
 
 // runBlock evaluates trials [lo, hi) across the locals' workers,
 // writing trial i's result to out[i-lo]. Indices are claimed from a
-// shared atomic counter so uneven per-trial cost load-balances.
-func runBlock[L, T any](locals []L, lo, hi int, out []T, trial func(l L, i int) T) {
+// shared atomic counter so uneven per-trial cost load-balances;
+// workers poll the cancellation flag before each claim.
+func runBlock[L, T any](locals []L, lo, hi int, out []T, trial func(l L, i int) T, cancelled func() bool) {
 	n := hi - lo
 	if len(locals) == 1 || n == 1 {
 		for j := 0; j < n; j++ {
+			if cancelled() {
+				return
+			}
 			out[j] = trial(locals[0], lo+j)
 		}
 		return
@@ -136,7 +158,7 @@ func runBlock[L, T any](locals []L, lo, hi int, out []T, trial func(l L, i int) 
 		wg.Add(1)
 		go func(l L) {
 			defer wg.Done()
-			for {
+			for !cancelled() {
 				j := int(next.Add(1)) - 1
 				if j >= n {
 					return

@@ -44,8 +44,9 @@ func TestTrialRNGMatchesRand(t *testing.T) {
 // streamRun executes a Stream campaign whose aggregate is an
 // order-sensitive fold, so any deviation from index-ordered observation
 // shows up immediately.
-func streamRun(workers int) (trials int, fold uint64, seen []int) {
-	trials = Stream(1000, workers, Checkpoints(100, 1000),
+func streamRun(t *testing.T, workers int) (trials int, fold uint64, seen []int) {
+	t.Helper()
+	trials, err := Stream(bg, 1000, workers, Checkpoints(100, 1000),
 		func() struct{} { return struct{}{} },
 		func(_ struct{}, i int) uint64 { return uint64(Seed(9, i)) },
 		func(i int, v uint64) {
@@ -53,12 +54,15 @@ func streamRun(workers int) (trials int, fold uint64, seen []int) {
 			seen = append(seen, i)
 		},
 		func(n int) bool { return n >= 400 })
+	if err != nil {
+		t.Fatal(err)
+	}
 	return trials, fold, seen
 }
 
 func TestStreamWorkerCountInvariance(t *testing.T) {
-	t1, f1, s1 := streamRun(1)
-	t8, f8, s8 := streamRun(8)
+	t1, f1, s1 := streamRun(t, 1)
+	t8, f8, s8 := streamRun(t, 8)
 	if t1 != t8 || f1 != f8 {
 		t.Errorf("stream diverged across workers: (%d, %x) vs (%d, %x)", t1, f1, t8, f8)
 	}
@@ -68,7 +72,7 @@ func TestStreamWorkerCountInvariance(t *testing.T) {
 }
 
 func TestStreamStopsAtCheckpoint(t *testing.T) {
-	trials, _, seen := streamRun(4)
+	trials, _, seen := streamRun(t, 4)
 	// stop fires at the first checkpoint >= 400.
 	if trials != 400 {
 		t.Errorf("trials = %d, want 400 (first satisfying checkpoint)", trials)
@@ -80,7 +84,7 @@ func TestStreamStopsAtCheckpoint(t *testing.T) {
 
 func TestStreamRunsToMaxWithoutStop(t *testing.T) {
 	count := 0
-	trials := Stream(777, 3, Checkpoints(100, 777),
+	trials, err := Stream(bg, 777, 3, Checkpoints(100, 777),
 		func() struct{} { return struct{}{} },
 		func(_ struct{}, i int) int { return i },
 		func(i, v int) {
@@ -90,22 +94,28 @@ func TestStreamRunsToMaxWithoutStop(t *testing.T) {
 			count++
 		},
 		func(int) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
 	if trials != 777 || count != 777 {
 		t.Errorf("trials = %d, observed = %d, want 777", trials, count)
 	}
 }
 
 func TestStreamDegenerateInputs(t *testing.T) {
-	if got := Stream(0, 4, nil, func() int { return 0 },
+	if got, err := Stream(bg, 0, 4, nil, func() int { return 0 },
 		func(int, int) bool { return false }, func(int, bool) {},
-		func(int) bool { return false }); got != 0 {
-		t.Errorf("max=0 ran %d trials", got)
+		func(int) bool { return false }); err != nil || got != 0 {
+		t.Errorf("max=0 ran %d trials, err %v", got, err)
 	}
 	// Empty/nil checkpoints still run to max via the implied final block.
 	n := 0
-	got := Stream(50, 2, nil, func() int { return 0 },
+	got, err := Stream(bg, 50, 2, nil, func() int { return 0 },
 		func(_ int, i int) int { return i }, func(int, int) { n++ },
 		func(int) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got != 50 || n != 50 {
 		t.Errorf("nil checkpoints: trials = %d observed = %d, want 50", got, n)
 	}

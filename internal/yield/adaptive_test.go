@@ -13,9 +13,9 @@ func TestAdaptiveDeterministicAcrossWorkers(t *testing.T) {
 	cfg.Batch = 4000
 	cfg.Precision = 0.02
 	cfg.Workers = 1
-	a := Simulate(d, cfg)
+	a := simulate(t, d, cfg)
 	cfg.Workers = 8
-	b := Simulate(d, cfg)
+	b := simulate(t, d, cfg)
 	if a != b {
 		t.Errorf("adaptive result diverged across workers:\n%+v\n%+v", a, b)
 	}
@@ -29,7 +29,7 @@ func TestAdaptiveStopsEarlyOnCertainYield(t *testing.T) {
 	cfg.Batch = 10000
 	cfg.Model.Sigma = 0
 	cfg.Precision = 0.01
-	res := Simulate(d, cfg)
+	res := simulate(t, d, cfg)
 	if res.Batch != adaptiveMinTrials {
 		t.Errorf("trials = %d, want first checkpoint %d", res.Batch, adaptiveMinTrials)
 	}
@@ -46,7 +46,7 @@ func TestAdaptiveReportsConsistentCI(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Batch = 2000
 	cfg.Precision = 0.05
-	res := Simulate(d, cfg)
+	res := simulate(t, d, cfg)
 	lo, hi := stats.Wilson(res.Free, res.Batch, stats.Z95)
 	if res.CILo != lo || res.CIHi != hi {
 		t.Errorf("CI = [%v, %v], want Wilson [%v, %v]", res.CILo, res.CIHi, lo, hi)
@@ -64,7 +64,7 @@ func TestAdaptiveMaxTrialsCapsBudget(t *testing.T) {
 	cfg.Batch = 99999
 	cfg.Precision = 1e-9
 	cfg.MaxTrials = 600
-	res := Simulate(d, cfg)
+	res := simulate(t, d, cfg)
 	if res.Batch != 600 {
 		t.Errorf("trials = %d, want MaxTrials cap 600", res.Batch)
 	}
@@ -76,9 +76,9 @@ func TestFixedModeUnchangedByAdaptiveFields(t *testing.T) {
 	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 2, Width: 8})
 	cfg := DefaultConfig()
 	cfg.Batch = 500
-	a := Simulate(d, cfg)
+	a := simulate(t, d, cfg)
 	cfg.MaxTrials = 123456
-	b := Simulate(d, cfg)
+	b := simulate(t, d, cfg)
 	if a != b {
 		t.Errorf("MaxTrials leaked into fixed mode: %+v vs %+v", a, b)
 	}
@@ -98,7 +98,7 @@ func TestAdaptiveCurveStaysWithinBudgetAndPrecision(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Batch = fixedBatch
 	cfg.Precision = 0.01
-	pts := MonolithicCurve(sizes, cfg)
+	pts := monolithicCurve(t, sizes, cfg)
 
 	total := 0
 	for _, p := range pts {

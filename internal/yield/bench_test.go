@@ -18,7 +18,7 @@ func BenchmarkSimulate(b *testing.B) {
 	b.ResetTimer()
 	var res Result
 	for i := 0; i < b.N; i++ {
-		res = Simulate(d, cfg)
+		res = simulate(b, d, cfg)
 	}
 	b.ReportMetric(res.Fraction(), "yield@100q")
 }
@@ -33,7 +33,7 @@ func BenchmarkSimulateSerialVsParallel(b *testing.B) {
 		cfg.Workers = workers
 		b.Run(map[bool]string{true: "serial", false: "parallel"}[workers == 1], func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				Simulate(d, cfg)
+				simulate(b, d, cfg)
 			}
 		})
 	}

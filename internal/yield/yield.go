@@ -10,9 +10,15 @@
 // That holds for the adaptive mode too: early-stop decisions are made
 // only at fixed checkpoint trial counts, so the executed trial count is
 // itself worker-count invariant.
+//
+// Every entry point is context-first: cancelling the context stops the
+// Monte Carlo loops within one in-flight trial per worker and the call
+// returns ctx.Err(). Completed simulations are unaffected by the
+// context, so the determinism contract is unchanged.
 package yield
 
 import (
+	"context"
 	"fmt"
 
 	"chipletqc/internal/collision"
@@ -21,6 +27,10 @@ import (
 	"chipletqc/internal/stats"
 	"chipletqc/internal/topo"
 )
+
+// Event is the progress observation type delivered to Config.Progress
+// (an alias of runner.Event: label, trials done, trial budget).
+type Event = runner.Event
 
 // Config parameterises one yield simulation.
 type Config struct {
@@ -38,12 +48,17 @@ type Config struct {
 	// MaxTrials caps the adaptive mode's budget; <= 0 falls back to
 	// Batch, so adaptive runs never exceed the fixed default's cost.
 	MaxTrials int
+	// Progress, when non-nil, receives a per-device event at every
+	// checkpoint trial count (and at completion), labelled with the
+	// device name. It may be called concurrently from different
+	// simulations of a sweep and must be safe for concurrent use.
+	Progress func(Event)
 }
 
 // adaptiveMinTrials is the first early-stop checkpoint: small enough
 // that near-certain yields (p ~ 0 or 1) stop almost immediately, large
 // enough that the Wilson interval is meaningful before the first
-// decision.
+// decision. Fixed-batch runs report progress on the same ladder.
 const adaptiveMinTrials = 250
 
 // DefaultConfig mirrors Fig. 4's setup: batch 1000, laser-tuned sigma,
@@ -90,15 +105,16 @@ func (r Result) String() string {
 // Simulate estimates the collision-free yield of device d under cfg.
 // With cfg.Precision > 0 it runs adaptively: trials stream in
 // checkpointed blocks until the 95% CI half-width reaches the target or
-// the MaxTrials/Batch budget is spent.
-func Simulate(d *topo.Device, cfg Config) Result {
+// the MaxTrials/Batch budget is spent. Cancelling ctx aborts the
+// campaign within one in-flight trial per worker and returns ctx.Err().
+func Simulate(ctx context.Context, d *topo.Device, cfg Config) (Result, error) {
 	res := Result{Device: d.Name, Qubits: d.N, CIHi: 1}
 	max := cfg.Batch
 	if cfg.Precision > 0 && cfg.MaxTrials > 0 {
 		max = cfg.MaxTrials
 	}
 	if max <= 0 {
-		return res
+		return res, ctx.Err()
 	}
 	checker := collision.NewChecker(d, cfg.Params)
 	newLocal := runner.NewScratch(d.N)
@@ -107,19 +123,33 @@ func Simulate(d *topo.Device, cfg Config) Result {
 		cfg.Model.SampleInto(r, d, l.Buf)
 		return checker.Free(l.Buf)
 	}
-	if cfg.Precision > 0 {
-		var p stats.Proportion
-		runner.Stream(max, cfg.Workers, runner.Checkpoints(adaptiveMinTrials, max),
-			newLocal, trial,
-			func(_ int, ok bool) { p.Add(ok) },
-			func(int) bool { return p.HalfWidth(stats.Z95) <= cfg.Precision })
-		res.Batch, res.Free = p.Trials, p.Successes
-	} else {
-		res.Batch = max
-		res.Free = runner.CountLocal(max, cfg.Workers, newLocal, trial)
+	lastEmit := -1
+	emit := func(done int) {
+		if cfg.Progress != nil && done != lastEmit {
+			lastEmit = done
+			cfg.Progress(Event{Label: d.Name, Done: done, Total: max})
+		}
 	}
+	// Both modes run through the checkpointed stream: the fixed mode's
+	// stop is constant-false, so its executed trials and counted
+	// successes are bit-identical to the historical CountLocal path,
+	// while still getting checkpoint-granular progress reporting.
+	var p stats.Proportion
+	stop := func(int) bool { return false }
+	if cfg.Precision > 0 {
+		stop = func(int) bool { return p.HalfWidth(stats.Z95) <= cfg.Precision }
+	}
+	trials, err := runner.Stream(ctx, max, cfg.Workers,
+		runner.Checkpoints(adaptiveMinTrials, max), newLocal, trial,
+		func(_ int, ok bool) { p.Add(ok) },
+		func(done int) bool { emit(done); return stop(done) })
+	if err != nil {
+		return Result{}, err
+	}
+	emit(trials)
+	res.Batch, res.Free = p.Trials, p.Successes
 	res.CILo, res.CIHi = stats.Wilson(res.Free, res.Batch, stats.Z95)
-	return res
+	return res, nil
 }
 
 // Point is one (qubits, yield) sample of a yield-vs-size curve, with
@@ -136,13 +166,15 @@ type Point struct {
 // (paper Fig. 4: collision-free yield vs qubits). Sizes run concurrently;
 // each size's simulation is independently seeded, so the curve is
 // identical at any worker count.
-func MonolithicCurve(sizes []int, cfg Config) []Point {
+func MonolithicCurve(ctx context.Context, sizes []int, cfg Config) ([]Point, error) {
 	outer, inner := runner.Split(cfg.Workers, len(sizes))
 	icfg := cfg
 	icfg.Workers = inner
-	return runner.Map(len(sizes), outer, func(i int) Point {
+	return runner.Map(ctx, len(sizes), outer, func(i int) Point {
 		d := topo.MonolithicDevice(topo.MonolithicSpec(sizes[i]))
-		res := Simulate(d, icfg)
+		// A nested cancellation is surfaced by the outer Map's own
+		// context check, so the per-size error can be dropped here.
+		res, _ := Simulate(ctx, d, icfg)
 		return Point{
 			Qubits: d.N, Yield: res.Fraction(),
 			Trials: res.Batch, CILo: res.CILo, CIHi: res.CIHi,
@@ -179,15 +211,16 @@ func SizeLadder(maxQubits int) []int {
 
 // ChipletYields simulates collision-free yield for every catalog chiplet
 // (paper Fig. 8(b)).
-func ChipletYields(cfg Config) []Result {
+func ChipletYields(ctx context.Context, cfg Config) ([]Result, error) {
 	outer, inner := runner.Split(cfg.Workers, len(topo.Catalog))
 	icfg := cfg
 	icfg.Workers = inner
-	return runner.Map(len(topo.Catalog), outer, func(i int) Result {
+	return runner.Map(ctx, len(topo.Catalog), outer, func(i int) Result {
 		cs := topo.Catalog[i]
 		d := topo.MonolithicDevice(cs.Spec)
 		d.Name = fmt.Sprintf("chiplet-%d", cs.Qubits)
-		return Simulate(d, icfg)
+		res, _ := Simulate(ctx, d, icfg)
+		return res
 	})
 }
 
@@ -203,17 +236,18 @@ type SweepCell struct {
 // Cells run concurrently; each cell's curve is independently seeded. The
 // worker budget is split between the cell fan-out and the nested curve
 // so total concurrency stays near cfg.Workers.
-func Sweep(steps, sigmas []float64, sizes []int, cfg Config) []SweepCell {
+func Sweep(ctx context.Context, steps, sigmas []float64, sizes []int, cfg Config) ([]SweepCell, error) {
 	outer, inner := runner.Split(cfg.Workers, len(steps)*len(sigmas))
-	return runner.Map(len(steps)*len(sigmas), outer, func(i int) SweepCell {
+	return runner.Map(ctx, len(steps)*len(sigmas), outer, func(i int) SweepCell {
 		c := cfg
 		c.Workers = inner
 		c.Model.Plan.Step = steps[i/len(sigmas)]
 		c.Model.Sigma = sigmas[i%len(sigmas)]
+		points, _ := MonolithicCurve(ctx, sizes, c)
 		return SweepCell{
 			Step:   c.Model.Plan.Step,
 			Sigma:  c.Model.Sigma,
-			Points: MonolithicCurve(sizes, c),
+			Points: points,
 		}
 	})
 }

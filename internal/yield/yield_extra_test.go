@@ -17,7 +17,7 @@ func TestYieldSeedStability(t *testing.T) {
 	for seed := int64(1); seed <= 3; seed++ {
 		c := cfg
 		c.Seed = seed
-		ys = append(ys, Simulate(d, c).Fraction())
+		ys = append(ys, simulate(t, d, c).Fraction())
 	}
 	for i := 1; i < len(ys); i++ {
 		if diff := ys[i] - ys[0]; diff > 0.04 || diff < -0.04 {
@@ -38,7 +38,7 @@ func TestYieldMonotoneInSigmaProperty(t *testing.T) {
 		for _, sigma := range []float64{0.006, 0.014, 0.03, 0.08} {
 			c := cfg
 			c.Model.Sigma = sigma
-			y := Simulate(d, c).Fraction()
+			y := simulate(t, d, c).Fraction()
 			if y > prev+0.05 { // small MC slack
 				return false
 			}
@@ -57,7 +57,7 @@ func TestSimulateWorkerClamp(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Batch = 3
 	cfg.Workers = 64
-	res := Simulate(d, cfg)
+	res := simulate(t, d, cfg)
 	if res.Batch != 3 {
 		t.Errorf("batch = %d", res.Batch)
 	}

@@ -13,9 +13,9 @@ func TestSimulateDeterministicAcrossWorkers(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Batch = 300
 	cfg.Workers = 1
-	a := Simulate(d, cfg)
+	a := simulate(t, d, cfg)
 	cfg.Workers = 7
-	b := Simulate(d, cfg)
+	b := simulate(t, d, cfg)
 	if a.Free != b.Free {
 		t.Errorf("worker count changed result: %d vs %d", a.Free, b.Free)
 	}
@@ -26,7 +26,7 @@ func TestSimulatePerfectPrecisionYieldsEverything(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Batch = 50
 	cfg.Model.Sigma = 0
-	res := Simulate(d, cfg)
+	res := simulate(t, d, cfg)
 	if res.Free != res.Batch {
 		t.Errorf("sigma=0 yield = %d/%d, want all free", res.Free, res.Batch)
 	}
@@ -42,7 +42,7 @@ func TestSimulateRawPrecisionCollapses(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Batch = 300
 	cfg.Model.Sigma = fab.SigmaAsFabricated
-	res := Simulate(d, cfg)
+	res := simulate(t, d, cfg)
 	if res.Fraction() > 0.02 {
 		t.Errorf("raw-precision 60q yield = %v, expected near zero", res.Fraction())
 	}
@@ -54,7 +54,7 @@ func TestSimulateLaserTunedSmallChipletHealthy(t *testing.T) {
 	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 2, Width: 8})
 	cfg := DefaultConfig()
 	cfg.Batch = 2000
-	res := Simulate(d, cfg)
+	res := simulate(t, d, cfg)
 	if y := res.Fraction(); y < 0.45 || y > 0.85 {
 		t.Errorf("laser-tuned 20q yield = %v, want in [0.45, 0.85]", y)
 	}
@@ -64,9 +64,9 @@ func TestYieldDecreasesWithSize(t *testing.T) {
 	// The central claim: collision-free yield declines as devices grow.
 	cfg := DefaultConfig()
 	cfg.Batch = 600
-	y10 := Simulate(topo.MonolithicDevice(topo.ChipSpec{DenseRows: 1, Width: 8}), cfg).Fraction()
-	y60 := Simulate(topo.MonolithicDevice(topo.ChipSpec{DenseRows: 4, Width: 12}), cfg).Fraction()
-	y250 := Simulate(topo.MonolithicDevice(topo.ChipSpec{DenseRows: 10, Width: 20}), cfg).Fraction()
+	y10 := simulate(t, topo.MonolithicDevice(topo.ChipSpec{DenseRows: 1, Width: 8}), cfg).Fraction()
+	y60 := simulate(t, topo.MonolithicDevice(topo.ChipSpec{DenseRows: 4, Width: 12}), cfg).Fraction()
+	y250 := simulate(t, topo.MonolithicDevice(topo.ChipSpec{DenseRows: 10, Width: 20}), cfg).Fraction()
 	if !(y10 > y60 && y60 > y250) {
 		t.Errorf("yield should fall with size: y10=%v y60=%v y250=%v", y10, y60, y250)
 	}
@@ -78,7 +78,7 @@ func TestScalingGoalSigmaKeepsLargeDevicesAlive(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Batch = 200
 	cfg.Model.Sigma = fab.SigmaScalingGoal
-	res := Simulate(d, cfg)
+	res := simulate(t, d, cfg)
 	if res.Fraction() < 0.5 {
 		t.Errorf("sigma=0.006 500q yield = %v, want healthy (>0.5)", res.Fraction())
 	}
@@ -93,7 +93,7 @@ func TestOptimalStepIsNearSixtyMHz(t *testing.T) {
 	run := func(step float64) float64 {
 		c := base
 		c.Model.Plan.Step = step
-		return Simulate(d, c).Fraction()
+		return simulate(t, d, c).Fraction()
 	}
 	y04, y06, y07 := run(0.04), run(0.06), run(0.07)
 	if y06 < y04 || y06 < y07 {
@@ -106,7 +106,7 @@ func TestSimulateZeroBatch(t *testing.T) {
 	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 1, Width: 8})
 	cfg := DefaultConfig()
 	cfg.Batch = 0
-	res := Simulate(d, cfg)
+	res := simulate(t, d, cfg)
 	if res.Fraction() != 0 || res.Free != 0 {
 		t.Errorf("zero batch should give zero result, got %+v", res)
 	}
@@ -122,7 +122,7 @@ func TestResultString(t *testing.T) {
 func TestMonolithicCurveMonotoneTrend(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Batch = 400
-	pts := MonolithicCurve([]int{10, 100, 400}, cfg)
+	pts := monolithicCurve(t, []int{10, 100, 400}, cfg)
 	if len(pts) != 3 {
 		t.Fatalf("curve length %d", len(pts))
 	}
@@ -134,7 +134,7 @@ func TestMonolithicCurveMonotoneTrend(t *testing.T) {
 func TestChipletYields(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Batch = 200
-	res := ChipletYields(cfg)
+	res := chipletYields(t, cfg)
 	if len(res) != len(topo.Catalog) {
 		t.Fatalf("got %d results, want %d", len(res), len(topo.Catalog))
 	}
@@ -148,7 +148,7 @@ func TestChipletYields(t *testing.T) {
 func TestSweepShape(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Batch = 50
-	cells := Sweep([]float64{0.05, 0.06}, []float64{0.014}, []int{10, 20}, cfg)
+	cells := sweep(t, []float64{0.05, 0.06}, []float64{0.014}, []int{10, 20}, cfg)
 	if len(cells) != 2 {
 		t.Fatalf("sweep cells = %d, want 2", len(cells))
 	}
