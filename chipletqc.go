@@ -45,6 +45,7 @@ import (
 	"chipletqc/internal/noise"
 	"chipletqc/internal/qbench"
 	"chipletqc/internal/runner"
+	"chipletqc/internal/scenario"
 	"chipletqc/internal/topo"
 	"chipletqc/internal/yield"
 )
@@ -117,10 +118,12 @@ const (
 // perfect links, while a nil LinkMean keeps the state-of-art 7.5%.
 func Ptr[T any](v T) *T { return &v }
 
-// ChipletSizes returns the catalog of paper chiplet sizes (10..250).
+// ChipletSizes returns the catalog of paper chiplet sizes (10..250),
+// the "paper" scenario's chip family.
 func ChipletSizes() []int {
-	out := make([]int, len(topo.Catalog))
-	for i, c := range topo.Catalog {
+	catalog := scenario.Paper().Catalog
+	out := make([]int, len(catalog))
+	for i, c := range catalog {
 		out[i] = c.Qubits
 	}
 	return out
@@ -151,11 +154,13 @@ func MCM(rows, cols, chipletQubits int) (*Device, error) {
 }
 
 // DefaultFabModel is the paper's forward-looking baseline: laser-tuned
-// precision on the optimal 0.06 GHz frequency step.
-func DefaultFabModel() FabModel { return fab.DefaultModel() }
+// precision on the optimal 0.06 GHz frequency step (the "paper"
+// scenario's fabrication process).
+func DefaultFabModel() FabModel { return scenario.Paper().Fab }
 
-// DefaultCollisionParams returns the Table I thresholds.
-func DefaultCollisionParams() CollisionParams { return collision.DefaultParams() }
+// DefaultCollisionParams returns the Table I thresholds (the "paper"
+// scenario's collision screening).
+func DefaultCollisionParams() CollisionParams { return scenario.Paper().Params }
 
 // SampleFrequencies realises one fabrication outcome for a device.
 // Draws come from the runner's O(1)-seeded SplitMix64 stream for seed
@@ -169,31 +174,38 @@ func SampleFrequencies(seed int64, m FabModel, d *Device) []float64 {
 // CollisionFree evaluates the Table I criteria on a device with realised
 // frequencies f.
 func CollisionFree(d *Device, f []float64) bool {
-	return collision.NewChecker(d, collision.DefaultParams()).Free(f)
+	return collision.NewChecker(d, scenario.Paper().Params).Free(f)
 }
 
 // Collisions lists every triggered Table I criterion.
 func Collisions(d *Device, f []float64) []Violation {
-	return collision.NewChecker(d, collision.DefaultParams()).Violations(f)
+	return collision.NewChecker(d, scenario.Paper().Params).Violations(f)
 }
 
 // YieldOptions parameterises SimulateYield. Pointer fields distinguish
 // "default" (nil) from an explicit value, so explicit zeros are
 // expressible: Sigma: Ptr(0.0) simulates noise-free fabrication.
 type YieldOptions struct {
-	Batch int      // devices simulated (default 1000)
-	Sigma *float64 // fabrication precision in GHz (nil = SigmaLaserTuned; 0 = noise-free)
-	Step  *float64 // frequency plan step in GHz (nil = 0.06)
-	Seed  int64
+	// Scenario names the registered device scenario supplying the
+	// fabrication model and collision thresholds ("" = "paper"). Sigma
+	// and Step override the scenario's values when set.
+	Scenario string
+	Batch    int      // devices simulated (default 1000)
+	Sigma    *float64 // fabrication precision in GHz (nil = the scenario's; 0 = noise-free)
+	Step     *float64 // frequency plan step in GHz (nil = the scenario's)
+	Seed     int64
 	// Workers sets the parallel worker count; <= 0 means all CPU cores.
 	// Results are identical at any worker count.
 	Workers int
 	// Precision switches the simulation into adaptive mode: trials
 	// stream until the yield's 95% CI half-width reaches this target
-	// (e.g. 0.01 for +-1%). 0 keeps the fixed-batch mode.
-	Precision float64
-	// MaxTrials caps the adaptive budget; 0 falls back to Batch.
-	MaxTrials int
+	// (e.g. Ptr(0.01) for +-1%). nil inherits the scenario's trial
+	// policy; Ptr(0.0) forces the historical fixed-batch mode even
+	// under a scenario whose policy is adaptive.
+	Precision *float64
+	// MaxTrials caps the adaptive budget; nil inherits the scenario's
+	// policy, Ptr(0) resets to the Batch fallback.
+	MaxTrials *int
 	// Progress, when non-nil, receives per-checkpoint trial counts.
 	Progress func(ProgressEvent)
 }
@@ -209,11 +221,11 @@ func (o YieldOptions) Validate() error {
 	if o.Step != nil && *o.Step < 0 {
 		return fmt.Errorf("chipletqc: YieldOptions.Step %g is negative", *o.Step)
 	}
-	if o.Precision < 0 {
-		return fmt.Errorf("chipletqc: YieldOptions.Precision %g is negative", o.Precision)
+	if o.Precision != nil && *o.Precision < 0 {
+		return fmt.Errorf("chipletqc: YieldOptions.Precision %g is negative", *o.Precision)
 	}
-	if o.MaxTrials < 0 {
-		return fmt.Errorf("chipletqc: YieldOptions.MaxTrials %d is negative", o.MaxTrials)
+	if o.MaxTrials != nil && *o.MaxTrials < 0 {
+		return fmt.Errorf("chipletqc: YieldOptions.MaxTrials %d is negative", *o.MaxTrials)
 	}
 	return nil
 }
@@ -231,35 +243,60 @@ func SimulateYield(ctx context.Context, d *Device, opts YieldOptions) (YieldResu
 	return yield.Simulate(ctx, d, cfg)
 }
 
-// yieldConfigFromOptions validates facade options and translates them
-// into the internal simulation configuration.
+// yieldConfigFromOptions validates facade options, resolves the named
+// scenario, and translates both into the internal simulation
+// configuration.
 func yieldConfigFromOptions(opts YieldOptions) (yield.Config, error) {
 	if err := opts.Validate(); err != nil {
 		return yield.Config{}, err
 	}
-	cfg := yield.DefaultConfig()
-	if opts.Batch > 0 {
-		cfg.Batch = opts.Batch
+	scn, err := optionScenario(opts.Scenario)
+	if err != nil {
+		return yield.Config{}, err
 	}
+	batch := opts.Batch
+	if batch == 0 {
+		batch = 1000 // the Fig. 4 default
+	}
+	cfg := scn.YieldConfig(batch, opts.Seed)
 	if opts.Sigma != nil {
 		cfg.Model.Sigma = *opts.Sigma
 	}
 	if opts.Step != nil {
 		cfg.Model.Plan.Step = *opts.Step
 	}
-	cfg.Seed = opts.Seed
 	cfg.Workers = opts.Workers
-	cfg.Precision = opts.Precision
-	cfg.MaxTrials = opts.MaxTrials
+	// nil adaptive knobs inherit the scenario's trial policy; a set
+	// pointer overrides it — including Ptr(0.0), which forces the
+	// historical fixed-batch mode under an adaptive scenario.
+	if opts.Precision != nil {
+		cfg.Precision = *opts.Precision
+	}
+	if opts.MaxTrials != nil {
+		cfg.MaxTrials = *opts.MaxTrials
+	}
 	cfg.Progress = opts.Progress
 	return cfg, nil
 }
 
+// optionScenario resolves an option struct's scenario name, defaulting
+// to the paper baseline.
+func optionScenario(name string) (Scenario, error) {
+	if name == "" {
+		return scenario.Paper(), nil
+	}
+	return scenario.Lookup(name)
+}
+
 // BatchOptions parameterises chiplet fabrication.
 type BatchOptions struct {
-	Seed  int64
-	Sigma *float64 // fabrication precision (nil = SigmaLaserTuned; 0 = noise-free)
-	Det   *DetuningModel
+	// Scenario names the registered device scenario supplying the
+	// fabrication model, collision thresholds, and detuning model
+	// ("" = "paper"). Sigma and Det override the scenario's values.
+	Scenario string
+	Seed     int64
+	Sigma    *float64 // fabrication precision (nil = the scenario's; 0 = noise-free)
+	Det      *DetuningModel
 	// Workers sets the parallel worker count; <= 0 means all CPU cores.
 	// Results are identical at any worker count.
 	Workers int
@@ -279,18 +316,18 @@ func FabricateBatch(ctx context.Context, chipletQubits, size int, opts BatchOpti
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	spec, err := topo.SpecForQubits(chipletQubits)
+	scn, err := optionScenario(opts.Scenario)
 	if err != nil {
 		return nil, err
 	}
-	cfg := assembly.DefaultBatchConfig(opts.Seed)
+	spec, err := scn.SpecForQubits(chipletQubits)
+	if err != nil {
+		return nil, err
+	}
+	cfg := scn.BatchConfig(opts.Seed, opts.Det, opts.Workers)
 	if opts.Sigma != nil {
 		cfg.Fab.Sigma = *opts.Sigma
 	}
-	if opts.Det != nil {
-		cfg.Det = opts.Det
-	}
-	cfg.Workers = opts.Workers
 	return assembly.Fabricate(ctx, spec, size, cfg)
 }
 
@@ -300,10 +337,14 @@ func FabricateBatch(ctx context.Context, chipletQubits, size int, opts BatchOpti
 // LinkMean: Ptr(0.0) perfect inter-chip links, and
 // MaxReshuffles: Ptr(0) disables collision-driven reshuffling.
 type AssembleOptions struct {
+	// Scenario names the registered device scenario supplying the
+	// assembly policy, link model, and collision thresholds
+	// ("" = "paper"). The pointer fields override the scenario's values.
+	Scenario         string
 	Seed             int64
-	MaxReshuffles    *int     // placement shuffle budget (nil = 100)
-	BondFailureScale *float64 // per-bump failure scale (nil = 1 nominal; 0 = perfect bonds)
-	LinkMean         *float64 // mean link infidelity (nil = 0.075 state-of-art; 0 = perfect links)
+	MaxReshuffles    *int     // placement shuffle budget (nil = the scenario's; paper 100)
+	BondFailureScale *float64 // per-bump failure scale (nil = the scenario's; 0 = perfect bonds)
+	LinkMean         *float64 // mean link infidelity (nil = the scenario's; 0 = perfect links)
 }
 
 // Validate reports the first invalid option value.
@@ -328,7 +369,11 @@ func AssembleMCMs(ctx context.Context, b *Batch, rows, cols int, opts AssembleOp
 	if err := opts.Validate(); err != nil {
 		return nil, AssemblyStats{}, err
 	}
-	cfg := assembly.DefaultAssembleConfig(opts.Seed)
+	scn, err := optionScenario(opts.Scenario)
+	if err != nil {
+		return nil, AssemblyStats{}, err
+	}
+	cfg := scn.AssembleConfig(opts.Seed)
 	if opts.MaxReshuffles != nil {
 		cfg.MaxReshuffles = *opts.MaxReshuffles
 	}
@@ -342,17 +387,18 @@ func AssembleMCMs(ctx context.Context, b *Batch, rows, cols int, opts AssembleOp
 }
 
 // NewDetuningModel builds the empirical on-chip error model from the
-// synthetic Washington calibration dataset (Section VI-A). The
-// calibration draws come from the runner's SplitMix64 streams since the
-// v1 API revision — a one-time, statistically equivalent change of the
-// synthetic dataset.
+// synthetic Washington calibration dataset (Section VI-A) — the
+// "paper" scenario's detuning spec. The calibration draws come from the
+// runner's SplitMix64 streams since the v1 API revision — a one-time,
+// statistically equivalent change of the synthetic dataset.
 func NewDetuningModel(seed int64) *DetuningModel {
-	return noise.DefaultDetuningModel(seed)
+	return scenario.Paper().DetuningModel(seed)
 }
 
 // DefaultLinkModel is the state-of-art inter-chip link error
-// distribution (mean 7.5%, median 5.6%; Section VI-B).
-func DefaultLinkModel() LinkModel { return noise.DefaultLinkModel() }
+// distribution (mean 7.5%, median 5.6%; Section VI-B) — the "paper"
+// scenario's link model.
+func DefaultLinkModel() LinkModel { return scenario.Paper().Link }
 
 // AssignErrors realises per-coupling two-qubit gate errors for a device
 // with realised frequencies f: intra-chip couplings sample the empirical
@@ -360,7 +406,7 @@ func DefaultLinkModel() LinkModel { return noise.DefaultLinkModel() }
 // SampleFrequencies, draws come from the runner's SplitMix64 stream for
 // seed (one-time draw change from v0, statistically equivalent).
 func AssignErrors(seed int64, d *Device, f []float64, det *DetuningModel) ErrorAssignment {
-	return noise.Assign(runner.Rand(seed, 0), d, f, det, noise.DefaultLinkModel())
+	return noise.Assign(runner.Rand(seed, 0), d, f, det, scenario.Paper().Link)
 }
 
 // Benchmarks returns the paper's seven-benchmark suite in Table II

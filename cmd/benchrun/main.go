@@ -33,6 +33,7 @@ import (
 	"chipletqc/internal/experiment"
 	"chipletqc/internal/mcm"
 	"chipletqc/internal/report"
+	"chipletqc/internal/scenario"
 	"chipletqc/internal/topo"
 	"chipletqc/internal/yield"
 )
@@ -60,6 +61,7 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("benchrun", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
+		scen      = fs.String("scenario", scenario.PaperName, "device scenario to run under (see `figures -scenarios`)")
 		table2    = fs.Bool("table2", false, "print Table II compiled benchmark details (registry artifact)")
 		all       = fs.Bool("all", false, "evaluate Fig. 10 over all enumerated systems (registry artifact)")
 		square    = fs.Bool("square", false, "restrict -all to square systems (Fig. 10b)")
@@ -67,13 +69,13 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		rows      = fs.Int("rows", 2, "MCM rows")
 		cols      = fs.Int("cols", 2, "MCM cols")
 		maxQ      = fs.Int("max", 500, "largest system size for -all")
-		batch     = fs.Int("batch", 2000, "chiplet batch size")
-		mono      = fs.Int("mono", 2000, "monolithic batch size")
+		batch     = fs.Int("batch", 2000, "chiplet batch size (0 = the scenario's policy)")
+		mono      = fs.Int("mono", 2000, "monolithic batch size (0 = the scenario's policy)")
 		samples   = fs.Int("samples", 3, "device instances averaged per architecture")
 		seed      = fs.Int64("seed", 1, "RNG seed")
 		workers   = fs.Int("workers", 0, "parallel workers (0 = all CPU cores; results identical either way)")
-		precision = fs.Float64("precision", 0, "adaptive mode: stop yield simulations once their 95% CI half-width reaches this (0 = fixed batch)")
-		maxTrials = fs.Int("maxtrials", 0, "adaptive mode trial budget per simulation (0 = batch size)")
+		precision = fs.Float64("precision", 0, "adaptive mode: stop yield simulations once their 95% CI half-width reaches this (0 = the scenario's policy; negative forces fixed batch)")
+		maxTrials = fs.Int("maxtrials", 0, "adaptive mode trial budget per simulation (0 = the scenario's policy, then batch size; negative resets)")
 		perf      = fs.Bool("perf", false, "run the yield hot-path micro-benchmark and write a machine-readable perf record")
 		perfOut   = fs.String("perfout", "BENCH_yield.json", "perf record output path for -perf")
 		csv       = fs.Bool("csv", false, "emit CSV")
@@ -85,17 +87,25 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		return errUsage
 	}
 
-	cfg := eval.DefaultConfig(*seed)
-	cfg.ChipletBatch = *batch
-	cfg.MonoBatch = *mono
+	scn, err := scenario.Lookup(*scen)
+	if err != nil {
+		return err
+	}
+	cfg := eval.ConfigFor(scn, *seed)
+	if *batch > 0 {
+		cfg.ChipletBatch = *batch
+	}
+	if *mono > 0 {
+		cfg.MonoBatch = *mono
+	}
 	cfg.MaxQubits = *maxQ
 	cfg.Workers = *workers
-	cfg.Precision = *precision
-	cfg.MaxTrials = *maxTrials
+	// 0 inherits the scenario's trial policy; negative forces fixed-batch.
+	cfg.ApplyTrialPolicyOverrides(*precision, *maxTrials)
 	cfg.Fig10Samples = *samples
 
 	if *perf {
-		return runPerf(ctx, *batch, *workers, *seed, *perfOut, out)
+		return runPerf(ctx, scn, *batch, *workers, *seed, *perfOut, out)
 	}
 
 	if *table2 {
@@ -109,9 +119,9 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	// ctx-first eval API directly.
 	var grids []mcm.Grid
 	if *all && *square {
-		grids = mcm.SquareGrids(*maxQ)
+		grids = mcm.SquareGridsFrom(scn.Catalog, *maxQ)
 	} else {
-		spec, err := topo.SpecForQubits(*chiplet)
+		spec, err := scn.SpecForQubits(*chiplet)
 		if err != nil {
 			return err
 		}
@@ -157,6 +167,7 @@ func emit(tb *report.Table, out io.Writer, csv bool) error {
 // allocs/op) is tracked across PRs by the CI benchmark artifact.
 type perfRecord struct {
 	Name         string  `json:"name"`
+	Scenario     string  `json:"scenario"`
 	Qubits       int     `json:"qubits"`
 	Batch        int     `json:"batch"`
 	Precision    float64 `json:"precision,omitempty"`
@@ -170,16 +181,19 @@ type perfRecord struct {
 
 // runPerf micro-benchmarks yield.Simulate on a 100-qubit device in both
 // fixed-batch and adaptive (1% precision) modes and writes the records
-// as JSON to path.
-func runPerf(ctx context.Context, batch, workers int, seed int64, path string, out io.Writer) error {
+// as JSON to path. The records carry the scenario name so the CI perf
+// trajectory distinguishes device worlds.
+func runPerf(ctx context.Context, scn scenario.Scenario, batch, workers int, seed int64, path string, out io.Writer) error {
 	if batch <= 0 {
-		batch = 2000
+		batch = scn.Trials.ChipletBatch // -batch 0 = the scenario's policy, as elsewhere
 	}
 	d := topo.MonolithicDevice(topo.MonolithicSpec(100))
-	base := yield.DefaultConfig()
-	base.Batch = batch
-	base.Seed = seed
+	base := scn.YieldConfig(batch, seed)
 	base.Workers = workers
+	// The fixed-mode record must stay fixed even under a scenario whose
+	// trial policy is adaptive, or its ns/op is not comparable across
+	// PRs; the adaptive record pins its own 1% precision below.
+	base.Precision, base.MaxTrials = 0, 0
 
 	measure := func(name string, cfg yield.Config) (perfRecord, error) {
 		res, err := yield.Simulate(ctx, d, cfg) // warm-up + result snapshot
@@ -197,6 +211,7 @@ func runPerf(ctx context.Context, batch, workers int, seed int64, path string, o
 		ns := float64(br.NsPerOp())
 		rec := perfRecord{
 			Name:        name,
+			Scenario:    scn.Name,
 			Qubits:      d.N,
 			Batch:       cfg.Batch,
 			Precision:   cfg.Precision,

@@ -7,8 +7,10 @@
 // Usage:
 //
 //	figures -list                    # enumerate registered experiments
+//	figures -scenarios               # enumerate registered device scenarios
 //	figures                          # paper-scale run of everything (minutes)
 //	figures -quick                   # reduced batches (seconds, for smoke testing)
+//	figures -scenario future-fab -only fig4,fig8  # run under a non-paper device world
 //	figures -only fig8,table2 -json  # a subset, with Artifact JSON records
 //	figures -out DIR                 # choose the output directory
 //	figures -workers 8               # pin the worker-pool size
@@ -35,6 +37,7 @@ import (
 	"chipletqc/internal/eval"
 	"chipletqc/internal/experiment"
 	"chipletqc/internal/runner"
+	"chipletqc/internal/scenario"
 )
 
 func main() {
@@ -61,10 +64,12 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	var (
 		outDir    = fs.String("out", "results", "output directory")
 		quick     = fs.Bool("quick", false, "reduced Monte Carlo batches")
+		scen      = fs.String("scenario", scenario.PaperName, "device scenario to run under (see -scenarios)")
+		scenList  = fs.Bool("scenarios", false, "list registered device scenarios and exit")
 		seed      = fs.Int64("seed", 1, "RNG seed")
 		workers   = fs.Int("workers", 0, "parallel workers (0 = all CPU cores; results identical either way)")
-		precision = fs.Float64("precision", 0, "adaptive mode: stop yield simulations once their 95% CI half-width reaches this (0 = fixed batch)")
-		maxTrials = fs.Int("maxtrials", 0, "adaptive mode trial budget per simulation (0 = batch size)")
+		precision = fs.Float64("precision", 0, "adaptive mode: stop yield simulations once their 95% CI half-width reaches this (0 = the scenario's policy; negative forces fixed batch)")
+		maxTrials = fs.Int("maxtrials", 0, "adaptive mode trial budget per simulation (0 = the scenario's policy, then batch size; negative resets)")
 		list      = fs.Bool("list", false, "list registered experiments and exit")
 		only      = fs.String("only", "", "comma-separated experiment names to run (default: all)")
 		jsonOut   = fs.Bool("json", false, "additionally write the Artifact JSON record per experiment")
@@ -84,15 +89,26 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		}
 		return nil
 	}
+	if *scenList {
+		fmt.Fprintf(out, "%-20s %-14s %s\n", "NAME", "FINGERPRINT", "DESCRIPTION")
+		for _, s := range scenario.All() {
+			fmt.Fprintf(out, "%-20s %-14s %s\n", s.Name, s.Fingerprint(), s.Description)
+		}
+		return nil
+	}
 
-	cfg := eval.DefaultConfig(*seed)
+	scn, err := scenario.Lookup(*scen)
+	if err != nil {
+		return err
+	}
+	cfg := eval.ConfigFor(scn, *seed)
 	if *quick {
-		cfg = eval.QuickConfig(*seed)
+		cfg = eval.QuickConfigFor(scn, *seed)
 		cfg.MaxQubits = 200
 	}
 	cfg.Workers = *workers
-	cfg.Precision = *precision
-	cfg.MaxTrials = *maxTrials
+	// 0 inherits the scenario's trial policy; negative forces fixed-batch.
+	cfg.ApplyTrialPolicyOverrides(*precision, *maxTrials)
 	if *progress {
 		cfg.Progress = progressPrinter(errw)
 	}

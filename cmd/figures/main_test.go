@@ -57,6 +57,49 @@ func TestRunOnlyWithJSONArtifact(t *testing.T) {
 	}
 }
 
+func TestRunScenarioList(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(context.Background(), []string{"-scenarios"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, name := range []string{"paper", "future-fab", "improved-links", "relaxed-thresholds", "FINGERPRINT"} {
+		if !strings.Contains(got, name) {
+			t.Errorf("-scenarios output missing %q:\n%s", name, got)
+		}
+	}
+}
+
+func TestRunUnderScenarioRecordsIt(t *testing.T) {
+	dir := t.TempDir()
+	var out, errw bytes.Buffer
+	err := run(context.Background(),
+		[]string{"-quick", "-scenario", "future-fab", "-only", "eq1", "-json", "-out", dir}, &out, &errw)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, errw.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "eq1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a experiment.Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		t.Fatal(err)
+	}
+	if a.Scenario != "future-fab" || a.ScenarioFingerprint == "" {
+		t.Errorf("artifact does not record the scenario: %+v", a)
+	}
+}
+
+func TestRunUnknownScenario(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run(context.Background(), []string{"-scenario", "warp-core"}, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "unknown scenario") ||
+		!strings.Contains(err.Error(), "paper") {
+		t.Errorf("err = %v, want unknown-scenario error listing known names", err)
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	var out, errw bytes.Buffer
 	err := run(context.Background(), []string{"-only", "fig99"}, &out, &errw)

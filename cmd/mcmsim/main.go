@@ -11,6 +11,7 @@
 //	mcmsim -chiplet 20 -rows 3 -cols 3            # one MCM configuration
 //	mcmsim -fig8 -batch 2000 -max 500             # full yield comparison (registry artifact)
 //	mcmsim -fig9 -batch 2000 -max 500             # E_avg ratio heatmaps (registry artifact)
+//	mcmsim -fig8 -scenario improved-links         # run under a non-paper device scenario
 //	mcmsim -fig8 -workers 8                       # pin the worker-pool size
 package main
 
@@ -29,7 +30,7 @@ import (
 	"chipletqc/internal/experiment"
 	"chipletqc/internal/mcm"
 	"chipletqc/internal/report"
-	"chipletqc/internal/topo"
+	"chipletqc/internal/scenario"
 )
 
 func main() {
@@ -54,16 +55,17 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("mcmsim", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
+		scen      = fs.String("scenario", scenario.PaperName, "device scenario to run under (see `figures -scenarios`)")
 		chiplet   = fs.Int("chiplet", 20, "chiplet size in qubits (catalog: 10..250)")
 		rows      = fs.Int("rows", 2, "MCM rows")
 		cols      = fs.Int("cols", 2, "MCM cols")
-		batch     = fs.Int("batch", 10000, "chiplet fabrication batch size")
-		mono      = fs.Int("mono", 10000, "monolithic Monte Carlo batch size")
+		batch     = fs.Int("batch", 0, "chiplet fabrication batch size (0 = the scenario's policy; paper 10000)")
+		mono      = fs.Int("mono", 0, "monolithic Monte Carlo batch size (0 = the scenario's policy; paper 10000)")
 		maxQ      = fs.Int("max", 500, "largest system size for -fig8/-fig9")
 		seed      = fs.Int64("seed", 1, "RNG seed")
 		workers   = fs.Int("workers", 0, "parallel workers (0 = all CPU cores; results identical either way)")
-		precision = fs.Float64("precision", 0, "adaptive mode: stop each yield simulation once its 95% CI half-width reaches this (0 = fixed batch)")
-		maxTrials = fs.Int("maxtrials", 0, "adaptive mode trial budget per simulation (0 = batch size)")
+		precision = fs.Float64("precision", 0, "adaptive mode: stop each yield simulation once its 95% CI half-width reaches this (0 = the scenario's policy; negative forces fixed batch)")
+		maxTrials = fs.Int("maxtrials", 0, "adaptive mode trial budget per simulation (0 = the scenario's policy, then batch size; negative resets)")
 		fig8      = fs.Bool("fig8", false, "run the registered fig8 experiment (full yield comparison)")
 		fig9      = fs.Bool("fig9", false, "run the registered fig9 experiment (E_avg ratio heatmaps)")
 		csv       = fs.Bool("csv", false, "emit CSV")
@@ -75,13 +77,21 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		return errUsage
 	}
 
-	cfg := eval.DefaultConfig(*seed)
-	cfg.ChipletBatch = *batch
-	cfg.MonoBatch = *mono
+	scn, err := scenario.Lookup(*scen)
+	if err != nil {
+		return err
+	}
+	cfg := eval.ConfigFor(scn, *seed)
+	if *batch > 0 {
+		cfg.ChipletBatch = *batch
+	}
+	if *mono > 0 {
+		cfg.MonoBatch = *mono
+	}
 	cfg.MaxQubits = *maxQ
 	cfg.Workers = *workers
-	cfg.Precision = *precision
-	cfg.MaxTrials = *maxTrials
+	// 0 inherits the scenario's trial policy; negative forces fixed-batch.
+	cfg.ApplyTrialPolicyOverrides(*precision, *maxTrials)
 
 	switch {
 	case *fig8:
@@ -89,28 +99,27 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	case *fig9:
 		return experiment.RunAndRender(ctx, "fig9", cfg, out, *csv)
 	default:
-		return runSingle(ctx, cfg, *chiplet, *rows, *cols, out, *csv)
+		return runSingle(ctx, scn, cfg, *chiplet, *rows, *cols, out, *csv)
 	}
 }
 
-func runSingle(ctx context.Context, cfg eval.Config, chiplet, rows, cols int, out io.Writer, csv bool) error {
-	spec, err := topo.SpecForQubits(chiplet)
+func runSingle(ctx context.Context, scn scenario.Scenario, cfg eval.Config, chiplet, rows, cols int, out io.Writer, csv bool) error {
+	spec, err := scn.SpecForQubits(chiplet)
 	if err != nil {
 		return err
 	}
 	grid := mcm.Grid{Rows: rows, Cols: cols, Spec: spec}
-	bcfg := assembly.DefaultBatchConfig(cfg.Seed)
-	bcfg.Workers = cfg.Workers
+	bcfg := scn.BatchConfig(cfg.Seed, nil, cfg.Workers)
 	b, err := assembly.Fabricate(ctx, spec, cfg.ChipletBatch, bcfg)
 	if err != nil {
 		return err
 	}
-	mods, st, err := assembly.Assemble(ctx, b, grid, assembly.DefaultAssembleConfig(cfg.Seed))
+	mods, st, err := assembly.Assemble(ctx, b, grid, scn.AssembleConfig(cfg.Seed))
 	if err != nil {
 		return err
 	}
 
-	tb := report.New(fmt.Sprintf("MCM assembly: %s", grid), "metric", "value")
+	tb := report.New(fmt.Sprintf("MCM assembly: %s (scenario %s)", grid, scn.Name), "metric", "value")
 	tb.Add("chiplets fabricated", st.BatchSize)
 	tb.Add("collision-free chiplets", st.FreeChiplets)
 	tb.Add("chiplet yield", report.F(st.ChipletYield, 4))

@@ -7,6 +7,7 @@
 //
 //	yieldsim                                # Fig. 4 sweep at defaults
 //	yieldsim -sigma 0.014 -step 0.06 -max 500
+//	yieldsim -scenario relaxed-thresholds   # simulate a non-paper device scenario
 //	yieldsim -chiplets                      # catalog chiplet yields
 //	yieldsim -workers 8                     # pin the worker-pool size
 //	yieldsim -precision 0.01                # adaptive: stop at 1% CI half-width
@@ -25,6 +26,7 @@ import (
 	analyticpkg "chipletqc/internal/analytic"
 	"chipletqc/internal/fab"
 	"chipletqc/internal/report"
+	"chipletqc/internal/scenario"
 	"chipletqc/internal/topo"
 	"chipletqc/internal/yield"
 )
@@ -52,14 +54,15 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("yieldsim", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
+		scen      = fs.String("scenario", scenario.PaperName, "device scenario to simulate (see `figures -scenarios`)")
 		batch     = fs.Int("batch", 1000, "devices per Monte Carlo batch")
 		sigma     = fs.Float64("sigma", 0, "fabrication precision in GHz (0 = sweep the paper's three values)")
 		step      = fs.Float64("step", 0, "frequency plan step in GHz (0 = sweep 0.04-0.07)")
 		maxQ      = fs.Int("max", 1000, "largest device size in qubits")
 		seed      = fs.Int64("seed", 1, "RNG seed")
 		workers   = fs.Int("workers", 0, "parallel workers (0 = all CPU cores; results identical either way)")
-		precision = fs.Float64("precision", 0, "adaptive mode: stop each simulation once the yield's 95% CI half-width reaches this (0 = fixed batch)")
-		maxTrials = fs.Int("maxtrials", 0, "adaptive mode trial budget (0 = batch)")
+		precision = fs.Float64("precision", 0, "adaptive mode: stop each simulation once the yield's 95% CI half-width reaches this (0 = the scenario's policy; negative forces fixed batch)")
+		maxTrials = fs.Int("maxtrials", 0, "adaptive mode trial budget (0 = the scenario's policy, then batch; negative resets)")
 		chiplets  = fs.Bool("chiplets", false, "report catalog chiplet yields instead of the size sweep")
 		analytic  = fs.Bool("analytic", false, "add the closed-form yield estimate next to Monte Carlo")
 		csv       = fs.Bool("csv", false, "emit CSV instead of an aligned table")
@@ -71,12 +74,14 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		return errUsage
 	}
 
-	cfg := yield.DefaultConfig()
-	cfg.Batch = *batch
-	cfg.Seed = *seed
+	scn, err := scenario.Lookup(*scen)
+	if err != nil {
+		return err
+	}
+	cfg := scn.YieldConfig(*batch, *seed)
 	cfg.Workers = *workers
-	cfg.Precision = *precision
-	cfg.MaxTrials = *maxTrials
+	// 0 inherits the scenario's trial policy; negative forces fixed-batch.
+	cfg.ApplyTrialPolicyOverrides(*precision, *maxTrials)
 
 	if *chiplets {
 		if *sigma > 0 {

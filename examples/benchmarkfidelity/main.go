@@ -7,6 +7,7 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"math"
@@ -24,6 +25,12 @@ const (
 )
 
 func main() {
+	scenName := flag.String("scenario", chipletqc.ScenarioPaper, "registered device scenario to evaluate under")
+	flag.Parse()
+	scn, err := chipletqc.LookupScenario(*scenName)
+	if err != nil {
+		log.Fatal(err)
+	}
 	ctx := context.Background()
 	mcmDev, err := chipletqc.MCM(rows, cols, chipletQubits)
 	if err != nil {
@@ -35,14 +42,15 @@ func main() {
 	}
 	chip := chipletqc.BuildChiplet(spec)
 	mono := chipletqc.Monolithic(mcmDev.N)
-	fmt.Printf("comparing %s vs %s on the 7-benchmark suite\n\n", mcmDev.Name, mono.Name)
+	fmt.Printf("comparing %s vs %s on the 7-benchmark suite (scenario %s)\n\n",
+		mcmDev.Name, mono.Name, scn.Name)
 
 	// MCM instances: best modules from a fabricated batch.
-	b, err := chipletqc.FabricateBatch(ctx, chipletQubits, batch, chipletqc.BatchOptions{Seed: seed})
+	b, err := chipletqc.FabricateBatch(ctx, chipletQubits, batch, chipletqc.BatchOptions{Scenario: scn.Name, Seed: seed})
 	if err != nil {
 		log.Fatal(err)
 	}
-	mods, st, err := chipletqc.AssembleMCMs(ctx, b, rows, cols, chipletqc.AssembleOptions{Seed: seed})
+	mods, st, err := chipletqc.AssembleMCMs(ctx, b, rows, cols, chipletqc.AssembleOptions{Scenario: scn.Name, Seed: seed})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,8 +65,8 @@ func main() {
 
 	// Monolithic instances: collision-free survivors with sampled gate
 	// errors.
-	det := chipletqc.NewDetuningModel(seed)
-	monoInstances := collectMonoInstances(mono, det)
+	det := scn.DetuningModel(seed) // same device world as the MCM side
+	monoInstances := collectMonoInstances(scn, mono, det)
 	fmt.Printf("monolithic instances: %d collision-free of %d fabricated\n\n",
 		len(monoInstances), monoBatch)
 
@@ -95,14 +103,14 @@ func main() {
 	fmt.Println("\nratio > 1 means the MCM runs the benchmark with higher estimated success")
 }
 
-// collectMonoInstances fabricates monolithic devices until `instances`
-// collision-free ones are found, assigning each its gate errors.
-func collectMonoInstances(mono *chipletqc.Device, det *chipletqc.DetuningModel) []chipletqc.ErrorAssignment {
-	fabModel := chipletqc.DefaultFabModel()
+// collectMonoInstances fabricates monolithic devices under the scenario
+// until `instances` collision-free ones are found, assigning each its
+// gate errors.
+func collectMonoInstances(scn chipletqc.Scenario, mono *chipletqc.Device, det *chipletqc.DetuningModel) []chipletqc.ErrorAssignment {
 	var out []chipletqc.ErrorAssignment
 	for i := int64(0); i < monoBatch && len(out) < instances; i++ {
-		f := chipletqc.SampleFrequencies(seed+i, fabModel, mono)
-		if !chipletqc.CollisionFree(mono, f) {
+		f := chipletqc.SampleFrequencies(seed+i, scn.Fab, mono)
+		if !scn.CollisionFree(mono, f) {
 			continue
 		}
 		out = append(out, chipletqc.AssignErrors(seed+i, mono, f, det))

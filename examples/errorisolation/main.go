@@ -9,6 +9,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -16,13 +17,22 @@ import (
 )
 
 func main() {
+	scen := flag.String("scenario", chipletqc.ScenarioPaper, "registered device scenario (context only: ray isolation is topology-determined)")
+	flag.Parse()
+	scn, err := chipletqc.LookupScenario(*scen)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	mcmDev, err := chipletqc.MCM(3, 3, 20)
 	if err != nil {
 		log.Fatal(err)
 	}
 	mono := chipletqc.Monolithic(180)
-	fmt.Printf("correlated-error campaign: %s vs %s (2000 impacts per radius)\n\n",
-		mcmDev.Name, mono.Name)
+	fmt.Printf("correlated-error campaign: %s vs %s (2000 impacts per radius)\n", mcmDev.Name, mono.Name)
+	fmt.Printf("device scenario: %s — isolation depends only on the chip topology,\n", scn.Name)
+	fmt.Println("so every registered scenario shows the same confinement advantage")
+	fmt.Println()
 
 	fmt.Printf("%10s %16s %16s %12s %18s\n",
 		"radius", "mcm_corrupted", "mono_corrupted", "isolation", "mono_wipeouts")

@@ -7,6 +7,7 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"sort"
@@ -20,6 +21,11 @@ const (
 	seed         = 11
 )
 
+// scen selects the device scenario every fabrication, assembly, and
+// yield call below runs under — the recommendation shifts with the
+// device world (try -scenario future-fab or relaxed-thresholds).
+var scen = flag.String("scenario", chipletqc.ScenarioPaper, "registered device scenario to design under")
+
 type candidate struct {
 	chiplet    int
 	rows, cols int
@@ -31,8 +37,13 @@ type candidate struct {
 }
 
 func main() {
+	flag.Parse()
+	if _, err := chipletqc.LookupScenario(*scen); err != nil {
+		log.Fatal(err)
+	}
 	ctx := context.Background()
-	fmt.Printf("designing a ~%d-qubit machine from catalog chiplets\n\n", targetQubits)
+	fmt.Printf("designing a ~%d-qubit machine from catalog chiplets (scenario %s)\n\n",
+		targetQubits, *scen)
 
 	var cands []candidate
 	for _, cq := range chipletqc.ChipletSizes() {
@@ -40,11 +51,11 @@ func main() {
 		if !ok {
 			continue
 		}
-		batch, err := chipletqc.FabricateBatch(ctx, cq, batchSize, chipletqc.BatchOptions{Seed: seed})
+		batch, err := chipletqc.FabricateBatch(ctx, cq, batchSize, chipletqc.BatchOptions{Scenario: *scen, Seed: seed})
 		if err != nil {
 			log.Fatal(err)
 		}
-		mods, st, err := chipletqc.AssembleMCMs(ctx, batch, rows, cols, chipletqc.AssembleOptions{Seed: seed})
+		mods, st, err := chipletqc.AssembleMCMs(ctx, batch, rows, cols, chipletqc.AssembleOptions{Scenario: *scen, Seed: seed})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -70,7 +81,7 @@ func main() {
 
 	// Monolithic baseline.
 	mono := chipletqc.Monolithic(targetQubits)
-	monoYield, err := chipletqc.SimulateYield(ctx, mono, chipletqc.YieldOptions{Batch: batchSize, Seed: seed})
+	monoYield, err := chipletqc.SimulateYield(ctx, mono, chipletqc.YieldOptions{Scenario: *scen, Batch: batchSize, Seed: seed})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,11 +2,14 @@
 // the full paper pipeline — yield simulation, chiplet fabrication, KGD
 // binning, MCM assembly — through the context-first API, compare the
 // result against the equivalent 180-qubit monolithic device, and finish
-// with a run through the Experiment registry.
+// with a run through the Experiment registry. Pass -scenario to run the
+// whole walk under a registered non-paper device world
+// (`go run ./examples/quickstart -scenario future-fab`).
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -15,6 +18,13 @@ import (
 )
 
 func main() {
+	scen := flag.String("scenario", chipletqc.ScenarioPaper, "registered device scenario to simulate")
+	flag.Parse()
+	scn, err := chipletqc.LookupScenario(*scen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("device scenario: %s (%s) — %s\n\n", scn.Name, scn.Fingerprint(), scn.Description)
 	// Every Monte Carlo entry point is context-first: cancelling ctx
 	// (e.g. on SIGINT, or a deadline) stops a campaign within one
 	// in-flight trial per worker.
@@ -33,7 +43,7 @@ func main() {
 
 	// Collision-free yield at laser-tuned fabrication precision
 	// (sigma_f = 0.014 GHz), Table I criteria.
-	monoYield, err := chipletqc.SimulateYield(ctx, mono, chipletqc.YieldOptions{Batch: 2000, Seed: 1})
+	monoYield, err := chipletqc.SimulateYield(ctx, mono, chipletqc.YieldOptions{Scenario: scn.Name, Batch: 2000, Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,13 +51,13 @@ func main() {
 
 	// Chiplet route: fabricate a batch, keep the collision-free bin,
 	// assemble MCMs best-chiplets-first.
-	batch, err := chipletqc.FabricateBatch(ctx, 20, 2000, chipletqc.BatchOptions{Seed: 1})
+	batch, err := chipletqc.FabricateBatch(ctx, 20, 2000, chipletqc.BatchOptions{Scenario: scn.Name, Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("20q chiplet collision-free yield:     %.4f\n", batch.Yield())
 
-	mods, st, err := chipletqc.AssembleMCMs(ctx, batch, 3, 3, chipletqc.AssembleOptions{Seed: 1})
+	mods, st, err := chipletqc.AssembleMCMs(ctx, batch, 3, 3, chipletqc.AssembleOptions{Scenario: scn.Name, Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,8 +93,22 @@ func main() {
 	for _, e := range chipletqc.Experiments() {
 		fmt.Printf("  %-10s %s\n", e.Name(), e.Describe())
 	}
+
+	// Device scenarios make the same registry run under any device
+	// world: every workload accepts a scenario-bearing config, and the
+	// resulting Artifact records which scenario (name + fingerprint)
+	// produced it.
+	fmt.Println("\nregistered device scenarios:")
+	for _, sc := range chipletqc.Scenarios() {
+		fmt.Printf("  %-20s %s\n", sc.Name, sc.Description)
+	}
 	exp, _ := chipletqc.LookupExperiment("eq1")
-	artifact, err := exp.Run(ctx, chipletqc.QuickExperimentConfig(1))
+	cfg, err := chipletqc.ExperimentConfigFor(scn.Name, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.MonoBatch, cfg.ChipletBatch = 500, 500
+	artifact, err := exp.Run(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,6 +16,13 @@ import (
 )
 
 func main() {
+	scen := flag.String("scenario", chipletqc.ScenarioPaper, "registered device scenario to sweep around")
+	flag.Parse()
+	if _, err := chipletqc.LookupScenario(*scen); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("device scenario: %s (sigma/step flags sweep around its collision screening)\n\n", *scen)
+
 	ctx := context.Background()
 	const batch = 800
 	sizes := []int{20, 60, 120, 250, 500}
@@ -38,7 +46,8 @@ func main() {
 			for _, n := range sizes {
 				dev := chipletqc.Monolithic(n)
 				res, err := chipletqc.SimulateYield(ctx, dev, chipletqc.YieldOptions{
-					Batch: batch, Sigma: chipletqc.Ptr(sigma), Step: chipletqc.Ptr(step), Seed: 7,
+					Scenario: *scen,
+					Batch:    batch, Sigma: chipletqc.Ptr(sigma), Step: chipletqc.Ptr(step), Seed: 7,
 				})
 				if err != nil {
 					log.Fatal(err)

@@ -12,7 +12,6 @@ import (
 
 	"chipletqc/internal/analytic"
 	"chipletqc/internal/circuit"
-	"chipletqc/internal/collision"
 	"chipletqc/internal/compiler"
 	"chipletqc/internal/ecc"
 	"chipletqc/internal/fab"
@@ -20,6 +19,7 @@ import (
 	"chipletqc/internal/graph"
 	"chipletqc/internal/qsim"
 	"chipletqc/internal/rays"
+	"chipletqc/internal/scenario"
 	"chipletqc/internal/topo"
 	"chipletqc/internal/yield"
 )
@@ -111,7 +111,18 @@ func CompareRays(mcmDev, mono *Device, cfg RayConfig) (RayResult, RayResult, flo
 // form (independence approximation over the Table I criteria) — a fast,
 // slightly conservative stand-in for the Monte Carlo simulation.
 func AnalyticYield(d *Device, plan FreqPlan, sigma float64) float64 {
-	return analytic.DeviceYield(d, plan, sigma, collision.DefaultParams())
+	return analytic.DeviceYield(d, plan, sigma, scenario.Paper().Params)
+}
+
+// AnalyticYieldFor is AnalyticYield under the named registered
+// scenario's collision thresholds, so closed-form estimates stay
+// comparable to Monte Carlo runs of the same device world.
+func AnalyticYieldFor(scenarioName string, d *Device, plan FreqPlan, sigma float64) (float64, error) {
+	s, err := scenario.Lookup(scenarioName)
+	if err != nil {
+		return 0, err
+	}
+	return analytic.DeviceYield(d, plan, sigma, s.Params), nil
 }
 
 // AllocationResult is the outcome of a frequency-allocation search.
@@ -123,6 +134,7 @@ type AllocationResult = freqalloc.Result
 // pattern is near-optimal.
 func OptimizeAllocation(d *Device, sigma float64, iterations int, seed int64) AllocationResult {
 	cfg := freqalloc.DefaultConfig(seed)
+	cfg.Params = scenario.Paper().Params
 	cfg.Sigma = sigma
 	if iterations > 0 {
 		cfg.Iterations = iterations
@@ -133,7 +145,7 @@ func OptimizeAllocation(d *Device, sigma float64, iterations int, seed int64) Al
 // SearchSteps sweeps symmetric and asymmetric step pairs analytically
 // and returns the yield-maximising spacing.
 func SearchSteps(d *Device, sigma float64, steps []float64) (bestLow, bestHigh, bestYield float64) {
-	return freqalloc.StepSearch(d, sigma, collision.DefaultParams(), steps)
+	return freqalloc.StepSearch(d, sigma, scenario.Paper().Params, steps)
 }
 
 // Error correction thresholds (Sections II-B and VIII).

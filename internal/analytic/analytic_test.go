@@ -7,6 +7,7 @@ import (
 
 	"chipletqc/internal/collision"
 	"chipletqc/internal/fab"
+	"chipletqc/internal/scenario"
 	"chipletqc/internal/topo"
 	"chipletqc/internal/yield"
 )
@@ -83,8 +84,7 @@ func TestAnalyticMatchesMonteCarlo(t *testing.T) {
 	for _, c := range cases {
 		d := topo.MonolithicDevice(c.spec)
 		got := DeviceYield(d, topo.DefaultFreqPlan, c.sigma, params)
-		cfg := yield.DefaultConfig()
-		cfg.Batch = 4000
+		cfg := scenario.Paper().YieldConfig(4000, 1)
 		cfg.Model.Sigma = c.sigma
 		mcRes, err := yield.Simulate(context.Background(), d, cfg)
 		if err != nil {

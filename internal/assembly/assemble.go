@@ -12,7 +12,10 @@ import (
 	"chipletqc/internal/topo"
 )
 
-// AssembleConfig parameterises MCM stitching (Section VII-B).
+// AssembleConfig parameterises MCM stitching (Section VII-B). Callers
+// compose it from a device scenario (internal/scenario's
+// Scenario.AssembleConfig is the standard constructor, with the paper's
+// runtime choices on the "paper" scenario) or field by field in tests.
 type AssembleConfig struct {
 	// MaxReshuffles is the timeout on chiplet placement shuffles when a
 	// candidate MCM shows an inter-chiplet collision (paper: 100).
@@ -26,17 +29,6 @@ type AssembleConfig struct {
 	Params collision.Params
 	// Seed drives placement shuffles and link error sampling.
 	Seed int64
-}
-
-// DefaultAssembleConfig mirrors the paper's runtime choices.
-func DefaultAssembleConfig(seed int64) AssembleConfig {
-	return AssembleConfig{
-		MaxReshuffles:    100,
-		BondFailureScale: 1,
-		Link:             noise.DefaultLinkModel(),
-		Params:           collision.DefaultParams(),
-		Seed:             seed,
-	}
 }
 
 // AssembledMCM is one complete, collision-free multi-chip module.

@@ -12,7 +12,7 @@ import (
 
 func testBatch(t *testing.T, spec topo.ChipSpec, size int) *Batch {
 	t.Helper()
-	return fabricate(t, spec, size, DefaultBatchConfig(77))
+	return fabricate(t, spec, size, testBatchConfig(77))
 }
 
 func TestFabricateBinIsSortedAndFree(t *testing.T) {
@@ -40,7 +40,7 @@ func TestFabricateBinIsSortedAndFree(t *testing.T) {
 }
 
 func TestFabricateEmptyBatch(t *testing.T) {
-	b := fabricate(t, topo.ChipSpec{DenseRows: 1, Width: 8}, 0, DefaultBatchConfig(1))
+	b := fabricate(t, topo.ChipSpec{DenseRows: 1, Width: 8}, 0, testBatchConfig(1))
 	if b.Yield() != 0 || len(b.Free) != 0 {
 		t.Error("empty batch should have zero yield")
 	}
@@ -123,7 +123,7 @@ func TestFabricationOutputPaperExample(t *testing.T) {
 func TestAssembleBuildsCollisionFreeMCMs(t *testing.T) {
 	b := testBatch(t, topo.ChipSpec{DenseRows: 2, Width: 8}, 400)
 	grid := mcm.Grid{Rows: 2, Cols: 2, Spec: topo.ChipSpec{DenseRows: 2, Width: 8}}
-	mods, st := assemble(t, b, grid, DefaultAssembleConfig(5))
+	mods, st := assemble(t, b, grid, testAssembleConfig(5))
 	if st.MCMs == 0 {
 		t.Fatal("no MCMs assembled from a healthy batch")
 	}
@@ -149,7 +149,7 @@ func TestAssembledMCMValidity(t *testing.T) {
 	spec := topo.ChipSpec{DenseRows: 2, Width: 8}
 	b := testBatch(t, spec, 300)
 	grid := mcm.Grid{Rows: 2, Cols: 2, Spec: spec}
-	mods, _ := assemble(t, b, grid, DefaultAssembleConfig(6))
+	mods, _ := assemble(t, b, grid, testAssembleConfig(6))
 	if len(mods) == 0 {
 		t.Fatal("need at least one module")
 	}
@@ -178,7 +178,7 @@ func TestAssembledMCMValidity(t *testing.T) {
 func TestAssembleUsesBestChipletsFirst(t *testing.T) {
 	b := testBatch(t, topo.ChipSpec{DenseRows: 2, Width: 8}, 600)
 	grid := mcm.Grid{Rows: 2, Cols: 2, Spec: topo.ChipSpec{DenseRows: 2, Width: 8}}
-	mods, _ := assemble(t, b, grid, DefaultAssembleConfig(7))
+	mods, _ := assemble(t, b, grid, testAssembleConfig(7))
 	if len(mods) < 4 {
 		t.Fatal("need several modules")
 	}
@@ -200,7 +200,7 @@ func avgMemberErr(m *AssembledMCM) float64 {
 func TestAssembleInsufficientChiplets(t *testing.T) {
 	b := testBatch(t, topo.ChipSpec{DenseRows: 2, Width: 8}, 4) // likely < 4 free chips
 	grid := mcm.Grid{Rows: 3, Cols: 3, Spec: topo.ChipSpec{DenseRows: 2, Width: 8}}
-	mods, st := assemble(t, b, grid, DefaultAssembleConfig(8))
+	mods, st := assemble(t, b, grid, testAssembleConfig(8))
 	if len(mods) != 0 || st.MCMs != 0 {
 		t.Error("cannot assemble 9-chip MCM from a 4-die batch")
 	}
@@ -214,8 +214,8 @@ func TestAssembleDeterministic(t *testing.T) {
 	grid := mcm.Grid{Rows: 2, Cols: 2, Spec: spec}
 	b1 := testBatch(t, spec, 300)
 	b2 := testBatch(t, spec, 300)
-	m1, s1 := assemble(t, b1, grid, DefaultAssembleConfig(9))
-	m2, s2 := assemble(t, b2, grid, DefaultAssembleConfig(9))
+	m1, s1 := assemble(t, b1, grid, testAssembleConfig(9))
+	m2, s2 := assemble(t, b2, grid, testAssembleConfig(9))
 	if s1.MCMs != s2.MCMs {
 		t.Fatalf("non-deterministic assembly: %d vs %d", s1.MCMs, s2.MCMs)
 	}
@@ -230,7 +230,7 @@ func TestResampleLinks(t *testing.T) {
 	spec := topo.ChipSpec{DenseRows: 2, Width: 8}
 	b := testBatch(t, spec, 200)
 	grid := mcm.Grid{Rows: 2, Cols: 2, Spec: spec}
-	mods, _ := assemble(t, b, grid, DefaultAssembleConfig(10))
+	mods, _ := assemble(t, b, grid, testAssembleConfig(10))
 	if len(mods) == 0 {
 		t.Fatal("need a module")
 	}
@@ -251,7 +251,7 @@ func TestOddRowChipletAssembles(t *testing.T) {
 	spec := topo.ChipSpec{DenseRows: 1, Width: 8}
 	b := testBatch(t, spec, 300)
 	grid := mcm.Grid{Rows: 3, Cols: 3, Spec: spec}
-	mods, st := assemble(t, b, grid, DefaultAssembleConfig(11))
+	mods, st := assemble(t, b, grid, testAssembleConfig(11))
 	if st.MCMs == 0 {
 		t.Fatal("no 10q-chiplet MCMs assembled")
 	}

@@ -57,18 +57,6 @@ type BatchConfig struct {
 	Workers int
 }
 
-// DefaultBatchConfig uses the paper's forward-looking baseline: laser-
-// tuned precision, Table I thresholds, and the reference synthetic
-// Washington detuning model.
-func DefaultBatchConfig(seed int64) BatchConfig {
-	return BatchConfig{
-		Fab:    fab.DefaultModel(),
-		Params: collision.DefaultParams(),
-		Det:    noise.DefaultDetuningModel(seed),
-		Seed:   seed,
-	}
-}
-
 // Fabricate runs a batch of `size` chiplets of the given spec: sample
 // frequencies, discard collision-free failures, characterise survivors
 // (per-coupling error sampled from the empirical detuning model), and

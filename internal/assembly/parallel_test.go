@@ -15,7 +15,7 @@ import (
 func TestFabricateWorkerCountInvariance(t *testing.T) {
 	spec := topo.ChipSpec{DenseRows: 2, Width: 8}
 	fab := func(workers int) *Batch {
-		cfg := DefaultBatchConfig(2024)
+		cfg := testBatchConfig(2024)
 		cfg.Workers = workers
 		return fabricate(t, spec, 400, cfg)
 	}
@@ -51,10 +51,10 @@ func TestFabricateWorkerCountInvarianceThroughAssembly(t *testing.T) {
 	spec := topo.ChipSpec{DenseRows: 2, Width: 8}
 	grid := mcm.Grid{Rows: 2, Cols: 2, Spec: spec}
 	build := func(workers int) (int, float64) {
-		cfg := DefaultBatchConfig(7)
+		cfg := testBatchConfig(7)
 		cfg.Workers = workers
 		b := fabricate(t, spec, 300, cfg)
-		mods, st := assemble(t, b, grid, DefaultAssembleConfig(8))
+		mods, st := assemble(t, b, grid, testAssembleConfig(8))
 		var sum float64
 		for _, m := range mods {
 			sum += m.EAvg()
@@ -73,7 +73,7 @@ func TestFabricateWorkerCountInvarianceThroughAssembly(t *testing.T) {
 // compare the serial and parallel paths (Workers tracks GOMAXPROCS).
 func BenchmarkFabricate(b *testing.B) {
 	spec := topo.ChipSpec{DenseRows: 2, Width: 8}
-	cfg := DefaultBatchConfig(1)
+	cfg := testBatchConfig(1)
 	cfg.Workers = runtime.GOMAXPROCS(0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

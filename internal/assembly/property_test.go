@@ -23,10 +23,10 @@ func TestAssemblyAccountingProperty(t *testing.T) {
 		if rows*cols < 2 {
 			cols = 2
 		}
-		cfg := DefaultBatchConfig(int64(seedRaw))
+		cfg := testBatchConfig(int64(seedRaw))
 		b := fabricate(t, spec, size, cfg)
 		grid := mcm.Grid{Rows: rows, Cols: cols, Spec: spec}
-		mods, st := assemble(t, b, grid, DefaultAssembleConfig(int64(seedRaw)+1))
+		mods, st := assemble(t, b, grid, testAssembleConfig(int64(seedRaw)+1))
 
 		if st.ChipsUsed+st.Leftover != st.FreeChiplets {
 			return false
@@ -64,9 +64,9 @@ func TestAssembledModulesAreCollisionFreeProperty(t *testing.T) {
 	spec := topo.ChipSpec{DenseRows: 1, Width: 8} // odd-r stresses shifts
 	grid := mcm.Grid{Rows: 2, Cols: 2, Spec: spec}
 	dev := mcm.MustBuild(grid)
-	cfg := DefaultBatchConfig(99)
+	cfg := testBatchConfig(99)
 	b := fabricate(t, spec, 400, cfg)
-	mods, _ := assemble(t, b, grid, DefaultAssembleConfig(100))
+	mods, _ := assemble(t, b, grid, testAssembleConfig(100))
 	if len(mods) == 0 {
 		t.Fatal("no modules to check")
 	}

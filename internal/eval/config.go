@@ -6,9 +6,9 @@ import (
 
 	"chipletqc/internal/assembly"
 	"chipletqc/internal/collision"
-	"chipletqc/internal/fab"
 	"chipletqc/internal/noise"
 	"chipletqc/internal/runner"
+	"chipletqc/internal/scenario"
 	"chipletqc/internal/stats"
 	"chipletqc/internal/topo"
 	"chipletqc/internal/yield"
@@ -18,9 +18,18 @@ import (
 // (an alias of runner.Event: label, units done, unit budget).
 type Event = runner.Event
 
-// Config scales the experiment harness. Full-paper settings are the
+// Config scales the experiment harness. The device world — topology
+// catalog, fabrication model, collision thresholds, link and detuning
+// error models, assembly policy — comes from the Scenario; the
+// remaining fields are per-run knobs (seed, batch sizes, workers,
+// progress). Full-paper settings under the "paper" scenario are the
 // defaults; tests and benchmarks shrink the batches.
 type Config struct {
+	// Scenario is the simulated device world. nil resolves to the
+	// registered "paper" scenario, whose results are bit-identical to
+	// the pre-scenario releases at equal seeds and scale.
+	Scenario *scenario.Scenario
+
 	Seed int64
 	// MonoBatch is the monolithic Monte Carlo batch size (paper: 10^4
 	// for Fig. 8, 10^3 for Fig. 4).
@@ -29,21 +38,20 @@ type Config struct {
 	ChipletBatch int
 	// MaxQubits bounds the evaluated system sizes (paper: 500).
 	MaxQubits int
-	// Det is the empirical on-chip error model; nil builds the default
-	// synthetic Washington model from Seed.
+	// Det overrides the scenario's on-chip error model; nil builds the
+	// scenario model from Seed.
 	Det *noise.DetuningModel
-	// Fab is the fabrication process (default: laser-tuned, 0.06 step).
-	Fab fab.Model
-	// Params are the Table I thresholds.
-	Params collision.Params
 	// LinkAwareRouting compiles benchmarks onto MCMs with the
 	// link-penalised router (the paper's Section VIII future-work
 	// compiler); off by default to match the paper's baseline.
 	LinkAwareRouting bool
-	// LinkMean overrides the mean inter-chip link infidelity for
-	// application evaluation (0 keeps the state-of-art 7.5%); used to
-	// project Fig. 10 under the Fig. 9 improved-link scenarios.
-	LinkMean float64
+	// LinkMean overrides the scenario's mean inter-chip link infidelity
+	// for application evaluation (Fig. 10 under the Fig. 9 improved-link
+	// projections). nil keeps the scenario link model; an explicit
+	// pointer — including Ptr(0.0), perfect links — replaces its mean.
+	// Prefer a dedicated scenario (e.g. "improved-links") for anything
+	// beyond a one-off sweep.
+	LinkMean *float64
 	// Workers fans the Monte Carlo and sweep loops out across
 	// goroutines; <= 0 means GOMAXPROCS. Every trial derives its RNG
 	// stream from (seed, trial index), so results are identical at any
@@ -81,15 +89,19 @@ type Config struct {
 	Fig10Samples  int // Fig. 10 device instances per architecture (default 3)
 }
 
-// DefaultConfig returns full-paper-scale settings.
-func DefaultConfig(seed int64) Config {
+// ConfigFor returns full-paper-scale settings under the given scenario:
+// batch sizes and the adaptive trial policy seed from the scenario's
+// trial policy, everything else from the paper-scale registry defaults.
+func ConfigFor(s scenario.Scenario, seed int64) Config {
+	sc := s // escape a caller-owned copy
 	return Config{
+		Scenario:      &sc,
 		Seed:          seed,
-		MonoBatch:     10000,
-		ChipletBatch:  10000,
+		MonoBatch:     s.Trials.MonoBatch,
+		ChipletBatch:  s.Trials.ChipletBatch,
+		Precision:     s.Trials.Precision,
+		MaxTrials:     s.Trials.MaxTrials,
 		MaxQubits:     500,
-		Fab:           fab.DefaultModel(),
-		Params:        collision.DefaultParams(),
 		Fig4MaxQubits: 1000,
 		Fig6Batch:     100000,
 		Fig6MaxDim:    7,
@@ -97,9 +109,16 @@ func DefaultConfig(seed int64) Config {
 	}
 }
 
-// QuickConfig returns reduced settings for tests and smoke runs.
-func QuickConfig(seed int64) Config {
-	c := DefaultConfig(seed)
+// DefaultConfig returns full-paper-scale settings under the paper
+// scenario.
+func DefaultConfig(seed int64) Config {
+	return ConfigFor(scenario.Paper(), seed)
+}
+
+// QuickConfigFor returns reduced settings for tests and smoke runs
+// under the given scenario.
+func QuickConfigFor(s scenario.Scenario, seed int64) Config {
+	c := ConfigFor(s, seed)
 	c.MonoBatch = 500
 	c.ChipletBatch = 500
 	c.Fig4MaxQubits = 200
@@ -108,13 +127,56 @@ func QuickConfig(seed int64) Config {
 	return c
 }
 
-// det returns the configured detuning model, building the default
-// lazily so that zero-valued configs still work.
+// QuickConfig returns reduced settings for tests and smoke runs under
+// the paper scenario.
+func QuickConfig(seed int64) Config {
+	return QuickConfigFor(scenario.Paper(), seed)
+}
+
+// scn resolves the configured scenario, defaulting to the paper
+// baseline so zero-valued configs still work.
+func (c *Config) scn() scenario.Scenario {
+	if c.Scenario == nil {
+		return scenario.Paper()
+	}
+	return *c.Scenario
+}
+
+// ResolvedScenario returns the device scenario the config runs under
+// (the registered "paper" scenario when none is set) — the value the
+// experiment registry records on every Artifact.
+func (c *Config) ResolvedScenario() scenario.Scenario { return c.scn() }
+
+// catalog returns the scenario's chiplet family.
+func (c *Config) catalog() []topo.ChipletSize { return c.scn().Catalog }
+
+// det returns the configured detuning model, building the scenario
+// default lazily so that zero-valued configs still work.
 func (c *Config) det() *noise.DetuningModel {
 	if c.Det == nil {
-		c.Det = noise.DefaultDetuningModel(c.Seed + 1000003)
+		c.Det = c.scn().DetuningModel(c.Seed + seedOffDetuningModel)
 	}
 	return c.Det
+}
+
+// linkModel resolves the application-evaluation link model: the
+// scenario's, unless LinkMean explicitly overrides its mean (Ptr(0.0)
+// yields the degenerate perfect-link model).
+func (c *Config) linkModel() noise.LinkModel {
+	link := c.scn().Link
+	if c.LinkMean != nil {
+		link = link.WithMean(*c.LinkMean)
+	}
+	return link
+}
+
+// ApplyTrialPolicyOverrides layers per-run adaptive knobs over the
+// scenario trial policy already on the config; yield.ResolveTrialPolicy
+// defines the sentinel semantics (0 inherits, positive overrides,
+// negative forces the historical fixed-batch mode).
+func (c *Config) ApplyTrialPolicyOverrides(precision float64, maxTrials int) {
+	c.Precision = yield.ResolveTrialPolicy(c.Precision, precision)
+	c.MaxTrials = yield.ResolveTrialPolicy(c.MaxTrials, maxTrials)
 }
 
 // progress emits a unit-level event when a Progress hook is installed.
@@ -124,31 +186,29 @@ func (c *Config) progress(label string, done, total int) {
 	}
 }
 
-// batchConfig assembles the chiplet fabrication configuration.
+// batchConfig assembles the chiplet fabrication configuration from the
+// scenario, sharing the resolved detuning model across the fan-out.
 func (c *Config) batchConfig(seedOffset int64) assembly.BatchConfig {
-	return assembly.BatchConfig{
-		Fab:     c.Fab,
-		Params:  c.Params,
-		Det:     c.det(),
-		Seed:    c.Seed + seedOffset,
-		Workers: c.Workers,
-	}
+	return c.scn().BatchConfig(c.Seed+seedOffset, c.det(), c.Workers)
 }
 
-// yieldConfig assembles a collision-free yield simulation configuration.
-// The Progress hook is forwarded so long Monte Carlo campaigns report
-// per-device checkpoint counts.
+// assembleConfig assembles the MCM stitching configuration from the
+// scenario's assembly policy and link model.
+func (c *Config) assembleConfig(seedOffset int64) assembly.AssembleConfig {
+	return c.scn().AssembleConfig(c.Seed + seedOffset)
+}
+
+// yieldConfig assembles a collision-free yield simulation configuration
+// from the scenario, layered with the per-run adaptive and progress
+// knobs. The Progress hook is forwarded so long Monte Carlo campaigns
+// report per-device checkpoint counts.
 func (c *Config) yieldConfig(batch int, seed int64) yield.Config {
-	return yield.Config{
-		Batch:     batch,
-		Model:     c.Fab,
-		Params:    c.Params,
-		Seed:      seed,
-		Workers:   c.Workers,
-		Precision: c.Precision,
-		MaxTrials: c.MaxTrials,
-		Progress:  c.Progress,
-	}
+	ycfg := c.scn().YieldConfig(batch, seed)
+	ycfg.Workers = c.Workers
+	ycfg.Precision = c.Precision
+	ycfg.MaxTrials = c.MaxTrials
+	ycfg.Progress = c.Progress
+	return ycfg
 }
 
 // monoPopulation fabricates a monolithic batch and returns the
@@ -157,8 +217,9 @@ func (c *Config) yieldConfig(batch int, seed int64) yield.Config {
 // on its own (seed, index)-derived RNG stream, and samples are collected
 // in trial order, so the population is identical at any worker count.
 func (c *Config) monoPopulation(ctx context.Context, spec topo.ChipSpec, batch int, seedOffset int64) (eavgs []float64, yld float64, err error) {
+	scn := c.scn()
 	dev := topo.MonolithicDevice(spec)
-	checker := collision.NewChecker(dev, c.Params)
+	checker := collision.NewChecker(dev, scn.Params)
 	det := c.det()
 	edges := dev.G.Edges()
 	campaign := c.Seed + seedOffset
@@ -167,7 +228,7 @@ func (c *Config) monoPopulation(ctx context.Context, spec topo.ChipSpec, batch i
 		func(l runner.Scratch, i int) float64 {
 			r := l.RNG.At(campaign, i)
 			f := l.Buf
-			c.Fab.SampleInto(r, dev, f)
+			scn.Fab.SampleInto(r, dev, f)
 			if !checker.Free(f) {
 				return math.NaN() // collision: discarded by KGD testing
 			}

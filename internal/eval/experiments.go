@@ -29,14 +29,15 @@ type Fig1Row struct {
 // the actual models: as module size grows, yield falls and average
 // infidelity rises.
 func Fig1(ctx context.Context, cfg Config) ([]Fig1Row, error) {
-	out := make([]Fig1Row, 0, len(topo.Catalog))
-	for i, cs := range topo.Catalog {
-		eavgs, yld, err := cfg.monoPopulation(ctx, cs.Spec, cfg.ChipletBatch, 100+int64(i))
+	catalog := cfg.catalog()
+	out := make([]Fig1Row, 0, len(catalog))
+	for i, cs := range catalog {
+		eavgs, yld, err := cfg.monoPopulation(ctx, cs.Spec, cfg.ChipletBatch, seedOffFig1Population+int64(i))
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, Fig1Row{Qubits: cs.Qubits, Yield: yld, EAvg: meanOrNaN(eavgs)})
-		cfg.progress("fig1", i+1, len(topo.Catalog))
+		cfg.progress("fig1", i+1, len(catalog))
 	}
 	return out, nil
 }
@@ -89,7 +90,7 @@ func Fig3b(ctx context.Context, cfg Config) ([]stats.Summary, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return noise.SizeSeries(Fig3bSizes, 15, cfg.Seed+300, noise.DefaultCalibConfig()), nil
+	return noise.SizeSeries(Fig3bSizes, 15, cfg.Seed+seedOffFig3bCalib, cfg.scn().Detuning.Calib), nil
 }
 
 // --- Fig. 4: collision-free yield vs qubits --------------------------------
@@ -108,7 +109,7 @@ func Fig4(ctx context.Context, cfg Config, maxQubits int) ([]yield.SweepCell, er
 	if maxQubits <= 0 {
 		maxQubits = 1000
 	}
-	ycfg := cfg.yieldConfig(cfg.MonoBatch, cfg.Seed+400)
+	ycfg := cfg.yieldConfig(cfg.MonoBatch, cfg.Seed+seedOffFig4Sweep)
 	sizes := yield.SizeLadder(maxQubits)
 	return yield.Sweep(ctx, Fig4Steps, Fig4Sigmas, sizes, ycfg)
 }
@@ -142,11 +143,11 @@ func Fig6(ctx context.Context, cfg Config, batch int, maxDim int) (Fig6Result, e
 	if maxDim < 2 {
 		maxDim = 7
 	}
-	spec, err := topo.SpecForQubits(20)
+	spec, err := cfg.scn().SpecForQubits(20)
 	if err != nil {
 		return Fig6Result{}, err
 	}
-	b, err := assembly.Fabricate(ctx, spec, batch, cfg.batchConfig(600))
+	b, err := assembly.Fabricate(ctx, spec, batch, cfg.batchConfig(seedOffFig6Batch))
 	if err != nil {
 		return Fig6Result{}, err
 	}
@@ -178,7 +179,8 @@ func Fig7(ctx context.Context, cfg Config) (Fig7Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Fig7Result{}, err
 	}
-	pts := noise.DefaultCalibration(cfg.Seed + 700)
+	det := cfg.scn().Detuning
+	pts := noise.CalibrationRun(det.Device, det.FreqSpread, det.Cycles, cfg.Seed+seedOffFig7Calib, det.Calib)
 	var ys []float64
 	for _, p := range pts {
 		ys = append(ys, p.Infidelity)
@@ -214,7 +216,7 @@ func Table2(ctx context.Context, cfg Config) ([]Table2Row, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		spec, err := topo.SpecForQubits(cq)
+		spec, err := cfg.scn().SpecForQubits(cq)
 		if err != nil {
 			return nil, err
 		}
@@ -222,7 +224,7 @@ func Table2(ctx context.Context, cfg Config) ([]Table2Row, error) {
 		dev := mcm.MustBuild(grid)
 		width := qbench.UtilizedQubits(dev.N)
 		for _, bs := range qbench.Suite() {
-			c := bs.Generate(width, cfg.Seed+800)
+			c := bs.Generate(width, cfg.Seed+seedOffTable2Circuits)
 			r, err := compiler.Compile(c, dev)
 			if err != nil {
 				return nil, fmt.Errorf("table II %dq %s: %w", cq, bs.Short, err)
@@ -261,12 +263,12 @@ func Eq1Example(ctx context.Context, cfg Config) (Eq1Result, error) {
 		qc    = 10
 		chips = 10 // 2 x 5
 	)
-	ycfg := cfg.yieldConfig(batch, cfg.Seed+900)
+	ycfg := cfg.yieldConfig(batch, cfg.Seed+seedOffEq1Yield)
 	mono, err := yield.Simulate(ctx, topo.MonolithicDevice(topo.MonolithicSpec(qm)), ycfg)
 	if err != nil {
 		return Eq1Result{}, err
 	}
-	spec, err := topo.SpecForQubits(qc)
+	spec, err := cfg.scn().SpecForQubits(qc)
 	if err != nil {
 		return Eq1Result{}, err
 	}

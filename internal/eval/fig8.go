@@ -54,27 +54,28 @@ type Fig8Result struct {
 // run within one in-flight trial per worker and returns ctx.Err().
 func Fig8(ctx context.Context, cfg Config) (Fig8Result, error) {
 	cfg.det() // resolve the shared detuning model before fanning out
-	grids := mcm.EnumerateGrids(cfg.MaxQubits)
+	catalog := cfg.catalog()
+	grids := mcm.EnumerateGridsFrom(catalog, cfg.MaxQubits)
 
 	// One fabrication batch per chiplet size, re-assembled per grid. The
 	// worker budget splits between the per-size fan-out and the nested
 	// per-die fabrication so total concurrency stays near cfg.Workers.
-	fabOuter, fabInner := runner.Split(cfg.Workers, len(topo.Catalog))
+	fabOuter, fabInner := runner.Split(cfg.Workers, len(catalog))
 	fabCfg := cfg
 	fabCfg.Workers = fabInner
 	var fabDone atomic.Int64
-	batchList, err := runner.Map(ctx, len(topo.Catalog), fabOuter, func(i int) *assembly.Batch {
+	batchList, err := runner.Map(ctx, len(catalog), fabOuter, func(i int) *assembly.Batch {
 		// A nested cancellation surfaces through the outer Map's own
 		// context check, so the per-batch error can be dropped here.
-		b, _ := assembly.Fabricate(ctx, topo.Catalog[i].Spec, cfg.ChipletBatch, fabCfg.batchConfig(1100+int64(i)))
-		cfg.progress("fig8/fabricate", int(fabDone.Add(1)), len(topo.Catalog))
+		b, _ := assembly.Fabricate(ctx, catalog[i].Spec, cfg.ChipletBatch, fabCfg.batchConfig(seedOffFig8Fabricate+int64(i)))
+		cfg.progress("fig8/fabricate", int(fabDone.Add(1)), len(catalog))
 		return b
 	})
 	if err != nil {
 		return Fig8Result{}, err
 	}
 	batches := map[int]*assembly.Batch{}
-	for i, cs := range topo.Catalog {
+	for i, cs := range catalog {
 		batches[cs.Qubits] = batchList[i]
 	}
 
@@ -91,7 +92,7 @@ func Fig8(ctx context.Context, cfg Config) (Fig8Result, error) {
 	var monoDone atomic.Int64
 	monoList, err := runner.Map(ctx, len(monoQubits), monoOuter, func(i int) yield.Result {
 		q := monoQubits[i]
-		ycfg := cfg.yieldConfig(cfg.MonoBatch, cfg.Seed+1200+int64(q))
+		ycfg := cfg.yieldConfig(cfg.MonoBatch, cfg.Seed+seedOffFig8Mono+int64(q))
 		ycfg.Workers = monoInner
 		res, _ := yield.Simulate(ctx, topo.MonolithicDevice(topo.MonolithicSpec(q)), ycfg)
 		cfg.progress("fig8/mono", int(monoDone.Add(1)), len(monoQubits))
@@ -118,7 +119,7 @@ func Fig8(ctx context.Context, cfg Config) (Fig8Result, error) {
 	res.Points, err = runner.Map(ctx, len(grids), cfg.Workers, func(gi int) Fig8Point {
 		g := grids[gi]
 		b := batches[g.Spec.Qubits()]
-		acfg := assembly.DefaultAssembleConfig(cfg.Seed + 1300 + int64(gi))
+		acfg := cfg.assembleConfig(seedOffFig8Assemble + int64(gi))
 		_, st, _ := assembly.Assemble(ctx, b, g, acfg)
 		// 100x bump-bond failure sensitivity (the paper's dashed line).
 		y100 := st.AssemblyYield * assembly.BondSurvival(st.LinkedQubits, 100)
@@ -152,7 +153,7 @@ func Fig8(ctx context.Context, cfg Config) (Fig8Result, error) {
 		}
 	}
 
-	for _, cs := range topo.Catalog {
+	for _, cs := range catalog {
 		q := cs.Qubits
 		if improvementCounts[q] > 0 && monoYieldSums[q] > 0 {
 			res.Improvements[q] = mcmYieldSums[q] / monoYieldSums[q]

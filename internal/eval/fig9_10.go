@@ -67,8 +67,9 @@ func Fig9StateOfArt(ctx context.Context, cfg Config) ([]Fig9Cell, error) {
 // subset's cells are bit-identical to the same cells of the full sweep.
 func fig9Ratios(ctx context.Context, cfg Config, ratios []string) (map[string][]Fig9Cell, error) {
 	cfg.det() // resolve the shared detuning model before fanning out
-	grids := mcm.SquareGrids(cfg.MaxQubits)
+	grids := mcm.SquareGridsFrom(cfg.catalog(), cfg.MaxQubits)
 	links := noise.LinkRatioModels(noise.ChipMeanInfidelity)
+	links[Fig9Ratios[0]] = cfg.scn().Link // state of art = the scenario's own links
 
 	// Each grid's fabricate-assemble-compare pipeline is independent and
 	// independently seeded, so grids fan out; the worker budget splits
@@ -87,17 +88,17 @@ func fig9Ratios(ctx context.Context, cfg Config, ratios []string) (map[string][]
 		// qm/qc chiplets, so B monolithic dies correspond to B*chips
 		// chiplet dies for an MCM of `chips` chiplets.
 		scaled := cfg.ChipletBatch * g.Chips()
-		b, err := assembly.Fabricate(ctx, g.Spec, scaled, cfg.batchConfig(2100+int64(gi)))
+		b, err := assembly.Fabricate(ctx, g.Spec, scaled, cfg.batchConfig(seedOffFig9Fabricate+int64(gi)))
 		if err != nil {
 			return nil // cancellation: surfaced by the outer Map
 		}
-		acfg := assembly.DefaultAssembleConfig(cfg.Seed + 2200 + int64(gi))
+		acfg := cfg.assembleConfig(seedOffFig9Assemble + int64(gi))
 		mods, _, err := assembly.Assemble(ctx, b, g, acfg)
 		if err != nil {
 			return nil
 		}
 
-		monoEavgs, _, err := cfg.monoPopulation(ctx, g.MonolithicCounterpart(), cfg.MonoBatch, 2300+int64(gi))
+		monoEavgs, _, err := cfg.monoPopulation(ctx, g.MonolithicCounterpart(), cfg.MonoBatch, seedOffFig9Mono+int64(gi))
 		if err != nil {
 			return nil
 		}
@@ -114,7 +115,7 @@ func fig9Ratios(ctx context.Context, cfg Config, ratios []string) (map[string][]
 		cells := make([]Fig9Cell, 0, len(ratios))
 		for _, name := range ratios {
 			link := links[name]
-			r := runner.Rand(cfg.Seed+2400, gi)
+			r := runner.Rand(cfg.Seed+seedOffFig9Links, gi)
 			var eavgs []float64
 			for _, m := range sel {
 				m.ResampleLinks(r, link)
@@ -212,14 +213,12 @@ func fig10System(ctx context.Context, cfg Config, g mcm.Grid, gi, samples int, d
 	// and keep the best `samples` (equal-count selection, matching
 	// the Fig. 9 comparison semantics).
 	scaled := cfg.ChipletBatch * g.Chips()
-	b, err := assembly.Fabricate(ctx, g.Spec, scaled, cfg.batchConfig(3100+int64(gi)))
+	b, err := assembly.Fabricate(ctx, g.Spec, scaled, cfg.batchConfig(seedOffFig10Fabricate+int64(gi)))
 	if err != nil {
 		return nil, err
 	}
-	acfg := assembly.DefaultAssembleConfig(cfg.Seed + 3200 + int64(gi))
-	if cfg.LinkMean > 0 {
-		acfg.Link = acfg.Link.WithMean(cfg.LinkMean)
-	}
+	acfg := cfg.assembleConfig(seedOffFig10Assemble + int64(gi))
+	acfg.Link = cfg.linkModel()
 	mods, _, err := assembly.Assemble(ctx, b, g, acfg)
 	if err != nil {
 		return nil, err
@@ -232,17 +231,17 @@ func fig10System(ctx context.Context, cfg Config, g mcm.Grid, gi, samples int, d
 
 	// Monolithic side: collision-free instances with error maps.
 	monoDev := topo.MonolithicDevice(g.MonolithicCounterpart())
-	monoAssignments, err := monoInstances(ctx, cfg, monoDev, samples, 3300+int64(gi), det)
+	monoAssignments, err := monoInstances(ctx, cfg, monoDev, samples, seedOffFig10Mono+int64(gi), det)
 	if err != nil {
 		return nil, err
 	}
 
-	// Link-aware routing penalises seam crossings by the state-of-art
-	// error ratio when enabled.
+	// Link-aware routing penalises seam crossings by the scenario's
+	// link/chip error ratio when enabled.
 	var mcmOpts compiler.Options
 	if cfg.LinkAwareRouting {
 		mcmOpts.EdgeCost = compiler.LinkAwareCost(mcmDev,
-			noise.LinkMeanInfidelity/noise.ChipMeanInfidelity)
+			cfg.linkModel().Mean()/noise.ChipMeanInfidelity)
 	}
 
 	width := qbench.UtilizedQubits(g.Qubits())
@@ -250,7 +249,7 @@ func fig10System(ctx context.Context, cfg Config, g mcm.Grid, gi, samples int, d
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		circ := bs.Generate(width, cfg.Seed+3400)
+		circ := bs.Generate(width, cfg.Seed+seedOffFig10Circuits)
 		mcmRes, err := compiler.CompileWithOptions(circ, mcmDev, mcmOpts)
 		if err != nil {
 			return nil, fmt.Errorf("fig10 %v %s (mcm): %w", g, bs.Short, err)
@@ -301,8 +300,9 @@ func monoInstances(ctx context.Context, cfg Config, dev *topo.Device, want int, 
 	if want <= 0 || cfg.MonoBatch <= 0 {
 		return nil, ctx.Err()
 	}
-	checker := collision.NewChecker(dev, cfg.Params)
-	link := noise.DefaultLinkModel()
+	scn := cfg.scn()
+	checker := collision.NewChecker(dev, scn.Params)
+	link := scn.Link
 	campaign := cfg.Seed + seedOffset
 	chunk := runner.Workers(cfg.Workers, cfg.MonoBatch) * 32
 
@@ -316,7 +316,7 @@ func monoInstances(ctx context.Context, cfg Config, dev *topo.Device, want int, 
 			runner.NewScratch(dev.N),
 			func(l runner.Scratch, j int) *noise.Assignment {
 				r := l.RNG.At(campaign, lo+j)
-				cfg.Fab.SampleInto(r, dev, l.Buf)
+				scn.Fab.SampleInto(r, dev, l.Buf)
 				if !checker.Free(l.Buf) {
 					return nil
 				}

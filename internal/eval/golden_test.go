@@ -9,9 +9,8 @@ import (
 	"path/filepath"
 	"testing"
 
-	"chipletqc/internal/collision"
-	"chipletqc/internal/fab"
 	"chipletqc/internal/mcm"
+	"chipletqc/internal/scenario"
 	"chipletqc/internal/topo"
 )
 
@@ -38,15 +37,18 @@ const (
 
 // goldenConfig pins the regression scale and seed explicitly (rather
 // than through QuickConfig) so unrelated default changes never silently
-// reshape the goldens.
+// reshape the goldens. The device world is the registered "paper"
+// scenario — the goldens double as the proof that the scenario
+// refactor re-plumbed the default path without moving a single draw
+// (see golden_scenario_test.go for the byte-exact variant).
 func goldenConfig() Config {
+	paper := scenario.Paper()
 	return Config{
+		Scenario:     &paper,
 		Seed:         424242,
 		MonoBatch:    400,
 		ChipletBatch: 300,
 		MaxQubits:    160,
-		Fab:          fab.DefaultModel(),
-		Params:       collision.DefaultParams(),
 	}
 }
 

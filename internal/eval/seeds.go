@@ -1,0 +1,64 @@
+package eval
+
+// Sub-stream seed offsets.
+//
+// Every experiment pipeline derives its RNG streams from cfg.Seed plus
+// a per-stage offset, so independent stages (and independent units
+// within a stage) never share a stream at any worker count. The offsets
+// were historically scattered as magic literals through the pipelines;
+// they are centralised here so sub-stream derivation is auditable in
+// one place.
+//
+// The values are load-bearing: they are part of the determinism
+// contract pinned by the golden figures (testdata/golden_*.json).
+// Changing any of them changes every downstream draw, so treat them as
+// frozen; add new offsets for new stages instead of re-using or
+// renumbering these. Offsets spaced >= 100 apart leave room for the
+// per-unit index that several stages add on top (catalog index, grid
+// index, or system qubit count).
+const (
+	// seedOffFig1Population seeds the per-chiplet monolithic population
+	// of Fig. 1; the catalog index is added per chiplet size.
+	seedOffFig1Population = 100
+	// seedOffFig3bCalib seeds the Fig. 3(b) calibration size series.
+	seedOffFig3bCalib = 300
+	// seedOffFig4Sweep seeds the Fig. 4 step x sigma yield sweep (each
+	// cell and each size re-derive from it via runner streams).
+	seedOffFig4Sweep = 400
+	// seedOffFig6Batch seeds the Fig. 6 20-qubit chiplet batch.
+	seedOffFig6Batch = 600
+	// seedOffFig7Calib seeds the Fig. 7 synthetic calibration scatter.
+	seedOffFig7Calib = 700
+	// seedOffTable2Circuits seeds the Table II benchmark generation.
+	seedOffTable2Circuits = 800
+	// seedOffEq1Yield seeds both yield simulations of the Eq. 1 worked
+	// example (they differ by device, not by stream).
+	seedOffEq1Yield = 900
+
+	// Fig. 8 stages: chiplet fabrication (+ catalog index), monolithic
+	// yields (+ system qubit count), MCM assembly (+ grid index).
+	seedOffFig8Fabricate = 1100
+	seedOffFig8Mono      = 1200
+	seedOffFig8Assemble  = 1300
+
+	// Fig. 9 stages, all + grid index: wafer-area-scaled fabrication,
+	// assembly shuffles/links, the monolithic E_avg population, and the
+	// per-ratio link resampling streams.
+	seedOffFig9Fabricate = 2100
+	seedOffFig9Assemble  = 2200
+	seedOffFig9Mono      = 2300
+	seedOffFig9Links     = 2400
+
+	// Fig. 10 stages, + grid index except the benchmark circuits, which
+	// are shared across systems by design (same logical workload
+	// everywhere).
+	seedOffFig10Fabricate = 3100
+	seedOffFig10Assemble  = 3200
+	seedOffFig10Mono      = 3300
+	seedOffFig10Circuits  = 3400
+
+	// seedOffDetuningModel seeds the shared synthetic calibration run
+	// behind the default detuning model. It sits far outside the
+	// per-figure bands so no figure stage can collide with it.
+	seedOffDetuningModel = 1000003
+)

@@ -22,9 +22,16 @@ type Artifact struct {
 	Description string `json:"description"`
 	// Seed is the RNG seed the run was parameterised with.
 	Seed int64 `json:"seed"`
+	// Scenario names the device scenario the run simulated (the
+	// registered "paper" scenario when the config named none).
+	Scenario string `json:"scenario"`
+	// ScenarioFingerprint is the scenario's own determinism hash
+	// (scenario.Scenario.Fingerprint), pinning the device world the
+	// payload was computed under even if a name is later redefined.
+	ScenarioFingerprint string `json:"scenario_fingerprint"`
 	// Fingerprint is a short stable hash of every determinism-relevant
-	// config field (see Fingerprint): two artifacts with equal
-	// (Name, Seed, Fingerprint) carry identical payloads.
+	// config field, scenario included (see Fingerprint): two artifacts
+	// with equal (Name, Seed, Fingerprint) carry identical payloads.
 	Fingerprint string `json:"config_fingerprint"`
 	// WallSeconds is the wall-clock run time. It is excluded from the
 	// text rendering, which must be byte-stable for a given config.
@@ -40,8 +47,9 @@ type Artifact struct {
 // header of the identifying metadata (wall time deliberately omitted)
 // followed by the payload table.
 func (a Artifact) WriteText(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "# experiment: %s\n# description: %s\n# seed: %d  config: %s  trials: %d\n\n",
-		a.Name, a.Description, a.Seed, a.Fingerprint, a.Trials); err != nil {
+	if _, err := fmt.Fprintf(w, "# experiment: %s\n# description: %s\n# scenario: %s (%s)\n# seed: %d  config: %s  trials: %d\n\n",
+		a.Name, a.Description, a.Scenario, a.ScenarioFingerprint,
+		a.Seed, a.Fingerprint, a.Trials); err != nil {
 		return err
 	}
 	if a.Payload == nil {
@@ -73,17 +81,22 @@ func (a Artifact) String() string {
 }
 
 // Fingerprint hashes every determinism-relevant field of an experiment
-// config into a short stable token. Workers and Progress are excluded —
-// results are worker-count invariant and progress never affects them —
-// as is a custom Det model (callers injecting one are flagged with a
-// "det=custom" component, since the model itself has no canonical
-// serialisation).
+// config into a short stable token. The device world enters through the
+// scenario's own fingerprint (scenario.Scenario.Fingerprint), so any
+// change to the fabrication model, collision thresholds, error models,
+// catalog, or assembly policy changes the config fingerprint too.
+// Workers and Progress are excluded — results are worker-count
+// invariant and progress never affects them — as is a custom Det model
+// (callers injecting one are flagged with a "det=custom" component,
+// since the model itself has no canonical serialisation).
 func Fingerprint(cfg eval.Config) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "seed=%d;mono=%d;chip=%d;maxq=%d;", cfg.Seed, cfg.MonoBatch, cfg.ChipletBatch, cfg.MaxQubits)
-	fmt.Fprintf(&sb, "fab=%g/%g/%g;", cfg.Fab.Plan.Base, cfg.Fab.Plan.Step, cfg.Fab.Sigma)
-	fmt.Fprintf(&sb, "params=%+v;", cfg.Params)
-	fmt.Fprintf(&sb, "linkaware=%t;linkmean=%g;", cfg.LinkAwareRouting, cfg.LinkMean)
+	fmt.Fprintf(&sb, "scenario=%s;", cfg.ResolvedScenario().Fingerprint())
+	fmt.Fprintf(&sb, "linkaware=%t;", cfg.LinkAwareRouting)
+	if cfg.LinkMean != nil {
+		fmt.Fprintf(&sb, "linkmean=%g;", *cfg.LinkMean)
+	}
 	fmt.Fprintf(&sb, "precision=%g;maxtrials=%d;", cfg.Precision, cfg.MaxTrials)
 	fmt.Fprintf(&sb, "fig4max=%d;fig6batch=%d;fig6dim=%d;fig10samples=%d;",
 		cfg.Fig4MaxQubits, cfg.Fig6Batch, cfg.Fig6MaxDim, cfg.Fig10Samples)

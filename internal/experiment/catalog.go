@@ -8,7 +8,6 @@ import (
 	"chipletqc/internal/eval"
 	"chipletqc/internal/mcm"
 	"chipletqc/internal/report"
-	"chipletqc/internal/topo"
 )
 
 // The catalog registers one experiment per figure/table of the paper's
@@ -32,7 +31,7 @@ func init() {
 			for _, r := range rows {
 				tb.Add(r.Qubits, report.F(r.Yield, 4), report.F(r.EAvg, 5))
 			}
-			return tb, cfg.ChipletBatch * len(topo.Catalog), nil
+			return tb, cfg.ChipletBatch * len(cfg.ResolvedScenario().Catalog), nil
 		}))
 
 	Register(New("fig2", "illustrative wafer output, monolithic vs chiplet",
@@ -122,7 +121,8 @@ func init() {
 			tb := report.New("Fig. 8: yield vs qubits, MCM (nominal and 100x bond failure) vs monolithic",
 				"chiplet", "dim", "qubits", "chiplet_yield", "mcm_yield", "mcm_yield_100x", "mono_yield",
 				"mono_trials", "mono_ci_lo", "mono_ci_hi")
-			trials := cfg.ChipletBatch * len(topo.Catalog)
+			catalog := cfg.ResolvedScenario().Catalog
+			trials := cfg.ChipletBatch * len(catalog)
 			monoSeen := map[int]bool{}
 			for _, p := range res.Points {
 				if !monoSeen[p.Qubits] {
@@ -135,7 +135,7 @@ func init() {
 					p.MonoTrials, report.F(p.MonoCILo, 4), report.F(p.MonoCIHi, 4))
 			}
 			tb.Add("", "", "", "", "", "", "", "", "", "")
-			for _, cs := range topo.Catalog {
+			for _, cs := range catalog {
 				if v, ok := res.Improvements[cs.Qubits]; ok {
 					tb.Add(cs.Qubits, "avg-improvement", "", "", report.F(v, 2)+"x", "", "", "", "", "")
 				} else {
@@ -168,7 +168,7 @@ func init() {
 
 	Register(New("fig10", "benchmark fidelity ratio MCM/monolithic",
 		func(ctx context.Context, cfg eval.Config) (*report.Table, int, error) {
-			grids := mcm.EnumerateGrids(cfg.MaxQubits)
+			grids := mcm.EnumerateGridsFrom(cfg.ResolvedScenario().Catalog, cfg.MaxQubits)
 			pts, err := eval.Fig10(ctx, cfg, grids, cfg.Fig10Samples)
 			if err != nil {
 				return nil, 0, err
@@ -204,7 +204,7 @@ func init() {
 			if err != nil {
 				return nil, 0, err
 			}
-			grids := mcm.SquareGrids(cfg.MaxQubits)
+			grids := mcm.SquareGridsFrom(cfg.ResolvedScenario().Catalog, cfg.MaxQubits)
 			pts, err := eval.Fig10(ctx, cfg, grids, cfg.Fig10Samples)
 			if err != nil {
 				return nil, 0, err
@@ -266,5 +266,5 @@ func gridTrials(cfg eval.Config, grids []mcm.Grid) int {
 }
 
 func fig9Trials(cfg eval.Config) int {
-	return gridTrials(cfg, mcm.SquareGrids(cfg.MaxQubits))
+	return gridTrials(cfg, mcm.SquareGridsFrom(cfg.ResolvedScenario().Catalog, cfg.MaxQubits))
 }

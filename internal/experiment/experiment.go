@@ -92,13 +92,16 @@ func (e *funcExperiment) Run(ctx context.Context, cfg eval.Config) (Artifact, er
 	if err != nil {
 		return Artifact{}, fmt.Errorf("experiment %s: %w", e.name, err)
 	}
+	scn := cfg.ResolvedScenario()
 	return Artifact{
-		Name:        e.name,
-		Description: e.desc,
-		Seed:        cfg.Seed,
-		Fingerprint: Fingerprint(cfg),
-		WallSeconds: time.Since(start).Seconds(),
-		Trials:      trials,
-		Payload:     tb,
+		Name:                e.name,
+		Description:         e.desc,
+		Seed:                cfg.Seed,
+		Scenario:            scn.Name,
+		ScenarioFingerprint: scn.Fingerprint(),
+		Fingerprint:         Fingerprint(cfg),
+		WallSeconds:         time.Since(start).Seconds(),
+		Trials:              trials,
+		Payload:             tb,
 	}, nil
 }

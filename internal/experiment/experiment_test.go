@@ -10,7 +10,10 @@ import (
 
 	"chipletqc/internal/eval"
 	"chipletqc/internal/report"
+	"chipletqc/internal/scenario"
 )
+
+func ptr[T any](v T) *T { return &v }
 
 // The paper catalog in registration (paper) order.
 var wantCatalog = []string{
@@ -122,7 +125,9 @@ func TestFingerprintSensitivity(t *testing.T) {
 	diffs := []func(*eval.Config){
 		func(c *eval.Config) { c.Seed = 2 },
 		func(c *eval.Config) { c.MonoBatch = 999 },
-		func(c *eval.Config) { c.Fab.Sigma = 0.02 },
+		func(c *eval.Config) { c.Scenario.Fab.Sigma = 0.02 },
+		func(c *eval.Config) { s := scenario.MustLookup(scenario.FutureFabName); c.Scenario = &s },
+		func(c *eval.Config) { c.LinkMean = ptr(0.0) },
 		func(c *eval.Config) { c.Precision = 0.01 },
 		func(c *eval.Config) { c.Fig10Samples = 9 },
 	}

@@ -1,0 +1,74 @@
+package experiment
+
+import (
+	"context"
+	"testing"
+
+	"chipletqc/internal/eval"
+	"chipletqc/internal/scenario"
+)
+
+// tinyConfig shrinks every knob far below quick scale so the full
+// experiment x scenario matrix stays cheap.
+func tinyConfig(s scenario.Scenario, seed int64) eval.Config {
+	cfg := eval.ConfigFor(s, seed)
+	cfg.MonoBatch = 60
+	cfg.ChipletBatch = 60
+	cfg.MaxQubits = 90
+	cfg.Fig4MaxQubits = 40
+	cfg.Fig6Batch = 200
+	cfg.Fig6MaxDim = 3
+	cfg.Fig10Samples = 1
+	return cfg
+}
+
+// Acceptance: every registered experiment runs unmodified under every
+// registered scenario, and the resulting artifact records which device
+// world produced it.
+func TestEveryExperimentRunsUnderEveryScenario(t *testing.T) {
+	ctx := context.Background()
+	for _, s := range scenario.All() {
+		cfg := tinyConfig(s, 7)
+		for _, e := range All() {
+			a, err := e.Run(ctx, cfg)
+			if err != nil {
+				t.Fatalf("experiment %s under scenario %s: %v", e.Name(), s.Name, err)
+			}
+			if a.Scenario != s.Name {
+				t.Errorf("%s under %s: artifact records scenario %q", e.Name(), s.Name, a.Scenario)
+			}
+			if a.ScenarioFingerprint != s.Fingerprint() {
+				t.Errorf("%s under %s: artifact scenario fingerprint %q != %q",
+					e.Name(), s.Name, a.ScenarioFingerprint, s.Fingerprint())
+			}
+			if a.Payload == nil || len(a.Payload.Rows) == 0 {
+				t.Errorf("%s under %s: empty payload", e.Name(), s.Name)
+			}
+		}
+	}
+}
+
+// Same seed and scale, different device worlds: a physics-sensitive
+// experiment must not render identically across scenarios, and its
+// config fingerprints must differ.
+func TestScenariosDistinguishArtifacts(t *testing.T) {
+	ctx := context.Background()
+	e, _ := Lookup("fig4")
+	texts := map[string]string{}
+	prints := map[string]string{}
+	for _, name := range []string{scenario.PaperName, scenario.RelaxedThresholdsName} {
+		s := scenario.MustLookup(name)
+		a, err := e.Run(ctx, tinyConfig(s, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		texts[name] = a.String()
+		prints[name] = a.Fingerprint
+	}
+	if texts[scenario.PaperName] == texts[scenario.RelaxedThresholdsName] {
+		t.Error("fig4 rendered identically under paper and relaxed-thresholds")
+	}
+	if prints[scenario.PaperName] == prints[scenario.RelaxedThresholdsName] {
+		t.Error("config fingerprint did not distinguish the scenarios")
+	}
+}

@@ -34,7 +34,9 @@ type Config struct {
 }
 
 // DefaultConfig anneals for 20k iterations at laser-tuned precision on
-// the paper's frequency plan.
+// the paper's frequency plan and Table I thresholds. The facade
+// overrides Params with the active device scenario's; this standalone
+// default keeps the package usable in isolation.
 func DefaultConfig(seed int64) Config {
 	return Config{
 		Iterations: 20000,

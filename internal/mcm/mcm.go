@@ -160,8 +160,15 @@ func (g Grid) MonolithicCounterpart() topo.ChipSpec {
 // |k - m|) to reduce topology graph diameter. Grids with a single chip
 // (1x1) are excluded — those are just the chiplet itself.
 func EnumerateGrids(maxQubits int) []Grid {
+	return EnumerateGridsFrom(topo.Catalog, maxQubits)
+}
+
+// EnumerateGridsFrom is EnumerateGrids over an explicit chiplet catalog,
+// so device scenarios with non-paper chip families enumerate their own
+// system selection.
+func EnumerateGridsFrom(catalog []topo.ChipletSize, maxQubits int) []Grid {
 	var out []Grid
-	for _, cs := range topo.Catalog {
+	for _, cs := range catalog {
 		seen := map[int]bool{}
 		var cands []Grid
 		maxChips := maxQubits / cs.Qubits
@@ -193,8 +200,13 @@ func EnumerateGrids(maxQubits int) []Grid {
 // SquareGrids returns only the n x n members of EnumerateGrids, the
 // subset used for the Fig. 9 infidelity heatmaps.
 func SquareGrids(maxQubits int) []Grid {
+	return SquareGridsFrom(topo.Catalog, maxQubits)
+}
+
+// SquareGridsFrom is SquareGrids over an explicit chiplet catalog.
+func SquareGridsFrom(catalog []topo.ChipletSize, maxQubits int) []Grid {
 	var out []Grid
-	for _, g := range EnumerateGrids(maxQubits) {
+	for _, g := range EnumerateGridsFrom(catalog, maxQubits) {
 		if g.Rows == g.Cols {
 			out = append(out, g)
 		}

@@ -1,0 +1,78 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The registry maps scenario names to values. Registration order is
+// preserved so listings lead with the paper baseline and follow with
+// the projected presets, mirroring internal/experiment.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Scenario{}
+	order    []string
+)
+
+// Register adds a scenario to the registry. It panics on an invalid or
+// duplicate scenario — registration happens at init time, where a panic
+// is the loudest available diagnostic.
+func Register(s Scenario) {
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("scenario: Register: %v", err))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate registration of %q", s.Name))
+	}
+	registry[s.Name] = s
+	order = append(order, s.Name)
+}
+
+// Lookup returns the scenario registered under name. An unknown name
+// errors with the sorted list of known scenarios, so CLI typos are
+// self-correcting.
+func Lookup(name string) (Scenario, error) {
+	regMu.RLock()
+	s, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		known := Names()
+		sort.Strings(known)
+		return Scenario{}, fmt.Errorf("unknown scenario %q (known: %s)",
+			name, strings.Join(known, ", "))
+	}
+	return s, nil
+}
+
+// MustLookup is Lookup for registered-preset call sites where a miss is
+// a programming error.
+func MustLookup(name string) Scenario {
+	s, err := Lookup(name)
+	if err != nil {
+		panic("scenario: " + err.Error())
+	}
+	return s
+}
+
+// All returns every registered scenario in registration order (the
+// presets register paper-first).
+func All() []Scenario {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Scenario, 0, len(order))
+	for _, name := range order {
+		out = append(out, registry[name])
+	}
+	return out
+}
+
+// Names returns the registered scenario names in registration order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return append([]string(nil), order...)
+}

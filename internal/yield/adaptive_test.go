@@ -9,7 +9,7 @@ import (
 
 func TestAdaptiveDeterministicAcrossWorkers(t *testing.T) {
 	d := topo.MonolithicDevice(topo.MonolithicSpec(100))
-	cfg := DefaultConfig()
+	cfg := testConfig()
 	cfg.Batch = 4000
 	cfg.Precision = 0.02
 	cfg.Workers = 1
@@ -25,7 +25,7 @@ func TestAdaptiveStopsEarlyOnCertainYield(t *testing.T) {
 	// sigma = 0 fabricates every device perfectly: yield 1 with tiny
 	// uncertainty, so the campaign must stop at the first checkpoint.
 	d := topo.MonolithicDevice(topo.MonolithicSpec(60))
-	cfg := DefaultConfig()
+	cfg := testConfig()
 	cfg.Batch = 10000
 	cfg.Model.Sigma = 0
 	cfg.Precision = 0.01
@@ -43,7 +43,7 @@ func TestAdaptiveStopsEarlyOnCertainYield(t *testing.T) {
 
 func TestAdaptiveReportsConsistentCI(t *testing.T) {
 	d := topo.MonolithicDevice(topo.MonolithicSpec(100))
-	cfg := DefaultConfig()
+	cfg := testConfig()
 	cfg.Batch = 2000
 	cfg.Precision = 0.05
 	res := simulate(t, d, cfg)
@@ -60,7 +60,7 @@ func TestAdaptiveReportsConsistentCI(t *testing.T) {
 func TestAdaptiveMaxTrialsCapsBudget(t *testing.T) {
 	// An unreachable precision target must exhaust exactly MaxTrials.
 	d := topo.MonolithicDevice(topo.MonolithicSpec(100))
-	cfg := DefaultConfig()
+	cfg := testConfig()
 	cfg.Batch = 99999
 	cfg.Precision = 1e-9
 	cfg.MaxTrials = 600
@@ -74,7 +74,7 @@ func TestFixedModeUnchangedByAdaptiveFields(t *testing.T) {
 	// Precision = 0 must reproduce the historical fixed-batch draws
 	// regardless of MaxTrials.
 	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 2, Width: 8})
-	cfg := DefaultConfig()
+	cfg := testConfig()
 	cfg.Batch = 500
 	a := simulate(t, d, cfg)
 	cfg.MaxTrials = 123456
@@ -95,7 +95,7 @@ func TestFixedModeUnchangedByAdaptiveFields(t *testing.T) {
 func TestAdaptiveCurveStaysWithinBudgetAndPrecision(t *testing.T) {
 	const fixedBatch = 10000
 	sizes := SizeLadder(500)
-	cfg := DefaultConfig()
+	cfg := testConfig()
 	cfg.Batch = fixedBatch
 	cfg.Precision = 0.01
 	pts := monolithicCurve(t, sizes, cfg)

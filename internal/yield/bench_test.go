@@ -12,7 +12,7 @@ import (
 // parallel runner paths (results are identical either way).
 func BenchmarkSimulate(b *testing.B) {
 	d := topo.MonolithicDevice(topo.MonolithicSpec(100))
-	cfg := DefaultConfig()
+	cfg := testConfig()
 	cfg.Batch = 2000
 	cfg.Workers = runtime.GOMAXPROCS(0)
 	b.ResetTimer()
@@ -27,7 +27,7 @@ func BenchmarkSimulate(b *testing.B) {
 // explicitly (independent of -cpu) for quick eyeballing.
 func BenchmarkSimulateSerialVsParallel(b *testing.B) {
 	d := topo.MonolithicDevice(topo.MonolithicSpec(100))
-	cfg := DefaultConfig()
+	cfg := testConfig()
 	cfg.Batch = 2000
 	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
 		cfg.Workers = workers

@@ -4,12 +4,45 @@ import (
 	"context"
 	"testing"
 
+	"chipletqc/internal/collision"
+	"chipletqc/internal/fab"
 	"chipletqc/internal/topo"
 )
 
 // Test-side wrappers over the ctx-first API: they run under
 // context.Background() and fail the test on an unexpected error, so the
 // determinism and statistics tests stay focused on their assertions.
+
+// testConfig mirrors the Fig. 4 setup (batch 1000, laser-tuned sigma,
+// Table I thresholds). Production callers compose configs from a device
+// scenario (internal/scenario); these tests pin the paper values
+// directly because the scenario package sits above this one.
+func testConfig() Config {
+	return Config{
+		Batch:  1000,
+		Model:  fab.DefaultModel(),
+		Params: collision.DefaultParams(),
+		Seed:   1,
+	}
+}
+
+// Mirror of the eval.Config helper: 0 inherits, positive overrides,
+// negative forces fixed-batch.
+func TestApplyTrialPolicyOverrides(t *testing.T) {
+	cfg := Config{Precision: 0.05, MaxTrials: 500}
+	cfg.ApplyTrialPolicyOverrides(0, 0)
+	if cfg.Precision != 0.05 || cfg.MaxTrials != 500 {
+		t.Errorf("zero overrides should inherit, got %+v", cfg)
+	}
+	cfg.ApplyTrialPolicyOverrides(0.01, 99)
+	if cfg.Precision != 0.01 || cfg.MaxTrials != 99 {
+		t.Errorf("positive overrides should apply, got %+v", cfg)
+	}
+	cfg.ApplyTrialPolicyOverrides(-1, -1)
+	if cfg.Precision != 0 || cfg.MaxTrials != 0 {
+		t.Errorf("negative overrides should force fixed mode, got %+v", cfg)
+	}
+}
 
 func simulate(tb testing.TB, d *topo.Device, cfg Config) Result {
 	tb.Helper()

@@ -32,13 +32,20 @@ import (
 // (an alias of runner.Event: label, trials done, trial budget).
 type Event = runner.Event
 
-// Config parameterises one yield simulation.
+// Config parameterises one yield simulation. It is a dumb engine
+// config: callers compose it from a device scenario (see
+// internal/scenario, whose Scenario.YieldConfig is the standard
+// constructor) or field by field in tests.
 type Config struct {
 	Batch   int              // devices per batch (paper: 10^3 for Fig. 4, 10^4 for Fig. 8)
 	Model   fab.Model        // fabrication process
 	Params  collision.Params // Table I thresholds
 	Seed    int64            // RNG seed
 	Workers int              // parallel workers; <= 0 means GOMAXPROCS
+
+	// Catalog is the chiplet family ChipletYields simulates; nil means
+	// the paper's topo.Catalog.
+	Catalog []topo.ChipletSize
 
 	// Precision switches Simulate into adaptive mode: trials stream in
 	// checkpointed blocks and stop once the 95% Wilson interval on the
@@ -55,22 +62,35 @@ type Config struct {
 	Progress func(Event)
 }
 
+// ResolveTrialPolicy applies a per-run override to one adaptive-policy
+// value already seeded from a scenario: 0 inherits the current value, a
+// positive override replaces it, and a negative override forces the
+// zero value (the CLI sentinel for "fixed-batch mode, whatever the
+// scenario says"). It is the single definition of that contract for
+// both this engine's Config and eval.Config.
+func ResolveTrialPolicy[T float64 | int](current, override T) T {
+	switch {
+	case override > 0:
+		return override
+	case override < 0:
+		return 0
+	}
+	return current
+}
+
+// ApplyTrialPolicyOverrides layers per-run adaptive knobs over the
+// scenario trial policy already on the config; see ResolveTrialPolicy
+// for the sentinel semantics.
+func (c *Config) ApplyTrialPolicyOverrides(precision float64, maxTrials int) {
+	c.Precision = ResolveTrialPolicy(c.Precision, precision)
+	c.MaxTrials = ResolveTrialPolicy(c.MaxTrials, maxTrials)
+}
+
 // adaptiveMinTrials is the first early-stop checkpoint: small enough
 // that near-certain yields (p ~ 0 or 1) stop almost immediately, large
 // enough that the Wilson interval is meaningful before the first
 // decision. Fixed-batch runs report progress on the same ladder.
 const adaptiveMinTrials = 250
-
-// DefaultConfig mirrors Fig. 4's setup: batch 1000, laser-tuned sigma,
-// default Table I thresholds.
-func DefaultConfig() Config {
-	return Config{
-		Batch:  1000,
-		Model:  fab.DefaultModel(),
-		Params: collision.DefaultParams(),
-		Seed:   1,
-	}
-}
 
 // Result is the outcome of a yield simulation for one device. Batch is
 // the number of trials actually executed: the configured batch in fixed
@@ -209,14 +229,19 @@ func SizeLadder(maxQubits int) []int {
 	return out
 }
 
-// ChipletYields simulates collision-free yield for every catalog chiplet
-// (paper Fig. 8(b)).
+// ChipletYields simulates collision-free yield for every chiplet of the
+// configured catalog (paper Fig. 8(b)); cfg.Catalog nil falls back to
+// the paper's topo.Catalog.
 func ChipletYields(ctx context.Context, cfg Config) ([]Result, error) {
-	outer, inner := runner.Split(cfg.Workers, len(topo.Catalog))
+	catalog := cfg.Catalog
+	if catalog == nil {
+		catalog = topo.Catalog
+	}
+	outer, inner := runner.Split(cfg.Workers, len(catalog))
 	icfg := cfg
 	icfg.Workers = inner
-	return runner.Map(ctx, len(topo.Catalog), outer, func(i int) Result {
-		cs := topo.Catalog[i]
+	return runner.Map(ctx, len(catalog), outer, func(i int) Result {
+		cs := catalog[i]
 		d := topo.MonolithicDevice(cs.Spec)
 		d.Name = fmt.Sprintf("chiplet-%d", cs.Qubits)
 		res, _ := Simulate(ctx, d, icfg)

@@ -11,7 +11,7 @@ import (
 // on a well-resolved yield.
 func TestYieldSeedStability(t *testing.T) {
 	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 2, Width: 8})
-	cfg := DefaultConfig()
+	cfg := testConfig()
 	cfg.Batch = 3000
 	var ys []float64
 	for seed := int64(1); seed <= 3; seed++ {
@@ -31,7 +31,7 @@ func TestYieldSeedStability(t *testing.T) {
 func TestYieldMonotoneInSigmaProperty(t *testing.T) {
 	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 2, Width: 8})
 	f := func(seedRaw uint8) bool {
-		cfg := DefaultConfig()
+		cfg := testConfig()
 		cfg.Batch = 400
 		cfg.Seed = int64(seedRaw)
 		prev := 1.1
@@ -54,7 +54,7 @@ func TestYieldMonotoneInSigmaProperty(t *testing.T) {
 // TestSimulateWorkerClamp: more workers than batch elements is fine.
 func TestSimulateWorkerClamp(t *testing.T) {
 	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 1, Width: 8})
-	cfg := DefaultConfig()
+	cfg := testConfig()
 	cfg.Batch = 3
 	cfg.Workers = 64
 	res := simulate(t, d, cfg)

@@ -10,7 +10,7 @@ import (
 
 func TestSimulateDeterministicAcrossWorkers(t *testing.T) {
 	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 2, Width: 8})
-	cfg := DefaultConfig()
+	cfg := testConfig()
 	cfg.Batch = 300
 	cfg.Workers = 1
 	a := simulate(t, d, cfg)
@@ -23,7 +23,7 @@ func TestSimulateDeterministicAcrossWorkers(t *testing.T) {
 
 func TestSimulatePerfectPrecisionYieldsEverything(t *testing.T) {
 	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 4, Width: 12})
-	cfg := DefaultConfig()
+	cfg := testConfig()
 	cfg.Batch = 50
 	cfg.Model.Sigma = 0
 	res := simulate(t, d, cfg)
@@ -39,7 +39,7 @@ func TestSimulateRawPrecisionCollapses(t *testing.T) {
 	// Paper: at sigma = 0.1323 GHz there is "little hope" of high-yield
 	// chips beyond ~20 qubits.
 	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 4, Width: 12}) // 60 qubits
-	cfg := DefaultConfig()
+	cfg := testConfig()
 	cfg.Batch = 300
 	cfg.Model.Sigma = fab.SigmaAsFabricated
 	res := simulate(t, d, cfg)
@@ -52,7 +52,7 @@ func TestSimulateLaserTunedSmallChipletHealthy(t *testing.T) {
 	// Paper: ~69% yield for 20-qubit chiplets at sigma = 0.014 GHz.
 	// Our synthetic pattern should land in the same regime (0.45-0.85).
 	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 2, Width: 8})
-	cfg := DefaultConfig()
+	cfg := testConfig()
 	cfg.Batch = 2000
 	res := simulate(t, d, cfg)
 	if y := res.Fraction(); y < 0.45 || y > 0.85 {
@@ -62,7 +62,7 @@ func TestSimulateLaserTunedSmallChipletHealthy(t *testing.T) {
 
 func TestYieldDecreasesWithSize(t *testing.T) {
 	// The central claim: collision-free yield declines as devices grow.
-	cfg := DefaultConfig()
+	cfg := testConfig()
 	cfg.Batch = 600
 	y10 := simulate(t, topo.MonolithicDevice(topo.ChipSpec{DenseRows: 1, Width: 8}), cfg).Fraction()
 	y60 := simulate(t, topo.MonolithicDevice(topo.ChipSpec{DenseRows: 4, Width: 12}), cfg).Fraction()
@@ -75,7 +75,7 @@ func TestYieldDecreasesWithSize(t *testing.T) {
 func TestScalingGoalSigmaKeepsLargeDevicesAlive(t *testing.T) {
 	// Paper: sigma <= 0.006 GHz is the threshold for >10^3-qubit devices.
 	d := topo.MonolithicDevice(topo.MonolithicSpec(500))
-	cfg := DefaultConfig()
+	cfg := testConfig()
 	cfg.Batch = 200
 	cfg.Model.Sigma = fab.SigmaScalingGoal
 	res := simulate(t, d, cfg)
@@ -88,7 +88,7 @@ func TestOptimalStepIsNearSixtyMHz(t *testing.T) {
 	// Fig. 4: the 0.06 GHz step yields at least as well as 0.04 and 0.07
 	// at laser-tuned precision on a mid-size device.
 	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 4, Width: 12})
-	base := DefaultConfig()
+	base := testConfig()
 	base.Batch = 1500
 	run := func(step float64) float64 {
 		c := base
@@ -104,7 +104,7 @@ func TestOptimalStepIsNearSixtyMHz(t *testing.T) {
 
 func TestSimulateZeroBatch(t *testing.T) {
 	d := topo.MonolithicDevice(topo.ChipSpec{DenseRows: 1, Width: 8})
-	cfg := DefaultConfig()
+	cfg := testConfig()
 	cfg.Batch = 0
 	res := simulate(t, d, cfg)
 	if res.Fraction() != 0 || res.Free != 0 {
@@ -120,7 +120,7 @@ func TestResultString(t *testing.T) {
 }
 
 func TestMonolithicCurveMonotoneTrend(t *testing.T) {
-	cfg := DefaultConfig()
+	cfg := testConfig()
 	cfg.Batch = 400
 	pts := monolithicCurve(t, []int{10, 100, 400}, cfg)
 	if len(pts) != 3 {
@@ -132,7 +132,7 @@ func TestMonolithicCurveMonotoneTrend(t *testing.T) {
 }
 
 func TestChipletYields(t *testing.T) {
-	cfg := DefaultConfig()
+	cfg := testConfig()
 	cfg.Batch = 200
 	res := chipletYields(t, cfg)
 	if len(res) != len(topo.Catalog) {
@@ -146,7 +146,7 @@ func TestChipletYields(t *testing.T) {
 }
 
 func TestSweepShape(t *testing.T) {
-	cfg := DefaultConfig()
+	cfg := testConfig()
 	cfg.Batch = 50
 	cells := sweep(t, []float64{0.05, 0.06}, []float64{0.014}, []int{10, 20}, cfg)
 	if len(cells) != 2 {

@@ -94,7 +94,7 @@ func TestOptionValidation(t *testing.T) {
 	if _, err := SimulateYield(ctx, Monolithic(20), YieldOptions{Batch: -5}); err == nil {
 		t.Error("negative Batch should fail validation")
 	}
-	if _, err := SimulateYield(ctx, Monolithic(20), YieldOptions{Precision: -1}); err == nil {
+	if _, err := SimulateYield(ctx, Monolithic(20), YieldOptions{Precision: Ptr(-1.0)}); err == nil {
 		t.Error("negative Precision should fail validation")
 	}
 	if _, err := FabricateBatch(ctx, 20, 10, BatchOptions{Sigma: Ptr(-1.0)}); err == nil {

@@ -1,0 +1,180 @@
+package chipletqc
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// Facade-level scenario coverage: the registry re-exports, the Scenario
+// option fields on the three option structs, and the scenario-bearing
+// experiment config constructor.
+
+// registerScenarioOnce tolerates test re-runs in one process
+// (go test -count=N): the registry is process-global and rejects
+// duplicates by design, so re-registrations of an identical test
+// scenario are skipped.
+func registerScenarioOnce(s Scenario) {
+	if _, err := LookupScenario(s.Name); err != nil {
+		RegisterScenario(s)
+	}
+}
+
+func TestScenarioRegistryReexports(t *testing.T) {
+	names := ScenarioNames()
+	if len(names) < 4 || names[0] != ScenarioPaper {
+		t.Fatalf("ScenarioNames() = %v, want paper-first presets", names)
+	}
+	if got := len(Scenarios()); got != len(names) {
+		t.Fatalf("Scenarios() returned %d, names %d", got, len(names))
+	}
+	s, err := LookupScenario(ScenarioFutureFab)
+	if err != nil || s.Name != ScenarioFutureFab {
+		t.Fatalf("LookupScenario(future-fab) = %v, %v", s.Name, err)
+	}
+	if _, err := LookupScenario("nope"); err == nil || !strings.Contains(err.Error(), ScenarioPaper) {
+		t.Errorf("unknown-scenario error should list known names, got %v", err)
+	}
+	if PaperScenario().Name != ScenarioPaper {
+		t.Error("PaperScenario() is not the paper preset")
+	}
+}
+
+func TestYieldOptionsScenarioTakesEffect(t *testing.T) {
+	ctx := context.Background()
+	d := Monolithic(100)
+	paper, err := SimulateYield(ctx, d, YieldOptions{Batch: 800, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relaxed, err := SimulateYield(ctx, d, YieldOptions{Scenario: ScenarioRelaxedThresholds, Batch: 800, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relaxed.Free < paper.Free {
+		t.Errorf("relaxed-thresholds yield %d/%d below paper %d/%d",
+			relaxed.Free, relaxed.Batch, paper.Free, paper.Batch)
+	}
+	if relaxed.Free == paper.Free {
+		t.Logf("warning: relaxed and paper scenarios tied (%d free) — statistically possible but suspicious", paper.Free)
+	}
+	if _, err := SimulateYield(ctx, d, YieldOptions{Scenario: "warp-core"}); err == nil {
+		t.Error("unknown scenario should fail SimulateYield")
+	}
+}
+
+func TestBatchAndAssembleOptionsScenario(t *testing.T) {
+	ctx := context.Background()
+	b, err := FabricateBatch(ctx, 20, 300, BatchOptions{Scenario: ScenarioFutureFab, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := FabricateBatch(ctx, 20, 300, BatchOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tighter sigma can only improve the collision-free bin.
+	if len(b.Free) < len(bp.Free) {
+		t.Errorf("future-fab bin %d smaller than paper bin %d", len(b.Free), len(bp.Free))
+	}
+	if _, err := FabricateBatch(ctx, 20, 10, BatchOptions{Scenario: "warp-core"}); err == nil {
+		t.Error("unknown scenario should fail FabricateBatch")
+	}
+
+	mods, _, err := AssembleMCMs(ctx, bp, 2, 2, AssembleOptions{Scenario: ScenarioImprovedLinks, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defMods, _, err := AssembleMCMs(ctx, bp, 2, 2, AssembleOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mods) == 0 || len(defMods) == 0 {
+		t.Fatal("no modules assembled")
+	}
+	// e_link/e_chip = 1 links are ~4x better than state of art, so the
+	// best module's E_avg must improve.
+	if mods[0].EAvg() >= defMods[0].EAvg() {
+		t.Errorf("improved-links E_avg %v not better than paper %v", mods[0].EAvg(), defMods[0].EAvg())
+	}
+	if _, _, err := AssembleMCMs(ctx, bp, 2, 2, AssembleOptions{Scenario: "warp-core"}); err == nil {
+		t.Error("unknown scenario should fail AssembleMCMs")
+	}
+}
+
+func TestExperimentConfigForScenario(t *testing.T) {
+	cfg, err := ExperimentConfigFor(ScenarioFutureFab, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Scenario == nil || cfg.Scenario.Name != ScenarioFutureFab || cfg.Seed != 9 {
+		t.Fatalf("ExperimentConfigFor returned %+v", cfg)
+	}
+	if _, err := ExperimentConfigFor("warp-core", 9); err == nil {
+		t.Error("unknown scenario should fail ExperimentConfigFor")
+	}
+}
+
+// A scenario's adaptive trial policy must survive the facade: the
+// zero-valued per-run knobs inherit it instead of silently resetting
+// the run to fixed-batch mode, while nonzero options still override.
+func TestScenarioTrialPolicyReachesTheFacade(t *testing.T) {
+	adaptive := PaperScenario()
+	adaptive.Name = "test-adaptive-policy"
+	adaptive.Description = "coarse adaptive sampling by default"
+	adaptive.Trials.Precision = 0.05
+	adaptive.Trials.MaxTrials = 4000
+	registerScenarioOnce(adaptive)
+
+	ctx := context.Background()
+	d := Monolithic(20) // ~certain yield: adaptive mode stops at the first checkpoint
+	res, err := SimulateYield(ctx, d, YieldOptions{Scenario: adaptive.Name, Batch: 4000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batch >= 4000 {
+		t.Errorf("scenario trial policy ignored: ran all %d trials instead of stopping adaptively", res.Batch)
+	}
+	// An explicit option still overrides the policy.
+	tighter, err := SimulateYield(ctx, d, YieldOptions{
+		Scenario: adaptive.Name, Batch: 4000, Seed: 2,
+		Precision: Ptr(0.0001), MaxTrials: Ptr(4000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tighter.Batch <= res.Batch {
+		t.Errorf("tighter per-run precision (%d trials) should outspend the scenario policy (%d trials)",
+			tighter.Batch, res.Batch)
+	}
+	// And Ptr(0.0) forces the historical fixed-batch mode even though
+	// the scenario's own policy is adaptive.
+	fixed, err := SimulateYield(ctx, d, YieldOptions{
+		Scenario: adaptive.Name, Batch: 4000, Seed: 2, Precision: Ptr(0.0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.Batch != 4000 {
+		t.Errorf("Precision Ptr(0.0) ran %d trials, want the full fixed batch of 4000", fixed.Batch)
+	}
+}
+
+// RegisterScenario makes a caller-defined device world addressable by
+// name everywhere a Scenario option or config reaches.
+func TestRegisterScenarioEndToEnd(t *testing.T) {
+	custom := PaperScenario()
+	custom.Name = "test-noise-free"
+	custom.Description = "noise-free fabrication for facade tests"
+	custom.Fab.Sigma = 0
+	registerScenarioOnce(custom)
+
+	res, err := SimulateYield(context.Background(), Monolithic(60),
+		YieldOptions{Scenario: "test-noise-free", Batch: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Free != res.Batch {
+		t.Errorf("noise-free fabrication yielded %d/%d, want perfect yield", res.Free, res.Batch)
+	}
+}
