@@ -1,0 +1,85 @@
+package chipletqc
+
+import (
+	"context"
+
+	"chipletqc/internal/campaign"
+	"chipletqc/internal/store"
+)
+
+// Campaign re-exports: a campaign is a scenario×experiment sweep run
+// as one job against a fingerprint-keyed artifact store. A
+// CampaignPlan names sets of experiments, scenarios, and config
+// overrides; RunCampaign expands it into a deterministic cell grid,
+// executes the cells concurrently, and persists every Artifact into
+// the store — so an identical cell is a cache hit that skips the
+// simulation entirely, an interrupted campaign resumes by running only
+// the missing cells, and independent processes split one campaign with
+// disjoint, exhaustive shards:
+//
+//	st, _ := chipletqc.OpenStore("artifacts")
+//	report, _ := chipletqc.RunCampaign(ctx, chipletqc.CampaignPlan{
+//		Experiments: []string{"fig4", "fig8"},
+//		Scenarios:   []string{"paper", "future-fab"},
+//		Seed:        1,
+//	}, chipletqc.CampaignOptions{Store: st})
+//	fmt.Println(report.Executed, "simulated,", report.Cached, "from the store")
+//
+// The cmd/campaign binary wraps exactly this API (-experiments,
+// -scenarios, -store, -resume, -shard i/n, -json).
+type (
+	// CampaignPlan is the cross product a campaign runs: experiment
+	// names × scenario names × config overrides.
+	CampaignPlan = campaign.Plan
+	// CampaignOverride is one named set of per-run config adjustments.
+	CampaignOverride = campaign.Override
+	// CampaignCell is one expanded unit of a campaign grid.
+	CampaignCell = campaign.Cell
+	// CampaignShard selects a deterministic grid partition (i of n).
+	CampaignShard = campaign.Shard
+	// CampaignOptions configures a campaign run (store, shard, force,
+	// worker budget, progress).
+	CampaignOptions = campaign.Options
+	// CampaignEvent is one campaign progress observation.
+	CampaignEvent = campaign.Event
+	// CampaignPhase labels a campaign event (run/cached/done/error).
+	CampaignPhase = campaign.Phase
+	// CampaignCellResult is one cell's outcome: artifact + provenance.
+	CampaignCellResult = campaign.CellResult
+	// CampaignReport summarises a completed campaign run.
+	CampaignReport = campaign.Report
+	// ArtifactStore is a filesystem artifact store keyed by
+	// (experiment name, config fingerprint).
+	ArtifactStore = store.Store
+)
+
+// Campaign event phases.
+const (
+	CampaignPhaseRun    = campaign.PhaseRun
+	CampaignPhaseCached = campaign.PhaseCached
+	CampaignPhaseDone   = campaign.PhaseDone
+	CampaignPhaseError  = campaign.PhaseError
+)
+
+// OpenStore opens (creating if needed) a filesystem artifact store
+// rooted at dir. Records are one transparent JSON file per
+// (experiment, config fingerprint) key, written atomically, safe to
+// share between concurrent campaign shards.
+func OpenStore(dir string) (*ArtifactStore, error) { return store.Open(dir) }
+
+// RunCampaign expands the plan against the experiment and scenario
+// registries and executes it: cached cells are served from the store,
+// missing cells are simulated and persisted. Cancelling the context
+// stops the campaign within one in-flight cell trial per worker;
+// everything persisted before the interruption is reused on the next
+// run.
+func RunCampaign(ctx context.Context, p CampaignPlan, opts CampaignOptions) (CampaignReport, error) {
+	return campaign.Run(ctx, p, opts)
+}
+
+// ExpandCampaign returns the plan's full ordered cell grid without
+// running it — the dry-run view the cmd/campaign -list flag renders.
+func ExpandCampaign(p CampaignPlan) ([]CampaignCell, error) { return campaign.Expand(p) }
+
+// ParseCampaignShard parses the CLI shard form "i/n" ("" = unsharded).
+func ParseCampaignShard(s string) (CampaignShard, error) { return campaign.ParseShard(s) }

@@ -1,0 +1,202 @@
+// Command campaign drives scenario×experiment sweeps as one job
+// against a fingerprint-keyed artifact store: the cross product of
+// -experiments and -scenarios expands to a deterministic cell grid,
+// cells already present in the store are served without re-simulating,
+// and everything executed is persisted — so an interrupted campaign
+// resumes where it stopped, a repeated campaign costs nothing, and
+// -shard splits one campaign across independent processes.
+//
+// Usage:
+//
+//	campaign -experiments fig4,fig8 -scenarios paper,future-fab -store artifacts
+//	campaign -quick -store artifacts            # every experiment, paper scenario, smoke scale
+//	campaign ... -list                          # dry run: print the cell grid + hit/miss status
+//	campaign ... -shard 0/2 & campaign ... -shard 1/2   # split one campaign
+//	campaign ... -resume=false                  # force re-execution, overwriting stored cells
+//	campaign ... -json                          # machine-readable report on stdout
+//
+// Interrupting the process (SIGINT/SIGTERM) cancels the in-flight
+// cells promptly; completed cells stay in the store and are skipped on
+// the next invocation.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+
+	"chipletqc/internal/campaign"
+	"chipletqc/internal/store"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		// The engine's errors already carry the package prefix.
+		fmt.Fprintln(os.Stderr, "campaign:", strings.TrimPrefix(err.Error(), "campaign: "))
+		os.Exit(1)
+	}
+}
+
+// errUsage marks argument errors the FlagSet has already reported to
+// the error stream; main exits 2 without repeating them.
+var errUsage = errors.New("usage error")
+
+// run executes the tool against args, writing the report to out. It is
+// the testable core of the binary.
+func run(ctx context.Context, args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		experiments = fs.String("experiments", "", "comma-separated experiment names (default: every registered experiment)")
+		scenarios   = fs.String("scenarios", "", "comma-separated device scenario names (default: paper)")
+		storeDir    = fs.String("store", "campaign-store", "artifact store directory; empty disables persistence")
+		resume      = fs.Bool("resume", true, "serve cells already in the store instead of re-simulating; -resume=false forces re-execution")
+		shardSpec   = fs.String("shard", "", "run only shard i of n of the cell grid, e.g. 0/2 (default: everything)")
+		quick       = fs.Bool("quick", false, "reduced Monte Carlo batches (smoke scale)")
+		seed        = fs.Int64("seed", 1, "base RNG seed for every cell")
+		workers     = fs.Int("workers", 0, "total worker budget across cells (0 = all CPU cores; results identical either way)")
+		precision   = fs.Float64("precision", 0, "adaptive mode: per-cell 95% CI half-width target (0 = each scenario's policy; negative forces fixed batch)")
+		maxTrials   = fs.Int("maxtrials", 0, "adaptive mode trial budget per simulation (0 = each scenario's policy; negative resets)")
+		list        = fs.Bool("list", false, "print the expanded cell grid with store hit/miss status and exit")
+		jsonOut     = fs.Bool("json", false, "write the campaign report as JSON to stdout instead of text")
+		progress    = fs.Bool("progress", false, "stream per-cell events to the error stream")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
+	}
+
+	shard, err := campaign.ParseShard(*shardSpec)
+	if err != nil {
+		return err
+	}
+	plan := campaign.Plan{
+		Experiments: splitNames(*experiments),
+		Scenarios:   splitNames(*scenarios),
+		Seed:        *seed,
+		Quick:       *quick,
+	}
+	if *precision != 0 || *maxTrials != 0 {
+		plan.Overrides = []campaign.Override{{Precision: *precision, MaxTrials: *maxTrials}}
+	}
+
+	var st *store.Store
+	if *storeDir != "" {
+		if st, err = store.Open(*storeDir); err != nil {
+			return err
+		}
+	}
+
+	if *list {
+		return listCells(plan, shard, st, out)
+	}
+
+	opts := campaign.Options{
+		Store:   st,
+		Force:   !*resume,
+		Workers: *workers,
+		Shard:   shard,
+	}
+	if *progress {
+		opts.Progress = eventPrinter(errw)
+	}
+	rep, err := campaign.Run(ctx, plan, opts)
+	if err != nil {
+		return err
+	}
+
+	if *jsonOut {
+		return writeJSON(out, rep)
+	}
+	for _, r := range rep.Cells {
+		if r.Cached {
+			fmt.Fprintf(out, "%-10s %s (store hit)\n", "cached", r.Cell.ID())
+		} else {
+			fmt.Fprintf(out, "%-10s %s (%.1fs, %d trials)\n",
+				"ran", r.Cell.ID(), r.Artifact.WallSeconds, r.Artifact.Trials)
+		}
+	}
+	where := "no store"
+	if st != nil {
+		where = "store " + st.Dir()
+	}
+	shardNote := ""
+	if s := rep.Shard; s != "" {
+		shardNote = fmt.Sprintf(", shard %s of a %d-cell grid", s, rep.GridSize)
+	}
+	fmt.Fprintf(out, "campaign: %d cells, %d executed, %d cached (%s%s)\n",
+		rep.Total, rep.Executed, rep.Cached, where, shardNote)
+	return nil
+}
+
+// splitNames parses a comma-separated name list, dropping empties.
+func splitNames(s string) []string {
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// listCells renders the dry-run grid view: every cell of this shard
+// with its store key and hit/miss status.
+func listCells(plan campaign.Plan, shard campaign.Shard, st *store.Store, out io.Writer) error {
+	grid, err := campaign.Expand(plan)
+	if err != nil {
+		return err
+	}
+	if err := shard.Validate(); err != nil {
+		return err
+	}
+	cells := shard.Filter(grid)
+	fmt.Fprintf(out, "%-5s %-30s %-30s %s\n", "IDX", "CELL", "KEY", "STATUS")
+	hits := 0
+	for _, c := range cells {
+		status := "miss"
+		if st != nil && st.Has(c.Experiment, c.Fingerprint) {
+			status = "hit"
+			hits++
+		}
+		fmt.Fprintf(out, "%-5d %-30s %-30s %s\n", c.Index, c.ID(), c.Key(), status)
+	}
+	fmt.Fprintf(out, "%d cells (grid %d), %d store hits\n", len(cells), len(grid), hits)
+	return nil
+}
+
+// writeJSON renders the report as indented JSON.
+func writeJSON(w io.Writer, rep campaign.Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// eventPrinter serialises concurrent campaign events onto one stream.
+func eventPrinter(w io.Writer) func(campaign.Event) {
+	var mu sync.Mutex
+	return func(e campaign.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		if e.Err != nil {
+			fmt.Fprintf(w, "  %s %s: %v\n", e.Phase, e.Cell.ID(), e.Err)
+			return
+		}
+		fmt.Fprintf(w, "  %s %s\n", e.Phase, e.Cell.ID())
+	}
+}

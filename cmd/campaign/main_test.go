@@ -1,0 +1,201 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runArgs invokes the CLI core and returns its streams.
+func runArgs(t *testing.T, ctx context.Context, args ...string) (string, string, error) {
+	t.Helper()
+	var out, errs strings.Builder
+	err := run(ctx, args, &out, &errs)
+	return out.String(), errs.String(), err
+}
+
+// TestColdThenWarmRun pins the end-to-end cache contract through the
+// CLI: a 2×2 grid executes fully once, then is served entirely from
+// the store.
+func TestColdThenWarmRun(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	args := []string{"-quick", "-experiments", "fig2,eq1", "-scenarios", "paper,future-fab", "-store", dir}
+
+	out, _, err := runArgs(t, context.Background(), args...)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if !strings.Contains(out, "4 cells, 4 executed, 0 cached") {
+		t.Errorf("cold run summary wrong:\n%s", out)
+	}
+
+	out, _, err = runArgs(t, context.Background(), args...)
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if !strings.Contains(out, "4 cells, 0 executed, 4 cached") {
+		t.Errorf("warm run summary wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "cached     fig2@future-fab (store hit)") {
+		t.Errorf("warm run should list per-cell store hits:\n%s", out)
+	}
+}
+
+// TestShardedRunsCoverGrid pins -shard: 0/2 and 1/2 together fill the
+// store so a subsequent unsharded run executes nothing.
+func TestShardedRunsCoverGrid(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	base := []string{"-quick", "-experiments", "fig2,eq1", "-scenarios", "paper,future-fab", "-store", dir}
+
+	for _, shard := range []string{"0/2", "1/2"} {
+		out, _, err := runArgs(t, context.Background(), append(base, "-shard", shard)...)
+		if err != nil {
+			t.Fatalf("shard %s: %v", shard, err)
+		}
+		if !strings.Contains(out, "2 cells, 2 executed, 0 cached") ||
+			!strings.Contains(out, "shard "+shard+" of a 4-cell grid") {
+			t.Errorf("shard %s summary wrong:\n%s", shard, out)
+		}
+	}
+	out, _, err := runArgs(t, context.Background(), base...)
+	if err != nil {
+		t.Fatalf("unsharded pass: %v", err)
+	}
+	if !strings.Contains(out, "4 cells, 0 executed, 4 cached") {
+		t.Errorf("shards did not fill the store:\n%s", out)
+	}
+}
+
+// TestResumeFalseForcesReexecution pins -resume=false: a warm store is
+// ignored and overwritten.
+func TestResumeFalseForcesReexecution(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	base := []string{"-quick", "-experiments", "fig2", "-store", dir}
+	if _, _, err := runArgs(t, context.Background(), base...); err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	out, _, err := runArgs(t, context.Background(), append(base, "-resume=false")...)
+	if err != nil {
+		t.Fatalf("forced run: %v", err)
+	}
+	if !strings.Contains(out, "1 cells, 1 executed, 0 cached") {
+		t.Errorf("-resume=false should re-execute:\n%s", out)
+	}
+}
+
+// TestJSONReport pins -json: a machine-readable report with the
+// executed/cached counts the CI smoke job asserts on.
+func TestJSONReport(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	args := []string{"-quick", "-experiments", "fig2", "-scenarios", "paper,future-fab", "-store", dir, "-json"}
+	out, _, err := runArgs(t, context.Background(), args...)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var rep struct {
+		GridSize int `json:"grid_size"`
+		Total    int `json:"total"`
+		Executed int `json:"executed"`
+		Cached   int `json:"cached"`
+		Cells    []struct {
+			Cell struct {
+				Experiment  string `json:"experiment"`
+				Scenario    string `json:"scenario"`
+				Fingerprint string `json:"config_fingerprint"`
+			} `json:"cell"`
+			Cached bool `json:"cached"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, out)
+	}
+	if rep.GridSize != 2 || rep.Total != 2 || rep.Executed != 2 || rep.Cached != 0 {
+		t.Errorf("report counts wrong: %+v", rep)
+	}
+	if len(rep.Cells) != 2 || rep.Cells[0].Cell.Fingerprint == "" {
+		t.Errorf("report cells missing identity: %+v", rep.Cells)
+	}
+	if rep.Cells[0].Cell.Fingerprint == rep.Cells[1].Cell.Fingerprint {
+		t.Error("different scenarios should fingerprint differently")
+	}
+}
+
+// TestListDryRun pins -list: the grid with store hit/miss status, no
+// execution.
+func TestListDryRun(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	base := []string{"-quick", "-experiments", "fig2,eq1", "-store", dir}
+	out, _, err := runArgs(t, context.Background(), append(base, "-list")...)
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if !strings.Contains(out, "fig2@paper") || !strings.Contains(out, "2 cells (grid 2), 0 store hits") {
+		t.Errorf("cold -list output wrong:\n%s", out)
+	}
+	if _, _, err := runArgs(t, context.Background(), base...); err != nil {
+		t.Fatalf("fill run: %v", err)
+	}
+	out, _, err = runArgs(t, context.Background(), append(base, "-list")...)
+	if err != nil {
+		t.Fatalf("warm list: %v", err)
+	}
+	if !strings.Contains(out, "2 store hits") {
+		t.Errorf("warm -list should report hits:\n%s", out)
+	}
+}
+
+// TestProgressStream pins -progress: per-cell events on the error
+// stream, report on the output stream.
+func TestProgressStream(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	_, errs, err := runArgs(t, context.Background(),
+		"-quick", "-experiments", "fig2", "-store", dir, "-progress")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(errs, "run fig2@paper") || !strings.Contains(errs, "done fig2@paper") {
+		t.Errorf("progress events missing from error stream:\n%s", errs)
+	}
+}
+
+// TestErrorPaths pins the CLI failure modes: unknown names, bad shard
+// syntax, unknown flags, and -h.
+func TestErrorPaths(t *testing.T) {
+	if _, _, err := runArgs(t, context.Background(), "-experiments", "nope", "-store", ""); err == nil ||
+		!strings.Contains(err.Error(), "known:") {
+		t.Errorf("unknown experiment should list known names, got %v", err)
+	}
+	if _, _, err := runArgs(t, context.Background(), "-shard", "2"); err == nil ||
+		!strings.Contains(err.Error(), "i/n") {
+		t.Errorf("bad shard syntax should explain the form, got %v", err)
+	}
+	out, errs, err := runArgs(t, context.Background(), "-definitely-not-a-flag")
+	if err == nil {
+		t.Error("unknown flag should return an error")
+	}
+	if out != "" {
+		t.Errorf("flag diagnostics leaked into the report stream:\n%s", out)
+	}
+	if !strings.Contains(errs, "definitely-not-a-flag") {
+		t.Errorf("error stream should name the bad flag:\n%s", errs)
+	}
+	if _, errs, err := runArgs(t, context.Background(), "-h"); err != nil {
+		t.Errorf("-h should not be an error, got %v", err)
+	} else if !strings.Contains(errs, "-shard") {
+		t.Errorf("usage should document -shard:\n%s", errs)
+	}
+}
+
+// TestNoStoreRuns pins -store "": the campaign runs without
+// persistence.
+func TestNoStoreRuns(t *testing.T) {
+	out, _, err := runArgs(t, context.Background(), "-quick", "-experiments", "fig2", "-store", "")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "1 cells, 1 executed, 0 cached (no store)") {
+		t.Errorf("store-less summary wrong:\n%s", out)
+	}
+}

@@ -7,6 +7,7 @@ package chipletqc_test
 import (
 	"context"
 	"fmt"
+	"os"
 	"strings"
 
 	"chipletqc"
@@ -174,4 +175,62 @@ func ExampleLookupExperiment() {
 	// Output:
 	// fig2 - illustrative wafer output, monolithic vs chiplet
 	// Fig. 2: wafer output with 7 fatal defects per batch
+}
+
+// ExampleRegisterScenario derives a custom device world from the paper
+// baseline and registers it, making it addressable by name from every
+// experiment, the campaign engine, and the CLIs (-scenario/-scenarios).
+func ExampleRegisterScenario() {
+	custom := chipletqc.PaperScenario()
+	custom.Name = "example-tighter-fab"
+	custom.Description = "paper device world fabricated at sigma 0.010"
+	custom.Fab.Sigma = 0.010
+	chipletqc.RegisterScenario(custom)
+
+	s, err := chipletqc.LookupScenario("example-tighter-fab")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(s.Name)
+	fmt.Println("device world differs from paper:",
+		s.Fingerprint() != chipletqc.PaperScenario().Fingerprint())
+	// Output:
+	// example-tighter-fab
+	// device world differs from paper: true
+}
+
+// ExampleRunCampaign sweeps an experiment across two device scenarios
+// against a fingerprint-keyed artifact store: the first run simulates
+// every cell, the identical second run is served entirely from the
+// store — the resume/caching machinery behind the cmd/campaign binary.
+func ExampleRunCampaign() {
+	dir, err := os.MkdirTemp("", "campaign-example-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	store, err := chipletqc.OpenStore(dir)
+	if err != nil {
+		panic(err)
+	}
+
+	plan := chipletqc.CampaignPlan{
+		Experiments: []string{"fig2"},
+		Scenarios:   []string{"paper", "future-fab"},
+		Seed:        1,
+		Quick:       true,
+	}
+	cold, err := chipletqc.RunCampaign(context.Background(), plan, chipletqc.CampaignOptions{Store: store})
+	if err != nil {
+		panic(err)
+	}
+	warm, err := chipletqc.RunCampaign(context.Background(), plan, chipletqc.CampaignOptions{Store: store})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cold: %d simulated, %d from the store\n", cold.Executed, cold.Cached)
+	fmt.Printf("warm: %d simulated, %d from the store\n", warm.Executed, warm.Cached)
+	// Output:
+	// cold: 2 simulated, 0 from the store
+	// warm: 0 simulated, 2 from the store
 }

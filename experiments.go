@@ -24,6 +24,10 @@ import (
 //  2. Typed ctx-first entry points (Fig1, Fig8, Table2, ...) returning
 //     structured results for programmatic consumption.
 //
+// To sweep experiments across device scenarios — with caching, resume,
+// and sharding through the artifact store — drive the registry via
+// RunCampaign (campaigns.go) instead of looping over Run calls.
+//
 // ExperimentConfig scales the Monte Carlo batches; DefaultExperimentConfig
 // matches the paper, QuickExperimentConfig is sized for smoke tests.
 // ExperimentConfig.Workers fans every Monte Carlo and sweep loop out

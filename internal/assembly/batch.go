@@ -1,7 +1,3 @@
-// Package assembly implements the paper's MCM manufacturing pipeline
-// (Sections V-C, V-D, VII-B): chiplet batch fabrication with known-good-
-// die (KGD) characterisation, error-sorted chiplet stitching with
-// collision-driven reshuffles, and the C4 bump-bond assembly yield model.
 package assembly
 
 import (

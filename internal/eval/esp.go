@@ -1,7 +1,3 @@
-// Package eval implements the paper's evaluation harness: the
-// ESP-style fidelity-product figure of merit (Section VII-B) and the
-// experiment drivers that regenerate every figure and table of the
-// evaluation section (Figs. 1-10, Tables I-II, Eq. 1).
 package eval
 
 import (

@@ -15,6 +15,12 @@
 //
 // Every paper figure/table registers itself in catalog.go; external
 // callers can Register additional experiments through the facade.
+//
+// Artifacts are also the unit of persistence: internal/store caches
+// them under (name, config fingerprint) keys, and internal/campaign
+// sweeps the registry's cross product with scenarios against that
+// store — so Fingerprint below is not just provenance metadata but the
+// cache identity that decides whether a run can be skipped.
 package experiment
 
 import (

@@ -1,6 +1,11 @@
 // Package report renders experiment results as aligned text tables and
 // CSV, shared by the cmd binaries. It is intentionally tiny: headers,
 // rows of strings, and two writers.
+//
+// A Table is also the payload of every experiment Artifact
+// (internal/experiment), so it round-trips through JSON and its text
+// rendering is byte-stable for a given input — artifacts served from
+// the store render identically to freshly computed ones.
 package report
 
 import (

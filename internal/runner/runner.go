@@ -19,6 +19,11 @@
 //
 // Worker counts <= 0 resolve to GOMAXPROCS, so the zero value of any
 // Workers knob means "use the whole machine".
+//
+// The engine nests: campaign cells (internal/campaign) fan out on the
+// same pool their inner Monte Carlo loops use, with Split dividing one
+// worker budget between the two levels so total concurrency stays near
+// the budget instead of compounding.
 package runner
 
 import (

@@ -20,6 +20,12 @@
 // its payload was computed under. The registry (Register/Lookup/All)
 // mirrors internal/experiment: presets register at init time and
 // callers add their own through the facade.
+//
+// Scenario names are one axis of a campaign plan (internal/campaign):
+// a sweep across scenarios expands to one cell per (experiment,
+// scenario, override) triple, and because the scenario fingerprint is
+// folded into each cell's config fingerprint, the artifact store
+// caches different device worlds under different keys automatically.
 package scenario
 
 import (

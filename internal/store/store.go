@@ -1,0 +1,188 @@
+// Package store persists experiment Artifacts on the filesystem, keyed
+// by content fingerprints, so identical work is never simulated twice.
+//
+// A record's key is (experiment name, config fingerprint). The config
+// fingerprint — experiment.Fingerprint — already folds in the seed,
+// every batch/precision knob, and the device scenario's own
+// fingerprint, so two runs share a key exactly when the determinism
+// contract guarantees they would produce the same payload. That makes
+// the store a correct cache: Get on a warm key returns the stored
+// Artifact byte-for-byte, and the campaign engine (internal/campaign)
+// skips execution entirely.
+//
+// Layout is deliberately transparent: one JSON file per record,
+// <dir>/<name>-<fingerprint>.json, written atomically (temp file +
+// rename) so an interrupted process never leaves a half-written record
+// under a valid key. Records are self-describing — Get cross-checks the
+// decoded Artifact's name and fingerprint against the requested key, so
+// a truncated, corrupted, or hand-edited file surfaces as a clear error
+// instead of a silently wrong cache hit.
+//
+// The store is an interface seam in the microservice sense: execution
+// (campaign) and persistence (store) meet only at Put/Get, so a future
+// backend (object storage, a database) can replace the filesystem
+// without touching the engine.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"chipletqc/internal/experiment"
+)
+
+// Store is a filesystem-backed artifact store rooted at one directory.
+// Methods are safe for concurrent use by multiple goroutines and — via
+// the atomic rename in Put — by multiple processes sharding one
+// campaign into the same directory.
+type Store struct {
+	dir string
+}
+
+// Open returns a store rooted at dir, creating the directory if needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Key returns the store key for an (experiment name, config
+// fingerprint) pair — the basename (without extension) of the record
+// file that caches that exact unit of work.
+func Key(name, fingerprint string) string {
+	return name + "-" + fingerprint
+}
+
+// validKey rejects key components that would escape the store directory
+// or collide with the record naming scheme.
+func validKey(name, fingerprint string) error {
+	for _, part := range [2]string{name, fingerprint} {
+		if part == "" {
+			return errors.New("store: empty key component")
+		}
+		if strings.ContainsAny(part, "/\\") || part != filepath.Base(part) {
+			return fmt.Errorf("store: key component %q contains a path separator", part)
+		}
+	}
+	return nil
+}
+
+// path returns the record file for a key.
+func (s *Store) path(name, fingerprint string) string {
+	return filepath.Join(s.dir, Key(name, fingerprint)+".json")
+}
+
+// Put persists the artifact under its (Name, Fingerprint) key,
+// overwriting any existing record, and returns the record path. The
+// write is atomic: the record is staged in a temp file and renamed into
+// place, so concurrent readers and sharded sibling processes never
+// observe a partial record.
+func (s *Store) Put(a experiment.Artifact) (string, error) {
+	if err := validKey(a.Name, a.Fingerprint); err != nil {
+		return "", err
+	}
+	dst := s.path(a.Name, a.Fingerprint)
+	tmp, err := os.CreateTemp(s.dir, "."+Key(a.Name, a.Fingerprint)+".tmp-*")
+	if err != nil {
+		return "", fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := a.WriteJSON(tmp); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("store: writing %s: %w", dst, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return "", fmt.Errorf("store: writing %s: %w", dst, err)
+	}
+	// CreateTemp's 0600 would lock out other users sharing the store
+	// directory (sharded campaigns across accounts); records are
+	// world-readable like any build artifact.
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return "", fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		return "", fmt.Errorf("store: %w", err)
+	}
+	return dst, nil
+}
+
+// Get loads the artifact stored under (name, fingerprint). A missing
+// record returns ok == false with a nil error; an unreadable, truncated,
+// or mismatched record returns an error naming the offending file and
+// how to recover (delete it to force a re-run).
+func (s *Store) Get(name, fingerprint string) (a experiment.Artifact, ok bool, err error) {
+	if err := validKey(name, fingerprint); err != nil {
+		return experiment.Artifact{}, false, err
+	}
+	path := s.path(name, fingerprint)
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return experiment.Artifact{}, false, nil
+	}
+	if err != nil {
+		return experiment.Artifact{}, false, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	if err := json.NewDecoder(f).Decode(&a); err != nil {
+		return experiment.Artifact{}, false,
+			fmt.Errorf("store: corrupt record %s: %w (delete the file to force a re-run)", path, err)
+	}
+	if a.Name != name || a.Fingerprint != fingerprint {
+		return experiment.Artifact{}, false,
+			fmt.Errorf("store: record %s identifies as (%s, %s), expected (%s, %s) — delete the file to force a re-run",
+				path, a.Name, a.Fingerprint, name, fingerprint)
+	}
+	return a, true, nil
+}
+
+// Has reports whether a record exists under (name, fingerprint) without
+// reading it. A corrupt record still counts as present — Get is the
+// arbiter of validity.
+func (s *Store) Has(name, fingerprint string) bool {
+	if validKey(name, fingerprint) != nil {
+		return false
+	}
+	_, err := os.Stat(s.path(name, fingerprint))
+	return err == nil
+}
+
+// Keys returns every record key in the store, sorted, ignoring files
+// that do not follow the record naming scheme (temp files, strays).
+func (s *Store) Keys() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var keys []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || strings.HasPrefix(name, ".") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		keys = append(keys, strings.TrimSuffix(name, ".json"))
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Len returns the number of records in the store.
+func (s *Store) Len() (int, error) {
+	keys, err := s.Keys()
+	if err != nil {
+		return 0, err
+	}
+	return len(keys), nil
+}

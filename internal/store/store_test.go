@@ -1,0 +1,222 @@
+package store_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"chipletqc/internal/experiment"
+	"chipletqc/internal/report"
+	"chipletqc/internal/store"
+)
+
+// artifact builds a small, fully populated record for store tests.
+func artifact(name, fingerprint string) experiment.Artifact {
+	tb := report.New("store test payload", "x", "y")
+	tb.Add(1, 2.5)
+	tb.Add(2, 3.5)
+	return experiment.Artifact{
+		Name:                name,
+		Description:         "a store test artifact",
+		Seed:                42,
+		Scenario:            "paper",
+		ScenarioFingerprint: "feedfacefeed",
+		Fingerprint:         fingerprint,
+		WallSeconds:         1.25,
+		Trials:              1000,
+		Payload:             tb,
+	}
+}
+
+func open(t *testing.T) *store.Store {
+	t.Helper()
+	s, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+// TestPutGetRoundTrip pins the cache contract: Get returns exactly what
+// Put stored, including the payload table and wall time.
+func TestPutGetRoundTrip(t *testing.T) {
+	s := open(t)
+	want := artifact("fig8", "abc123def456")
+	path, err := s.Put(want)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if filepath.Dir(path) != s.Dir() {
+		t.Errorf("record path %s is outside the store directory %s", path, s.Dir())
+	}
+	// Records must be readable by other users sharing the store
+	// directory (sharded multi-process campaigns) — not CreateTemp's
+	// 0600.
+	if info, err := os.Stat(path); err != nil || info.Mode().Perm() != 0o644 {
+		t.Errorf("record mode = %v (err %v), want 0644", info.Mode().Perm(), err)
+	}
+	got, ok, err := s.Get("fig8", "abc123def456")
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%t err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	// The text rendering — the consumer-visible face — must match too.
+	if got.String() != want.String() {
+		t.Errorf("text rendering changed through the store:\ngot:\n%s\nwant:\n%s", got.String(), want.String())
+	}
+}
+
+// TestGetMissingIsNotAnError pins the miss contract: absent records are
+// (ok=false, err=nil), not errors.
+func TestGetMissingIsNotAnError(t *testing.T) {
+	s := open(t)
+	_, ok, err := s.Get("fig8", "abc123def456")
+	if err != nil {
+		t.Fatalf("missing record should not error, got %v", err)
+	}
+	if ok {
+		t.Error("missing record reported ok=true")
+	}
+	if s.Has("fig8", "abc123def456") {
+		t.Error("Has reported a record that was never stored")
+	}
+}
+
+// TestPutOverwrites pins that Put replaces an existing record in place.
+func TestPutOverwrites(t *testing.T) {
+	s := open(t)
+	first := artifact("fig4", "aaaa00000000")
+	if _, err := s.Put(first); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	second := first
+	second.Trials = 9999
+	if _, err := s.Put(second); err != nil {
+		t.Fatalf("Put (overwrite): %v", err)
+	}
+	got, ok, err := s.Get("fig4", "aaaa00000000")
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%t err=%v", ok, err)
+	}
+	if got.Trials != 9999 {
+		t.Errorf("overwrite did not take: trials = %d, want 9999", got.Trials)
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Errorf("Len = %d (err %v), want 1 after overwrite", n, err)
+	}
+}
+
+// TestCorruptRecordSurfacesClearError pins the corruption contract:
+// a truncated or garbage record is an error naming the file and the
+// recovery path, never a silent miss or bogus hit.
+func TestCorruptRecordSurfacesClearError(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		content string
+	}{
+		{"truncated", `{"name": "fig8", "config_fi`},
+		{"garbage", "not json at all"},
+		{"empty", ""},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := open(t)
+			a := artifact("fig8", "abc123def456")
+			path, err := s.Put(a)
+			if err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			if err := os.WriteFile(path, []byte(tc.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, ok, err := s.Get("fig8", "abc123def456")
+			if err == nil {
+				t.Fatalf("corrupt record returned ok=%t with nil error", ok)
+			}
+			if !strings.Contains(err.Error(), path) {
+				t.Errorf("error should name the offending file %s: %v", path, err)
+			}
+			if !strings.Contains(err.Error(), "delete the file") {
+				t.Errorf("error should explain recovery: %v", err)
+			}
+		})
+	}
+}
+
+// TestMismatchedRecordIsAnError pins the self-check: a record whose
+// body identifies as a different key (hand-edited, or renamed into the
+// wrong slot) is rejected rather than served.
+func TestMismatchedRecordIsAnError(t *testing.T) {
+	s := open(t)
+	a := artifact("fig8", "abc123def456")
+	path, err := s.Put(a)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// Rename the valid record into a different key's slot.
+	wrong := filepath.Join(s.Dir(), store.Key("fig8", "000000000000")+".json")
+	if err := os.Rename(path, wrong); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = s.Get("fig8", "000000000000")
+	if err == nil {
+		t.Fatal("mismatched record should error")
+	}
+	if !strings.Contains(err.Error(), "identifies as") {
+		t.Errorf("error should describe the identity mismatch: %v", err)
+	}
+}
+
+// TestKeysSortedAndFiltered pins Keys: sorted record keys, ignoring
+// temp files and strays.
+func TestKeysSortedAndFiltered(t *testing.T) {
+	s := open(t)
+	for _, k := range [][2]string{{"fig8", "bbbb00000000"}, {"fig4", "aaaa00000000"}} {
+		if _, err := s.Put(artifact(k[0], k[1])); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	// Strays that Keys must skip.
+	for _, stray := range []string{".hidden.tmp-1", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(s.Dir(), stray), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatalf("Keys: %v", err)
+	}
+	want := []string{"fig4-aaaa00000000", "fig8-bbbb00000000"}
+	if !reflect.DeepEqual(keys, want) {
+		t.Errorf("Keys = %v, want %v", keys, want)
+	}
+}
+
+// TestInvalidKeysRejected pins that path-escaping key components are
+// refused everywhere rather than touching the filesystem.
+func TestInvalidKeysRejected(t *testing.T) {
+	s := open(t)
+	bad := artifact("../escape", "abc123def456")
+	if _, err := s.Put(bad); err == nil {
+		t.Error("Put accepted a path-escaping name")
+	}
+	if _, _, err := s.Get("fig8", "../../etc/passwd"); err == nil {
+		t.Error("Get accepted a path-escaping fingerprint")
+	}
+	if s.Has("", "") {
+		t.Error("Has accepted empty key components")
+	}
+	if _, err := s.Put(experiment.Artifact{Name: "fig8"}); err == nil {
+		t.Error("Put accepted an artifact with an empty fingerprint")
+	}
+}
+
+// TestOpenRejectsEmptyDir pins Open's argument validation.
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := store.Open(""); err == nil {
+		t.Error("Open(\"\") should error")
+	}
+}

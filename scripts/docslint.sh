@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# docslint: fail if any Go package in the module lacks a package
+# comment. Library packages need a "// Package <name> ..." comment;
+# main packages need a "// Command <name> ..." (cmd/) or capitalised
+# leading comment (examples/). Run from the repository root.
+set -euo pipefail
+
+fail=0
+while read -r dir pkg; do
+	case "$pkg" in
+	main)
+		# A doc comment must immediately precede the package clause in
+		# at least one file.
+		if ! awk 'prev ~ /^\/\// && $0 == "package main" {found=1} {prev=$0} END {exit !found}' \
+			"$dir"/*.go 2>/dev/null; then
+			echo "docslint: $dir: no doc comment adjacent to 'package main'" >&2
+			fail=1
+		fi
+		;;
+	*)
+		if ! grep -lq "^// Package $pkg " "$dir"/*.go >/dev/null 2>&1; then
+			echo "docslint: $dir: missing '// Package $pkg ...' comment" >&2
+			fail=1
+		fi
+		;;
+	esac
+done < <(go list -f '{{.Dir}} {{.Name}}' ./...)
+
+if [ "$fail" -ne 0 ]; then
+	echo "docslint: FAIL — every package must carry a package comment (see ARCHITECTURE.md)" >&2
+	exit 1
+fi
+echo "docslint: OK — every package documents itself"
