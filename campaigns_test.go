@@ -115,3 +115,48 @@ func TestParseCampaignShardFacade(t *testing.T) {
 		t.Error("malformed shard should error")
 	}
 }
+
+// TestStoreAdminFacade drives the new store admin surface end to end
+// through the public API: an in-memory campaign, a verify pass, a
+// backup to a filesystem directory, and a restore into a second mem
+// store — plus the filesystem-only verbs rejecting the mem backend.
+func TestStoreAdminFacade(t *testing.T) {
+	st := chipletqc.OpenMemStore()
+	plan := chipletqc.CampaignPlan{Experiments: []string{"fig2"}, Seed: 3, Quick: true}
+	if _, err := chipletqc.RunCampaign(context.Background(), plan, chipletqc.CampaignOptions{Store: st}); err != nil {
+		t.Fatalf("RunCampaign: %v", err)
+	}
+
+	rep, err := chipletqc.VerifyStore(st)
+	if err != nil {
+		t.Fatalf("VerifyStore: %v", err)
+	}
+	if !rep.OK() || rep.Checked != 1 {
+		t.Fatalf("verify: %+v, want 1 clean record", rep)
+	}
+
+	bak := t.TempDir()
+	if n, err := chipletqc.BackupStore(st, bak); err != nil || n != 1 {
+		t.Fatalf("BackupStore: n=%d err=%v", n, err)
+	}
+	second := chipletqc.OpenMemStore()
+	if n, err := chipletqc.RestoreStore(second, bak); err != nil || n != 1 {
+		t.Fatalf("RestoreStore: n=%d err=%v", n, err)
+	}
+	// The restored store serves the same campaign without executing.
+	warm, err := chipletqc.RunCampaign(context.Background(), plan, chipletqc.CampaignOptions{Store: second})
+	if err != nil {
+		t.Fatalf("warm RunCampaign: %v", err)
+	}
+	if warm.Executed != 0 || warm.Cached != 1 {
+		t.Errorf("restored store: executed %d cached %d, want 0/1", warm.Executed, warm.Cached)
+	}
+
+	// Filesystem-bound verbs reject other backends instead of lying.
+	if _, err := chipletqc.PruneStore(st); err == nil {
+		t.Error("PruneStore on a mem store should error")
+	}
+	if _, err := chipletqc.GCStore(st, chipletqc.StoreGCPolicy{MaxRecords: 1}); err == nil {
+		t.Error("GCStore on a mem store should error")
+	}
+}

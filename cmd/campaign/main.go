@@ -15,6 +15,17 @@
 //	campaign ... -resume=false                  # force re-execution, overwriting stored cells
 //	campaign ... -json                          # machine-readable report on stdout
 //
+// Store administration (each runs instead of a campaign; exactly one
+// admin verb per invocation):
+//
+//	campaign -store artifacts -verify           # audit every record; exit 1 naming bad files
+//	campaign -store artifacts -backup dir       # snapshot every record into dir
+//	campaign -store artifacts -restore dir      # copy a snapshot's records back, healing bad ones
+//	campaign -store artifacts -prune            # delete broken records, strays, stale temps
+//	campaign -store artifacts -gc -gc-keep 100  # evict least-recently-read records over the cap
+//	campaign -store artifacts -pin nightly      # protect this grid's records from -gc
+//	campaign -store artifacts -unpin nightly    # release that protection
+//
 // Interrupting the process (SIGINT/SIGTERM) cancels the in-flight
 // cells promptly; completed cells stay in the store and are skipped on
 // the next invocation.
@@ -73,6 +84,17 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		list        = fs.Bool("list", false, "print the expanded cell grid with store hit/miss status and exit")
 		jsonOut     = fs.Bool("json", false, "write the campaign report as JSON to stdout instead of text")
 		progress    = fs.Bool("progress", false, "stream per-cell events to the error stream")
+
+		// Store admin verbs: each runs instead of a campaign.
+		verify     = fs.Bool("verify", false, "admin: audit every store record (decode + identity cross-check); exit 1 naming bad files")
+		backupDir  = fs.String("backup", "", "admin: snapshot every store record into this `directory`")
+		restoreDir = fs.String("restore", "", "admin: copy records from this backup `directory` into the store, healing bad records")
+		prune      = fs.Bool("prune", false, "admin: delete broken records, stray files, and stale temp files from the store")
+		gcRun      = fs.Bool("gc", false, "admin: evict least-recently-read unpinned records until -gc-keep/-gc-max-bytes hold")
+		gcKeep     = fs.Int("gc-keep", 0, "-gc record-count cap (0 = no count cap)")
+		gcMaxBytes = fs.Int64("gc-max-bytes", 0, "-gc total-size cap in bytes (0 = no size cap)")
+		pin        = fs.String("pin", "", "admin: pin this plan's stored cells under `label`, protecting them from -gc")
+		unpin      = fs.String("unpin", "", "admin: remove every pin carrying `label` from the store")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -95,11 +117,36 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		plan.Overrides = []campaign.Override{{Precision: *precision, MaxTrials: *maxTrials}}
 	}
 
-	var st *store.Store
+	admin := adminRequest{
+		verify:  *verify,
+		backup:  *backupDir,
+		restore: *restoreDir,
+		prune:   *prune,
+		gc:      *gcRun,
+		policy:  store.GCPolicy{MaxRecords: *gcKeep, MaxBytes: *gcMaxBytes},
+		pin:     *pin,
+		unpin:   *unpin,
+	}
+	if n := admin.verbs(); n > 0 {
+		if n > 1 {
+			fmt.Fprintln(errw, "campaign: pick exactly one admin verb (-verify, -backup, -restore, -prune, -gc, -pin, -unpin)")
+			return errUsage
+		}
+		if *storeDir == "" {
+			fmt.Fprintln(errw, "campaign: store admin verbs need -store")
+			return errUsage
+		}
+		return runAdmin(*storeDir, admin, plan, shard, out)
+	}
+
+	var st store.Store
 	if *storeDir != "" {
-		if st, err = store.Open(*storeDir); err != nil {
+		fsStore, err := store.Open(*storeDir)
+		if err != nil {
 			return err
 		}
+		defer fsStore.Close()
+		st = fsStore
 	}
 
 	if *list {
@@ -133,7 +180,7 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	}
 	where := "no store"
 	if st != nil {
-		where = "store " + st.Dir()
+		where = "store " + *storeDir
 	}
 	shardNote := ""
 	if s := rep.Shard; s != "" {
@@ -157,7 +204,7 @@ func splitNames(s string) []string {
 
 // listCells renders the dry-run grid view: every cell of this shard
 // with its store key and hit/miss status.
-func listCells(plan campaign.Plan, shard campaign.Shard, st *store.Store, out io.Writer) error {
+func listCells(plan campaign.Plan, shard campaign.Shard, st store.Store, out io.Writer) error {
 	grid, err := campaign.Expand(plan)
 	if err != nil {
 		return err
@@ -185,6 +232,135 @@ func writeJSON(w io.Writer, rep campaign.Report) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// adminRequest collects the store admin flags; at most one verb may be
+// set per invocation, because each verb is a complete program.
+type adminRequest struct {
+	verify  bool
+	backup  string
+	restore string
+	prune   bool
+	gc      bool
+	policy  store.GCPolicy
+	pin     string
+	unpin   string
+}
+
+// verbs counts how many admin verbs the invocation selected.
+func (a adminRequest) verbs() int {
+	n := 0
+	for _, on := range []bool{a.verify, a.backup != "", a.restore != "", a.prune, a.gc, a.pin != "", a.unpin != ""} {
+		if on {
+			n++
+		}
+	}
+	return n
+}
+
+// runAdmin opens the store and dispatches the one selected admin verb.
+func runAdmin(dir string, a adminRequest, plan campaign.Plan, shard campaign.Shard, out io.Writer) error {
+	st, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	switch {
+	case a.verify:
+		return verifyStore(st, out)
+	case a.backup != "":
+		n, err := st.Backup(a.backup)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "store %s: backed up %d records to %s\n", dir, n, a.backup)
+		return nil
+	case a.restore != "":
+		n, err := st.Restore(a.restore)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "store %s: restored %d records from %s\n", dir, n, a.restore)
+		return nil
+	case a.prune:
+		rep, err := st.Prune()
+		if err != nil {
+			return err
+		}
+		for _, key := range rep.RemovedRecords {
+			fmt.Fprintf(out, "pruned record %s\n", key)
+		}
+		for _, name := range rep.RemovedStrays {
+			fmt.Fprintf(out, "pruned stray  %s\n", name)
+		}
+		fmt.Fprintf(out, "store %s: %d records checked, %d broken records, %d strays, %d stale temps removed\n",
+			dir, rep.Checked, len(rep.RemovedRecords), len(rep.RemovedStrays), rep.RemovedTemps)
+		return nil
+	case a.gc:
+		rep, err := st.GC(a.policy)
+		if err != nil {
+			return err
+		}
+		for _, key := range rep.EvictedKeys {
+			fmt.Fprintf(out, "evicted %s\n", key)
+		}
+		fmt.Fprintf(out, "store %s: evicted %d of %d records (%d pinned), freed %d bytes, kept %d (%d bytes)\n",
+			dir, rep.Evicted, rep.Examined, rep.Pinned, rep.FreedBytes, rep.Kept, rep.KeptBytes)
+		return nil
+	case a.pin != "":
+		return pinCells(st, plan, shard, a.pin, out)
+	case a.unpin != "":
+		n, err := st.Unpin(a.unpin)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "store %s: released %d pins labelled %q\n", dir, n, a.unpin)
+		return nil
+	}
+	return nil
+}
+
+// verifyStore audits every record and renders the findings; any issue
+// fails the invocation so scripts can gate on the exit status.
+func verifyStore(st *store.FS, out io.Writer) error {
+	rep, err := store.Verify(st)
+	if err != nil {
+		return err
+	}
+	for _, issue := range rep.Issues {
+		fmt.Fprintf(out, "BAD %-30s %s: %s\n", issue.Key, issue.Location, issue.Detail)
+	}
+	if !rep.OK() {
+		return fmt.Errorf("store: verify found %d issues across %d records (restore from a backup, or -prune / delete the files above)",
+			len(rep.Issues), rep.Checked)
+	}
+	fmt.Fprintf(out, "store %s: %d records verified, 0 issues\n", st.Dir(), rep.Checked)
+	return nil
+}
+
+// pinCells pins every stored cell of this invocation's plan grid under
+// the label, so a later -gc keeps the campaign warm.
+func pinCells(st *store.FS, plan campaign.Plan, shard campaign.Shard, label string, out io.Writer) error {
+	grid, err := campaign.Expand(plan)
+	if err != nil {
+		return err
+	}
+	if err := shard.Validate(); err != nil {
+		return err
+	}
+	cells := shard.Filter(grid)
+	pinned := 0
+	for _, c := range cells {
+		if !st.Has(c.Experiment, c.Fingerprint) {
+			continue
+		}
+		if err := st.Pin(label, c.Experiment, c.Fingerprint); err != nil {
+			return err
+		}
+		pinned++
+	}
+	fmt.Fprintf(out, "store %s: pinned %d of %d cells under %q\n", st.Dir(), pinned, len(cells), label)
+	return nil
 }
 
 // eventPrinter serialises concurrent campaign events onto one stream.

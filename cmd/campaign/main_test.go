@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -197,5 +198,146 @@ func TestNoStoreRuns(t *testing.T) {
 	}
 	if !strings.Contains(out, "1 cells, 1 executed, 0 cached (no store)") {
 		t.Errorf("store-less summary wrong:\n%s", out)
+	}
+}
+
+// fillStore runs a tiny campaign into dir and returns one record path.
+func fillStore(t *testing.T, dir string) string {
+	t.Helper()
+	if _, _, err := runArgs(t, context.Background(),
+		"-quick", "-experiments", "fig2", "-store", dir); err != nil {
+		t.Fatalf("fill run: %v", err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "fig2-*.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("expected one fig2 record in %s, got %v (err %v)", dir, matches, err)
+	}
+	return matches[0]
+}
+
+// TestVerifyBackupRestoreCycle pins the admin workflow end to end: a
+// clean store verifies, a corrupted record fails -verify naming the
+// file, and -restore from a -backup heals it.
+func TestVerifyBackupRestoreCycle(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	bak := filepath.Join(t.TempDir(), "bak")
+	record := fillStore(t, dir)
+
+	out, _, err := runArgs(t, context.Background(), "-store", dir, "-verify")
+	if err != nil {
+		t.Fatalf("verify of a clean store failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "0 issues") {
+		t.Errorf("clean verify output wrong:\n%s", out)
+	}
+
+	out, _, err = runArgs(t, context.Background(), "-store", dir, "-backup", bak)
+	if err != nil {
+		t.Fatalf("backup: %v", err)
+	}
+	if !strings.Contains(out, "backed up 1 records") {
+		t.Errorf("backup output wrong:\n%s", out)
+	}
+
+	if err := os.WriteFile(record, []byte("{corrupted"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err = runArgs(t, context.Background(), "-store", dir, "-verify")
+	if err == nil {
+		t.Fatalf("verify should fail on a corrupt store:\n%s", out)
+	}
+	if !strings.Contains(out, record) {
+		t.Errorf("verify should name the corrupt file %s:\n%s", record, out)
+	}
+
+	if _, _, err = runArgs(t, context.Background(), "-store", dir, "-restore", bak); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if out, _, err = runArgs(t, context.Background(), "-store", dir, "-verify"); err != nil {
+		t.Fatalf("verify after restore: %v\n%s", err, out)
+	}
+	// The healed store serves the campaign without re-executing.
+	out, _, err = runArgs(t, context.Background(), "-quick", "-experiments", "fig2", "-store", dir)
+	if err != nil {
+		t.Fatalf("warm run after restore: %v", err)
+	}
+	if !strings.Contains(out, "1 cells, 0 executed, 1 cached") {
+		t.Errorf("restored store should serve the campaign:\n%s", out)
+	}
+}
+
+// TestPruneRemovesPlantedJunk pins -prune through the CLI: a corrupt
+// record and a stray file disappear; the next run re-executes only the
+// pruned cell.
+func TestPruneRemovesPlantedJunk(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	record := fillStore(t, dir)
+	if err := os.WriteFile(record, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Only .json strays are pruned — arbitrary user files are left alone.
+	if err := os.WriteFile(filepath.Join(dir, "NOT-A-RECORD.json"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := runArgs(t, context.Background(), "-store", dir, "-prune")
+	if err != nil {
+		t.Fatalf("prune: %v", err)
+	}
+	if !strings.Contains(out, "1 broken records, 1 strays") {
+		t.Errorf("prune summary wrong:\n%s", out)
+	}
+	if _, err := os.Stat(record); !os.IsNotExist(err) {
+		t.Errorf("pruned record still present: %v", err)
+	}
+	if out, _, err := runArgs(t, context.Background(), "-store", dir, "-verify"); err != nil {
+		t.Errorf("verify after prune: %v\n%s", err, out)
+	}
+}
+
+// TestGCPinCycle pins -pin/-gc/-unpin: a pinned cell survives an
+// evict-everything GC, and -unpin releases it.
+func TestGCPinCycle(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	base := []string{"-quick", "-experiments", "fig2,eq1", "-store", dir}
+	if _, _, err := runArgs(t, context.Background(), base...); err != nil {
+		t.Fatalf("fill run: %v", err)
+	}
+	pinArgs := []string{"-quick", "-experiments", "fig2", "-store", dir, "-pin", "keep"}
+	out, _, err := runArgs(t, context.Background(), pinArgs...)
+	if err != nil {
+		t.Fatalf("pin: %v", err)
+	}
+	if !strings.Contains(out, `pinned 1 of 1 cells under "keep"`) {
+		t.Errorf("pin output wrong:\n%s", out)
+	}
+	out, _, err = runArgs(t, context.Background(), "-store", dir, "-gc", "-gc-keep", "1")
+	if err != nil {
+		t.Fatalf("gc: %v", err)
+	}
+	if !strings.Contains(out, "evicted eq1-") || strings.Contains(out, "evicted fig2-") {
+		t.Errorf("gc should evict the unpinned eq1 record only:\n%s", out)
+	}
+	out, _, err = runArgs(t, context.Background(), "-store", dir, "-unpin", "keep")
+	if err != nil {
+		t.Fatalf("unpin: %v", err)
+	}
+	if !strings.Contains(out, `released 1 pins labelled "keep"`) {
+		t.Errorf("unpin output wrong:\n%s", out)
+	}
+}
+
+// TestAdminVerbValidation pins the admin UX guards: verbs are mutually
+// exclusive and need a store.
+func TestAdminVerbValidation(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	if _, errs, err := runArgs(t, context.Background(), "-store", dir, "-verify", "-prune"); err == nil {
+		t.Error("two admin verbs should be a usage error")
+	} else if !strings.Contains(errs, "exactly one admin verb") {
+		t.Errorf("error stream should explain the verb rule:\n%s", errs)
+	}
+	if _, errs, err := runArgs(t, context.Background(), "-store", "", "-verify"); err == nil {
+		t.Error("admin verb without a store should be a usage error")
+	} else if !strings.Contains(errs, "need -store") {
+		t.Errorf("error stream should demand -store:\n%s", errs)
 	}
 }

@@ -70,7 +70,7 @@ func plan2x2(seed int64) campaign.Plan {
 	}
 }
 
-func openStore(t *testing.T) *store.Store {
+func openStore(t *testing.T) *store.FS {
 	t.Helper()
 	s, err := store.Open(t.TempDir())
 	if err != nil {
@@ -79,93 +79,111 @@ func openStore(t *testing.T) *store.Store {
 	return s
 }
 
-// TestWarmStoreExecutesZero pins the headline cache contract: an
-// identical campaign against a warm store executes nothing and returns
-// the stored artifacts byte-for-byte.
+// forEachBackend runs the test body once per store backend. The
+// campaign engine depends only on the store.Store interface, so its
+// cache semantics must hold identically on every backend.
+func forEachBackend(t *testing.T, body func(t *testing.T, open func(t *testing.T) store.Store)) {
+	t.Run("fs", func(t *testing.T) {
+		body(t, func(t *testing.T) store.Store { return openStore(t) })
+	})
+	t.Run("mem", func(t *testing.T) {
+		body(t, func(t *testing.T) store.Store { return store.OpenMem() })
+	})
+}
+
+// TestWarmStoreExecutesZero pins the headline cache contract on every
+// backend: an identical campaign against a warm store executes nothing
+// and returns the stored artifacts byte-for-byte.
 func TestWarmStoreExecutesZero(t *testing.T) {
-	snapshot := resetExecLog()
-	st := openStore(t)
-	plan := plan2x2(1)
+	forEachBackend(t, func(t *testing.T, open func(t *testing.T) store.Store) {
+		snapshot := resetExecLog()
+		st := open(t)
+		plan := plan2x2(1)
 
-	first, err := campaign.Run(context.Background(), plan, campaign.Options{Store: st})
-	if err != nil {
-		t.Fatalf("first run: %v", err)
-	}
-	if first.Executed != 4 || first.Cached != 0 {
-		t.Fatalf("cold run: executed %d cached %d, want 4/0", first.Executed, first.Cached)
-	}
-	if got := snapshot(); len(got) != 4 {
-		t.Fatalf("cold run simulated %d cells, want 4: %v", len(got), got)
-	}
+		first, err := campaign.Run(context.Background(), plan, campaign.Options{Store: st})
+		if err != nil {
+			t.Fatalf("first run: %v", err)
+		}
+		if first.Executed != 4 || first.Cached != 0 {
+			t.Fatalf("cold run: executed %d cached %d, want 4/0", first.Executed, first.Cached)
+		}
+		if got := snapshot(); len(got) != 4 {
+			t.Fatalf("cold run simulated %d cells, want 4: %v", len(got), got)
+		}
 
-	second, err := campaign.Run(context.Background(), plan, campaign.Options{Store: st})
-	if err != nil {
-		t.Fatalf("second run: %v", err)
-	}
-	if second.Executed != 0 || second.Cached != 4 {
-		t.Errorf("warm run: executed %d cached %d, want 0/4", second.Executed, second.Cached)
-	}
-	if got := snapshot(); len(got) != 4 {
-		t.Errorf("warm run simulated %d extra cells: %v", len(got)-4, got[4:])
-	}
-	// Byte-identical artifacts: the warm run returns what the cold run
-	// stored, including wall time and payload.
-	for i := range first.Cells {
-		a, _ := json.Marshal(first.Cells[i].Artifact)
-		b, _ := json.Marshal(second.Cells[i].Artifact)
-		if string(a) != string(b) {
-			t.Errorf("cell %s artifact changed through the store:\ncold %s\nwarm %s",
-				first.Cells[i].Cell.ID(), a, b)
+		second, err := campaign.Run(context.Background(), plan, campaign.Options{Store: st})
+		if err != nil {
+			t.Fatalf("second run: %v", err)
 		}
-		if !second.Cells[i].Cached {
-			t.Errorf("cell %s not marked cached on the warm run", second.Cells[i].Cell.ID())
+		if second.Executed != 0 || second.Cached != 4 {
+			t.Errorf("warm run: executed %d cached %d, want 0/4", second.Executed, second.Cached)
 		}
-	}
+		if got := snapshot(); len(got) != 4 {
+			t.Errorf("warm run simulated %d extra cells: %v", len(got)-4, got[4:])
+		}
+		// Byte-identical artifacts: the warm run returns what the cold run
+		// stored, including wall time and payload.
+		for i := range first.Cells {
+			a, _ := json.Marshal(first.Cells[i].Artifact)
+			b, _ := json.Marshal(second.Cells[i].Artifact)
+			if string(a) != string(b) {
+				t.Errorf("cell %s artifact changed through the store:\ncold %s\nwarm %s",
+					first.Cells[i].Cell.ID(), a, b)
+			}
+			if !second.Cells[i].Cached {
+				t.Errorf("cell %s not marked cached on the warm run", second.Cells[i].Cell.ID())
+			}
+		}
+	})
 }
 
 // TestFingerprintMismatchReruns pins that any fingerprint-relevant
 // change — here the seed — misses the cache and re-simulates.
 func TestFingerprintMismatchReruns(t *testing.T) {
-	snapshot := resetExecLog()
-	st := openStore(t)
+	forEachBackend(t, func(t *testing.T, open func(t *testing.T) store.Store) {
+		snapshot := resetExecLog()
+		st := open(t)
 
-	if _, err := campaign.Run(context.Background(), plan2x2(1), campaign.Options{Store: st}); err != nil {
-		t.Fatalf("seed-1 run: %v", err)
-	}
-	rep, err := campaign.Run(context.Background(), plan2x2(2), campaign.Options{Store: st})
-	if err != nil {
-		t.Fatalf("seed-2 run: %v", err)
-	}
-	if rep.Executed != 4 || rep.Cached != 0 {
-		t.Errorf("changed seed: executed %d cached %d, want 4/0", rep.Executed, rep.Cached)
-	}
-	if got := snapshot(); len(got) != 8 {
-		t.Errorf("total executions %d, want 8 (4 per distinct seed)", len(got))
-	}
-	if n, _ := st.Len(); n != 8 {
-		t.Errorf("store holds %d records, want 8 distinct keys", n)
-	}
+		if _, err := campaign.Run(context.Background(), plan2x2(1), campaign.Options{Store: st}); err != nil {
+			t.Fatalf("seed-1 run: %v", err)
+		}
+		rep, err := campaign.Run(context.Background(), plan2x2(2), campaign.Options{Store: st})
+		if err != nil {
+			t.Fatalf("seed-2 run: %v", err)
+		}
+		if rep.Executed != 4 || rep.Cached != 0 {
+			t.Errorf("changed seed: executed %d cached %d, want 4/0", rep.Executed, rep.Cached)
+		}
+		if got := snapshot(); len(got) != 8 {
+			t.Errorf("total executions %d, want 8 (4 per distinct seed)", len(got))
+		}
+		if n, _ := st.Len(); n != 8 {
+			t.Errorf("store holds %d records, want 8 distinct keys", n)
+		}
+	})
 }
 
 // TestForceReexecutes pins Options.Force: every cell runs even against
 // a warm store, and the store is refreshed.
 func TestForceReexecutes(t *testing.T) {
-	snapshot := resetExecLog()
-	st := openStore(t)
-	plan := plan2x2(1)
-	if _, err := campaign.Run(context.Background(), plan, campaign.Options{Store: st}); err != nil {
-		t.Fatalf("cold run: %v", err)
-	}
-	rep, err := campaign.Run(context.Background(), plan, campaign.Options{Store: st, Force: true})
-	if err != nil {
-		t.Fatalf("forced run: %v", err)
-	}
-	if rep.Executed != 4 || rep.Cached != 0 {
-		t.Errorf("forced run: executed %d cached %d, want 4/0", rep.Executed, rep.Cached)
-	}
-	if got := snapshot(); len(got) != 8 {
-		t.Errorf("forced run should have re-simulated all 4 cells, log: %v", got)
-	}
+	forEachBackend(t, func(t *testing.T, open func(t *testing.T) store.Store) {
+		snapshot := resetExecLog()
+		st := open(t)
+		plan := plan2x2(1)
+		if _, err := campaign.Run(context.Background(), plan, campaign.Options{Store: st}); err != nil {
+			t.Fatalf("cold run: %v", err)
+		}
+		rep, err := campaign.Run(context.Background(), plan, campaign.Options{Store: st, Force: true})
+		if err != nil {
+			t.Fatalf("forced run: %v", err)
+		}
+		if rep.Executed != 4 || rep.Cached != 0 {
+			t.Errorf("forced run: executed %d cached %d, want 4/0", rep.Executed, rep.Cached)
+		}
+		if got := snapshot(); len(got) != 8 {
+			t.Errorf("forced run should have re-simulated all 4 cells, log: %v", got)
+		}
+	})
 }
 
 // TestNoStoreRunsEverything pins that a store-less campaign still works
@@ -185,63 +203,65 @@ func TestNoStoreRunsEverything(t *testing.T) {
 // midway persists its completed cells, and re-running the same plan
 // executes only the missing ones.
 func TestInterruptResume(t *testing.T) {
-	snapshot := resetExecLog()
-	st := openStore(t)
-	plan := plan2x2(1)
+	forEachBackend(t, func(t *testing.T, open func(t *testing.T) store.Store) {
+		snapshot := resetExecLog()
+		st := open(t)
+		plan := plan2x2(1)
 
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	var done int
-	var sawError bool
-	_, err := campaign.Run(ctx, plan, campaign.Options{
-		Store:   st,
-		Workers: 1, // serial: cells complete in grid order
-		Progress: func(e campaign.Event) {
-			if e.Phase == campaign.PhaseError {
-				sawError = true
-			}
-			if e.Phase == campaign.PhaseDone {
-				if done++; done == 2 {
-					cancel() // interrupt after the second cell lands
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		var done int
+		var sawError bool
+		_, err := campaign.Run(ctx, plan, campaign.Options{
+			Store:   st,
+			Workers: 1, // serial: cells complete in grid order
+			Progress: func(e campaign.Event) {
+				if e.Phase == campaign.PhaseError {
+					sawError = true
+				}
+				if e.Phase == campaign.PhaseDone {
+					if done++; done == 2 {
+						cancel() // interrupt after the second cell lands
+					}
+				}
+			},
+		})
+		if err != context.Canceled {
+			t.Fatalf("interrupted run returned %v, want context.Canceled", err)
+		}
+		if sawError {
+			t.Error("cancellation must not masquerade as cell errors in the event stream")
+		}
+		if n, _ := st.Len(); n != 2 {
+			t.Fatalf("store holds %d records after interruption, want 2", n)
+		}
+		firstPass := snapshot()
+		if len(firstPass) != 2 {
+			t.Fatalf("interrupted run simulated %d cells, want 2: %v", len(firstPass), firstPass)
+		}
+
+		rep, err := campaign.Run(context.Background(), plan, campaign.Options{Store: st})
+		if err != nil {
+			t.Fatalf("resume run: %v", err)
+		}
+		if rep.Executed != 2 || rep.Cached != 2 {
+			t.Errorf("resume: executed %d cached %d, want 2/2", rep.Executed, rep.Cached)
+		}
+		// The resumed executions are exactly the cells the first pass never
+		// reached — no overlap.
+		all := snapshot()
+		resumed := all[len(firstPass):]
+		for _, r := range resumed {
+			for _, f := range firstPass {
+				if r == f {
+					t.Errorf("cell %s re-executed on resume", r)
 				}
 			}
-		},
-	})
-	if err != context.Canceled {
-		t.Fatalf("interrupted run returned %v, want context.Canceled", err)
-	}
-	if sawError {
-		t.Error("cancellation must not masquerade as cell errors in the event stream")
-	}
-	if n, _ := st.Len(); n != 2 {
-		t.Fatalf("store holds %d records after interruption, want 2", n)
-	}
-	firstPass := snapshot()
-	if len(firstPass) != 2 {
-		t.Fatalf("interrupted run simulated %d cells, want 2: %v", len(firstPass), firstPass)
-	}
-
-	rep, err := campaign.Run(context.Background(), plan, campaign.Options{Store: st})
-	if err != nil {
-		t.Fatalf("resume run: %v", err)
-	}
-	if rep.Executed != 2 || rep.Cached != 2 {
-		t.Errorf("resume: executed %d cached %d, want 2/2", rep.Executed, rep.Cached)
-	}
-	// The resumed executions are exactly the cells the first pass never
-	// reached — no overlap.
-	all := snapshot()
-	resumed := all[len(firstPass):]
-	for _, r := range resumed {
-		for _, f := range firstPass {
-			if r == f {
-				t.Errorf("cell %s re-executed on resume", r)
-			}
 		}
-	}
-	if n, _ := st.Len(); n != 4 {
-		t.Errorf("store holds %d records after resume, want 4", n)
-	}
+		if n, _ := st.Len(); n != 4 {
+			t.Errorf("store holds %d records after resume, want 4", n)
+		}
+	})
 }
 
 // TestShardPartitionsDisjointExhaustive pins the shard algebra over a
@@ -285,45 +305,47 @@ func TestShardPartitionsDisjointExhaustive(t *testing.T) {
 // 0/2 + shard 1/2 into one store produce the same store contents as an
 // unsharded run into another.
 func TestShardedRunsMatchUnsharded(t *testing.T) {
-	resetExecLog()
-	plan := plan2x2(1)
-	sharded, unsharded := openStore(t), openStore(t)
+	forEachBackend(t, func(t *testing.T, open func(t *testing.T) store.Store) {
+		resetExecLog()
+		plan := plan2x2(1)
+		sharded, unsharded := open(t), open(t)
 
-	for i := 0; i < 2; i++ {
-		rep, err := campaign.Run(context.Background(), plan, campaign.Options{
-			Store: sharded,
-			Shard: campaign.Shard{Index: i, Count: 2},
-		})
-		if err != nil {
-			t.Fatalf("shard %d/2: %v", i, err)
+		for i := 0; i < 2; i++ {
+			rep, err := campaign.Run(context.Background(), plan, campaign.Options{
+				Store: sharded,
+				Shard: campaign.Shard{Index: i, Count: 2},
+			})
+			if err != nil {
+				t.Fatalf("shard %d/2: %v", i, err)
+			}
+			if rep.Total != 2 || rep.GridSize != 4 || rep.Executed != 2 {
+				t.Errorf("shard %d/2: total %d grid %d executed %d, want 2/4/2",
+					i, rep.Total, rep.GridSize, rep.Executed)
+			}
 		}
-		if rep.Total != 2 || rep.GridSize != 4 || rep.Executed != 2 {
-			t.Errorf("shard %d/2: total %d grid %d executed %d, want 2/4/2",
-				i, rep.Total, rep.GridSize, rep.Executed)
+		if _, err := campaign.Run(context.Background(), plan, campaign.Options{Store: unsharded}); err != nil {
+			t.Fatalf("unsharded: %v", err)
 		}
-	}
-	if _, err := campaign.Run(context.Background(), plan, campaign.Options{Store: unsharded}); err != nil {
-		t.Fatalf("unsharded: %v", err)
-	}
 
-	a, _ := sharded.Keys()
-	b, _ := unsharded.Keys()
-	if !reflect.DeepEqual(a, b) {
-		t.Fatalf("store keys diverge:\nsharded   %v\nunsharded %v", a, b)
-	}
-	// Same artifacts under every key, compared on the byte-stable text
-	// rendering (wall time legitimately differs between the runs).
-	grid, _ := campaign.Expand(plan)
-	for _, c := range grid {
-		x, okx, errx := sharded.Get(c.Experiment, c.Fingerprint)
-		y, oky, erry := unsharded.Get(c.Experiment, c.Fingerprint)
-		if errx != nil || erry != nil || !okx || !oky {
-			t.Fatalf("cell %s: get sharded(%t,%v) unsharded(%t,%v)", c.ID(), okx, errx, oky, erry)
+		a, _ := sharded.Keys()
+		b, _ := unsharded.Keys()
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("store keys diverge:\nsharded   %v\nunsharded %v", a, b)
 		}
-		if x.String() != y.String() {
-			t.Errorf("cell %s: sharded and unsharded artifacts differ:\n%s\n---\n%s", c.ID(), x, y)
+		// Same artifacts under every key, compared on the byte-stable text
+		// rendering (wall time legitimately differs between the runs).
+		grid, _ := campaign.Expand(plan)
+		for _, c := range grid {
+			x, okx, errx := sharded.Get(c.Experiment, c.Fingerprint)
+			y, oky, erry := unsharded.Get(c.Experiment, c.Fingerprint)
+			if errx != nil || erry != nil || !okx || !oky {
+				t.Fatalf("cell %s: get sharded(%t,%v) unsharded(%t,%v)", c.ID(), okx, errx, oky, erry)
+			}
+			if x.String() != y.String() {
+				t.Errorf("cell %s: sharded and unsharded artifacts differ:\n%s\n---\n%s", c.ID(), x, y)
+			}
 		}
-	}
+	})
 }
 
 // TestExpandDeterministicOrder pins the grid order: experiments

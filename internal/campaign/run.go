@@ -37,9 +37,12 @@ type Event struct {
 
 // Options configures a campaign run.
 type Options struct {
-	// Store persists and serves cell artifacts; nil runs the campaign
-	// without persistence (every cell executes).
-	Store *store.Store
+	// Store persists and serves cell artifacts; any store.Store backend
+	// (filesystem, in-memory, or a third-party backend passing the
+	// storetest conformance suite) works, because the engine relies
+	// only on the fingerprint-keyed cache contract. nil runs the
+	// campaign without persistence (every cell executes).
+	Store store.Store
 	// Force executes every cell even when the store already holds its
 	// artifact, overwriting the stored record.
 	Force bool

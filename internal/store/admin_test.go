@@ -1,0 +1,383 @@
+package store_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"chipletqc/internal/store"
+	"chipletqc/internal/store/storetest"
+)
+
+// TestVerifyCleanStore pins the happy path on both backends: every
+// record checks out.
+func TestVerifyCleanStore(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		open func(t *testing.T) store.Store
+	}{
+		{"fs", func(t *testing.T) store.Store { return openFS(t) }},
+		{"mem", func(t *testing.T) store.Store { return store.OpenMem() }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.open(t)
+			for _, k := range [][2]string{{"fig4", "aaaa00000000"}, {"fig8", "bbbb00000000"}} {
+				if _, err := s.Put(storetest.Artifact(k[0], k[1])); err != nil {
+					t.Fatalf("Put: %v", err)
+				}
+			}
+			rep, err := store.Verify(s)
+			if err != nil {
+				t.Fatalf("Verify: %v", err)
+			}
+			if !rep.OK() || rep.Checked != 2 {
+				t.Errorf("clean store: checked %d issues %v", rep.Checked, rep.Issues)
+			}
+		})
+	}
+}
+
+// TestVerifyDetectsCorruptAndMiskeyed pins the acceptance criterion:
+// verify names a deliberately corrupted record and a deliberately
+// mis-keyed one (a valid record renamed into another key's slot), with
+// the offending file path in the issue.
+func TestVerifyDetectsCorruptAndMiskeyed(t *testing.T) {
+	s := openFS(t)
+	corruptPath, err := s.Put(storetest.Artifact("fig4", "aaaa00000000"))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	goodPath, err := s.Put(storetest.Artifact("fig8", "bbbb00000000"))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, err := s.Put(storetest.Artifact("eq1", "cccc00000000")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// Corrupt one record in place; mis-key another by copying it into a
+	// different key's slot.
+	if err := os.WriteFile(corruptPath, []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	miskeyed := filepath.Join(s.Dir(), store.Key("fig8", "dddd00000000")+".json")
+	if err := copyFile(t, goodPath, miskeyed); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := store.Verify(s)
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if rep.Checked != 4 {
+		t.Errorf("Verify checked %d records, want 4 (corrupt + miskeyed + 2 good)", rep.Checked)
+	}
+	if len(rep.Issues) != 2 {
+		t.Fatalf("Verify found %d issues, want 2: %+v", len(rep.Issues), rep.Issues)
+	}
+	var sawCorrupt, sawMiskeyed bool
+	for _, issue := range rep.Issues {
+		switch {
+		case strings.Contains(issue.Detail, corruptPath) && strings.Contains(issue.Detail, "corrupt record"):
+			sawCorrupt = true
+		case strings.Contains(issue.Detail, miskeyed) && strings.Contains(issue.Detail, "identifies as"):
+			sawMiskeyed = true
+		}
+	}
+	if !sawCorrupt {
+		t.Errorf("no issue names the corrupted file %s: %+v", corruptPath, rep.Issues)
+	}
+	if !sawMiskeyed {
+		t.Errorf("no issue names the mis-keyed file %s: %+v", miskeyed, rep.Issues)
+	}
+}
+
+// TestGCEvictsLRUAndHonorsPins pins the eviction policy: least
+// recently read records go first, and pinned records never go.
+func TestGCEvictsLRUAndHonorsPins(t *testing.T) {
+	s := openFS(t)
+	fingerprints := make([]string, 5)
+	for i := range fingerprints {
+		fingerprints[i] = fmt.Sprintf("%012x", i)
+		if _, err := s.Put(storetest.Artifact("fig4", fingerprints[i])); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	// Reads set recency in Put order, so record 0 is the coldest; pin
+	// it to a campaign anyway.
+	for _, fingerprint := range fingerprints {
+		if _, ok, err := s.Get("fig4", fingerprint); err != nil || !ok {
+			t.Fatalf("Get: ok=%t err=%v", ok, err)
+		}
+	}
+	if err := s.Pin("campaign-1", "fig4", fingerprints[0]); err != nil {
+		t.Fatalf("Pin: %v", err)
+	}
+
+	rep, err := s.GC(store.GCPolicy{MaxRecords: 2})
+	if err != nil {
+		t.Fatalf("GC: %v", err)
+	}
+	if rep.Evicted != 3 || rep.Kept != 2 || rep.Pinned != 1 {
+		t.Errorf("GC report: evicted %d kept %d pinned %d, want 3/2/1", rep.Evicted, rep.Kept, rep.Pinned)
+	}
+	// Survivors: the pinned coldest record and the hottest unpinned one.
+	for i, fingerprint := range fingerprints {
+		want := i == 0 || i == len(fingerprints)-1
+		if got := s.Has("fig4", fingerprint); got != want {
+			t.Errorf("record %d present = %t, want %t", i, got, want)
+		}
+	}
+
+	// Unpin and GC again: the pin was the only protection.
+	if n, err := s.Unpin("campaign-1"); err != nil || n != 1 {
+		t.Fatalf("Unpin released %d (err %v), want 1", n, err)
+	}
+	rep, err = s.GC(store.GCPolicy{MaxRecords: 1})
+	if err != nil {
+		t.Fatalf("GC: %v", err)
+	}
+	if rep.Evicted != 1 || s.Has("fig4", fingerprints[0]) {
+		t.Errorf("unpinned coldest record should be evicted: report %+v", rep)
+	}
+}
+
+// TestGCMaxBytes pins the byte budget: eviction stops once the kept
+// bytes fit.
+func TestGCMaxBytes(t *testing.T) {
+	s := openFS(t)
+	var recordBytes int64
+	for i := 0; i < 4; i++ {
+		path, err := s.Put(storetest.Artifact("fig4", fmt.Sprintf("%012x", i)))
+		if err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recordBytes = info.Size()
+	}
+	rep, err := s.GC(store.GCPolicy{MaxBytes: 2 * recordBytes})
+	if err != nil {
+		t.Fatalf("GC: %v", err)
+	}
+	if rep.Kept != 2 || rep.KeptBytes != 2*recordBytes || rep.FreedBytes != 2*recordBytes {
+		t.Errorf("byte-budget GC: %+v, want kept 2 records / %d bytes", rep, 2*recordBytes)
+	}
+}
+
+// TestPruneRemovesOnlyTheBroken pins prune: corrupt records, stray
+// .json files, and stale temps are removed; healthy records and young
+// temps survive.
+func TestPruneRemovesOnlyTheBroken(t *testing.T) {
+	s := openFS(t)
+	goodPath, err := s.Put(storetest.Artifact("fig4", "aaaa00000000"))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	corruptPath, err := s.Put(storetest.Artifact("fig8", "bbbb00000000"))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := os.WriteFile(corruptPath, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stray := filepath.Join(s.Dir(), "NOT-A-RECORD.json")
+	if err := os.WriteFile(stray, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	temp := filepath.Join(s.Dir(), ".fig2-eeee00000000.json.tmp-1")
+	if err := os.WriteFile(temp, []byte("{half"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(temp, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := s.Prune()
+	if err != nil {
+		t.Fatalf("Prune: %v", err)
+	}
+	if len(rep.RemovedRecords) != 1 || rep.RemovedRecords[0] != corruptPath {
+		t.Errorf("RemovedRecords = %v, want [%s]", rep.RemovedRecords, corruptPath)
+	}
+	if len(rep.RemovedStrays) != 1 || rep.RemovedStrays[0] != stray {
+		t.Errorf("RemovedStrays = %v, want [%s]", rep.RemovedStrays, stray)
+	}
+	if rep.RemovedTemps != 1 {
+		t.Errorf("RemovedTemps = %d, want 1", rep.RemovedTemps)
+	}
+	if _, err := os.Stat(goodPath); err != nil {
+		t.Errorf("healthy record removed by prune: %v", err)
+	}
+	if s.Has("fig8", "bbbb00000000") {
+		t.Error("pruned record still reported by Has")
+	}
+	if rep2, err := store.Verify(s); err != nil || !rep2.OK() {
+		t.Errorf("store should verify clean after prune: err=%v issues=%+v", err, rep2.Issues)
+	}
+}
+
+// TestBackupRestoreRoundTripsByteIdentically pins the snapshot
+// contract: backup copies every record byte-for-byte, and restoring
+// over a corrupted store heals it to exactly the original bytes.
+func TestBackupRestoreRoundTripsByteIdentically(t *testing.T) {
+	s := openFS(t)
+	paths := map[string]string{}
+	for _, k := range [][2]string{{"fig4", "aaaa00000000"}, {"fig8", "bbbb00000000"}, {"eq1", "cccc00000000"}} {
+		path, err := s.Put(storetest.Artifact(k[0], k[1]))
+		if err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		paths[store.Key(k[0], k[1])] = path
+	}
+	originals := map[string][]byte{}
+	for key, path := range paths {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		originals[key] = raw
+	}
+
+	backupDir := filepath.Join(t.TempDir(), "backup")
+	n, err := s.Backup(backupDir)
+	if err != nil || n != 3 {
+		t.Fatalf("Backup: n=%d err=%v, want 3 records", n, err)
+	}
+	for key := range paths {
+		raw, err := os.ReadFile(filepath.Join(backupDir, key+".json"))
+		if err != nil {
+			t.Fatalf("backup record %s: %v", key, err)
+		}
+		if !bytes.Equal(raw, originals[key]) {
+			t.Errorf("backup of %s is not byte-identical", key)
+		}
+	}
+
+	// Corrupt one record and delete another, then restore.
+	if err := os.WriteFile(paths["fig4-aaaa00000000"], []byte("{ruined"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(paths["eq1-cccc00000000"]); err != nil {
+		t.Fatal(err)
+	}
+	n, err = s.Restore(backupDir)
+	if err != nil || n != 3 {
+		t.Fatalf("Restore: n=%d err=%v, want 3 records", n, err)
+	}
+	for key, path := range paths {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("restored record %s: %v", key, err)
+		}
+		if !bytes.Equal(raw, originals[key]) {
+			t.Errorf("restored %s is not byte-identical to the original", key)
+		}
+	}
+	if rep, err := store.Verify(s); err != nil || !rep.OK() || rep.Checked != 3 {
+		t.Errorf("restored store should verify clean: err=%v report=%+v", err, rep)
+	}
+}
+
+// TestBackupOfMemStoreThroughInterface pins the generic path: a
+// non-filesystem backend backs up by re-serialising into a filesystem
+// store, which then restores into any backend.
+func TestBackupOfMemStoreThroughInterface(t *testing.T) {
+	mem := store.OpenMem()
+	want := storetest.Artifact("fig4", "aaaa00000000")
+	if _, err := mem.Put(want); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	dir := filepath.Join(t.TempDir(), "backup")
+	if n, err := store.Backup(mem, dir); err != nil || n != 1 {
+		t.Fatalf("Backup: n=%d err=%v", n, err)
+	}
+	fresh := store.OpenMem()
+	if n, err := store.Restore(fresh, dir); err != nil || n != 1 {
+		t.Fatalf("Restore: n=%d err=%v", n, err)
+	}
+	got, ok, err := fresh.Get("fig4", "aaaa00000000")
+	if err != nil || !ok {
+		t.Fatalf("Get after restore: ok=%t err=%v", ok, err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("artifact changed through backup/restore:\n%s\n---\n%s", got, want)
+	}
+}
+
+// TestTwoStoresSharingOneDirectory pins the sharded-sibling contract
+// under -race: two FS stores hammer disjoint key ranges of one
+// directory concurrently, every read observes a complete record, and a
+// third store opened afterwards sees the union with a consistent
+// manifest.
+func TestTwoStoresSharingOneDirectory(t *testing.T) {
+	dir := t.TempDir()
+	a, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const perStore = 24
+	var wg sync.WaitGroup
+	hammer := func(s *store.FS, shard int) {
+		defer wg.Done()
+		for i := 0; i < perStore; i++ {
+			fingerprint := fmt.Sprintf("%011x%d", i, shard)
+			if _, err := s.Put(storetest.Artifact("shared", fingerprint)); err != nil {
+				t.Errorf("shard %d Put: %v", shard, err)
+				return
+			}
+			// Cross-read the sibling's keys too: Get must either miss
+			// cleanly or return a complete record, never a partial one.
+			other := fmt.Sprintf("%011x%d", i, 1-shard)
+			if art, ok, err := s.Get("shared", other); err != nil {
+				t.Errorf("shard %d cross Get: %v", shard, err)
+				return
+			} else if ok && art.Trials != 1000 {
+				t.Errorf("shard %d observed a partial record", shard)
+				return
+			}
+			if _, err := s.Keys(); err != nil {
+				t.Errorf("shard %d Keys: %v", shard, err)
+				return
+			}
+		}
+	}
+	wg.Add(2)
+	go hammer(a, 0)
+	go hammer(b, 1)
+	wg.Wait()
+	if err := a.Close(); err != nil {
+		t.Fatalf("Close a: %v", err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close b: %v", err)
+	}
+
+	c, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if n, err := c.Len(); err != nil || n != 2*perStore {
+		t.Fatalf("union store Len = %d (err %v), want %d", n, err, 2*perStore)
+	}
+	rep, err := store.Verify(c)
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if !rep.OK() || rep.Checked != 2*perStore {
+		t.Errorf("union store should verify clean: %+v", rep)
+	}
+}

@@ -1,0 +1,106 @@
+package store_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"chipletqc/internal/store"
+	"chipletqc/internal/store/storetest"
+)
+
+// benchRecords is the store population for the index benchmarks —
+// large enough that per-key filesystem stats dominate a naive
+// implementation, matching a production campaign's store after a few
+// sweep generations.
+const benchRecords = 10_000
+
+// benchFS opens a store pre-populated with benchRecords records and
+// returns it together with the key list.
+func benchFS(b *testing.B) (*store.FS, []string) {
+	b.Helper()
+	dir := b.TempDir()
+	s, err := store.Open(dir)
+	if err != nil {
+		b.Fatalf("Open: %v", err)
+	}
+	b.Cleanup(func() { s.Close() })
+	keys := make([]string, 0, benchRecords)
+	for i := 0; i < benchRecords; i++ {
+		name := fmt.Sprintf("bench-%d", i%7)
+		fingerprint := fmt.Sprintf("%012x", i)
+		if _, err := s.Put(storetest.Artifact(name, fingerprint)); err != nil {
+			b.Fatalf("Put %d: %v", i, err)
+		}
+		keys = append(keys, store.Key(name, fingerprint))
+	}
+	return s, keys
+}
+
+// BenchmarkStoreHas compares existence checks through the manifest
+// index against the stat-per-key approach the index replaced.
+func BenchmarkStoreHas(b *testing.B) {
+	s, keys := benchFS(b)
+	b.Run("manifest-index", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			name, fingerprint, _ := store.ParseKey(keys[i%len(keys)])
+			if !s.Has(name, fingerprint) {
+				b.Fatal("record vanished")
+			}
+		}
+	})
+	b.Run("stat-per-key", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			path := filepath.Join(s.Dir(), keys[i%len(keys)]+".json")
+			if _, err := os.Stat(path); err != nil {
+				b.Fatal("record vanished")
+			}
+		}
+	})
+}
+
+// BenchmarkStoreKeys compares a full listing through the manifest
+// index against re-reading the directory every call.
+func BenchmarkStoreKeys(b *testing.B) {
+	s, _ := benchFS(b)
+	b.Run("manifest-index", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			keys, err := s.Keys()
+			if err != nil || len(keys) != benchRecords {
+				b.Fatalf("Keys: %d records (err %v)", len(keys), err)
+			}
+		}
+	})
+	b.Run("readdir-scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			entries, err := os.ReadDir(s.Dir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			keys := make([]string, 0, len(entries))
+			for _, e := range entries {
+				name, fingerprint, err := store.ParseKey(trimExt(e.Name()))
+				if err != nil {
+					continue
+				}
+				keys = append(keys, store.Key(name, fingerprint))
+			}
+			if len(keys) != benchRecords {
+				b.Fatalf("scan found %d records", len(keys))
+			}
+		}
+	})
+}
+
+// trimExt drops a trailing .json, mirroring the record-file naming.
+func trimExt(name string) string {
+	if filepath.Ext(name) == ".json" {
+		return name[:len(name)-len(".json")]
+	}
+	return name
+}

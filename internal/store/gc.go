@@ -1,0 +1,236 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// GCPolicy bounds a filesystem store for GC: records are evicted
+// least-recently-read first (put time when never read) until the store
+// fits both caps. Pinned records are never evicted. The zero value
+// caps nothing and GC is a no-op under it.
+type GCPolicy struct {
+	// MaxRecords keeps at most this many records; 0 means unlimited.
+	MaxRecords int `json:"max_records,omitempty"`
+	// MaxBytes keeps at most this many bytes of encoded records;
+	// 0 means unlimited.
+	MaxBytes int64 `json:"max_bytes,omitempty"`
+}
+
+// GCReport summarises one GC pass.
+type GCReport struct {
+	// Examined is the record count before eviction; Pinned of those
+	// were protected by campaign pins.
+	Examined int `json:"examined"`
+	Pinned   int `json:"pinned"`
+	// Evicted records freed FreedBytes; Kept/KeptBytes describe the
+	// store afterwards.
+	Evicted     int      `json:"evicted"`
+	EvictedKeys []string `json:"evicted_keys,omitempty"`
+	FreedBytes  int64    `json:"freed_bytes"`
+	Kept        int      `json:"kept"`
+	KeptBytes   int64    `json:"kept_bytes"`
+}
+
+// GC evicts least-recently-read unpinned records until the store is
+// within the policy's caps, then flushes the manifest snapshot.
+// Eviction order is deterministic: last use (read, else put), ties
+// broken by key. When every remaining record is pinned GC stops short
+// of the caps rather than break a pin.
+func (s *FS) GC(p GCPolicy) (GCReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return GCReport{}, errClosed
+	}
+	if err := s.reconcileLocked(); err != nil {
+		return GCReport{}, err
+	}
+
+	rep := GCReport{Examined: len(s.idx)}
+	type cand struct {
+		key  string
+		meta *recordMeta
+	}
+	var victims []cand
+	for k, m := range s.idx {
+		rep.KeptBytes += m.Bytes
+		if m.pinned() {
+			rep.Pinned++
+			continue
+		}
+		victims = append(victims, cand{k, m})
+	}
+	rep.Kept = len(s.idx)
+	sort.Slice(victims, func(i, j int) bool {
+		a, b := victims[i], victims[j]
+		if a.meta.lastUse() != b.meta.lastUse() {
+			return a.meta.lastUse() < b.meta.lastUse()
+		}
+		return a.key < b.key
+	})
+
+	over := func() bool {
+		return (p.MaxRecords > 0 && rep.Kept > p.MaxRecords) ||
+			(p.MaxBytes > 0 && rep.KeptBytes > p.MaxBytes)
+	}
+	for _, v := range victims {
+		if !over() {
+			break
+		}
+		name, fingerprint, err := ParseKey(v.key)
+		if err != nil {
+			continue // cannot happen for indexed keys; skip defensively
+		}
+		if err := os.Remove(s.path(name, fingerprint)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return rep, fmt.Errorf("store: gc evicting %s: %w", v.key, err)
+		}
+		delete(s.idx, v.key)
+		s.appendJournalLocked(journalEntry{Op: "del", Key: v.key})
+		rep.Kept--
+		rep.KeptBytes -= v.meta.Bytes
+		rep.Evicted++
+		rep.FreedBytes += v.meta.Bytes
+		rep.EvictedKeys = append(rep.EvictedKeys, v.key)
+	}
+	if err := writeManifest(s.dir, s.idx); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// Pin protects the record under (name, fingerprint) from GC under a
+// campaign label. Pinning a missing record is an error — a campaign
+// pins the cells it just ran or verified, not hypothetical keys.
+func (s *FS) Pin(label, name, fingerprint string) error {
+	if label == "" {
+		return errors.New("store: empty pin label")
+	}
+	if err := validKey(name, fingerprint); err != nil {
+		return err
+	}
+	if !s.Has(name, fingerprint) {
+		return fmt.Errorf("store: cannot pin missing record %s", Key(name, fingerprint))
+	}
+	key := Key(name, fingerprint)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	m := s.idx[key]
+	if m == nil {
+		return fmt.Errorf("store: cannot pin missing record %s", key)
+	}
+	m.pin(label)
+	s.appendJournalLocked(journalEntry{Op: "pin", Key: key, Pin: label})
+	return nil
+}
+
+// Unpin removes a campaign pin label from every record, returning how
+// many records it released.
+func (s *FS) Unpin(label string) (int, error) {
+	if label == "" {
+		return 0, errors.New("store: empty pin label")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, errClosed
+	}
+	released := 0
+	for _, m := range s.idx {
+		before := len(m.Pins)
+		m.unpin(label)
+		if len(m.Pins) != before {
+			released++
+		}
+	}
+	s.appendJournalLocked(journalEntry{Op: "unpin", Pin: label})
+	return released, nil
+}
+
+// PruneReport summarises one Prune pass.
+type PruneReport struct {
+	// Checked counts the records decoded.
+	Checked int `json:"checked"`
+	// RemovedRecords are the paths of records deleted because they no
+	// longer decode or identify as their key.
+	RemovedRecords []string `json:"removed_records,omitempty"`
+	// RemovedStrays are non-record .json files deleted from the store
+	// directory.
+	RemovedStrays []string `json:"removed_strays,omitempty"`
+	// RemovedTemps counts stale Put staging temps swept.
+	RemovedTemps int `json:"removed_temps"`
+}
+
+// Prune deletes everything in the store directory that cannot serve a
+// cache hit: records that fail to decode or identify as a different
+// key (each deleted record forces a clean re-run of exactly that
+// cell), .json strays that do not parse as record keys, and stale Put
+// temp files. It refreshes the index first and flushes the manifest
+// snapshot after.
+func (s *FS) Prune() (PruneReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return PruneReport{}, errClosed
+	}
+	if err := s.reconcileLocked(); err != nil {
+		return PruneReport{}, err
+	}
+
+	var rep PruneReport
+	keys := make([]string, 0, len(s.idx))
+	for k := range s.idx {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		name, fingerprint, err := ParseKey(key)
+		if err != nil {
+			continue
+		}
+		rep.Checked++
+		if decodeErr := checkRecordFile(s.path(name, fingerprint), name, fingerprint); decodeErr == nil {
+			continue
+		}
+		path := s.path(name, fingerprint)
+		if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return rep, fmt.Errorf("store: pruning %s: %w", path, err)
+		}
+		delete(s.idx, key)
+		s.appendJournalLocked(journalEntry{Op: "del", Key: key})
+		rep.RemovedRecords = append(rep.RemovedRecords, path)
+	}
+
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return rep, fmt.Errorf("store: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || name == manifestName || name == journalName ||
+			strings.HasPrefix(name, ".") || !strings.HasSuffix(name, recordExt) {
+			continue
+		}
+		if _, ok := recordKeyForFile(e); ok {
+			continue
+		}
+		path := filepath.Join(s.dir, name)
+		if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return rep, fmt.Errorf("store: pruning stray %s: %w", path, err)
+		}
+		rep.RemovedStrays = append(rep.RemovedStrays, path)
+	}
+	rep.RemovedTemps = s.sweepTemps(pruneTempSweepAge)
+
+	if err := writeManifest(s.dir, s.idx); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}

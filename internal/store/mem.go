@@ -1,0 +1,135 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"chipletqc/internal/experiment"
+)
+
+// Mem is the in-memory Store backend for tests and ephemeral sweeps:
+// the same fingerprint-keyed cache contract with no filesystem behind
+// it, so a campaign can run warm-cache semantics without touching
+// disk. Records are held JSON-encoded — Get decodes a fresh copy
+// through exactly the serialisation path the filesystem backend uses,
+// so callers can never alias or mutate a cached artifact, and the
+// self-identification cross-check runs on every read. Contents vanish
+// with the process; there is nothing to back up or GC.
+type Mem struct {
+	mu      sync.RWMutex
+	records map[string][]byte
+	closed  bool
+}
+
+// Mem implements Store.
+var _ Store = (*Mem)(nil)
+
+// OpenMem returns an empty in-memory store.
+func OpenMem() *Mem {
+	return &Mem{records: map[string][]byte{}}
+}
+
+// Put encodes and stores the artifact under its (Name, Fingerprint)
+// key, overwriting any existing record, and returns the record's
+// in-memory location ("mem:<key>").
+func (s *Mem) Put(a experiment.Artifact) (string, error) {
+	if err := validKey(a.Name, a.Fingerprint); err != nil {
+		return "", err
+	}
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf); err != nil {
+		return "", fmt.Errorf("store: encoding record %s: %w", Key(a.Name, a.Fingerprint), err)
+	}
+	key := Key(a.Name, a.Fingerprint)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", errClosed
+	}
+	s.records[key] = buf.Bytes()
+	return "mem:" + key, nil
+}
+
+// Get decodes the record stored under (name, fingerprint). A missing
+// record returns ok == false with a nil error; a record that fails to
+// decode or identify as its key returns an error naming the record
+// (Put-encoded records cannot corrupt, but the contract's self-check
+// still guards against backend bugs).
+func (s *Mem) Get(name, fingerprint string) (a experiment.Artifact, ok bool, err error) {
+	if err := validKey(name, fingerprint); err != nil {
+		return experiment.Artifact{}, false, err
+	}
+	key := Key(name, fingerprint)
+	s.mu.RLock()
+	raw, found := s.records[key]
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return experiment.Artifact{}, false, errClosed
+	}
+	if !found {
+		return experiment.Artifact{}, false, nil
+	}
+	if err := json.Unmarshal(raw, &a); err != nil {
+		return experiment.Artifact{}, false,
+			fmt.Errorf("store: corrupt record mem:%s: %w (re-run the cell to replace it)", key, err)
+	}
+	if a.Name != name || a.Fingerprint != fingerprint {
+		return experiment.Artifact{}, false,
+			fmt.Errorf("store: record mem:%s identifies as (%s, %s), expected (%s, %s)",
+				key, a.Name, a.Fingerprint, name, fingerprint)
+	}
+	return a, true, nil
+}
+
+// Has reports whether a record exists under (name, fingerprint).
+func (s *Mem) Has(name, fingerprint string) bool {
+	if validKey(name, fingerprint) != nil {
+		return false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return false
+	}
+	_, ok := s.records[Key(name, fingerprint)]
+	return ok
+}
+
+// Keys returns every record key, sorted.
+func (s *Mem) Keys() ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, errClosed
+	}
+	keys := make([]string, 0, len(s.records))
+	for k := range s.records {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Len returns the number of records.
+func (s *Mem) Len() (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return 0, errClosed
+	}
+	return len(s.records), nil
+}
+
+// Close releases the records. Close is idempotent; operations on a
+// closed store fail with a clear error.
+func (s *Mem) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.records = nil
+	return nil
+}

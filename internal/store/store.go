@@ -1,188 +1,149 @@
-// Package store persists experiment Artifacts on the filesystem, keyed
-// by content fingerprints, so identical work is never simulated twice.
+// Package store persists experiment Artifacts keyed by content
+// fingerprints, so identical work is never simulated twice.
 //
 // A record's key is (experiment name, config fingerprint). The config
 // fingerprint — experiment.Fingerprint — already folds in the seed,
 // every batch/precision knob, and the device scenario's own
 // fingerprint, so two runs share a key exactly when the determinism
 // contract guarantees they would produce the same payload. That makes
-// the store a correct cache: Get on a warm key returns the stored
-// Artifact byte-for-byte, and the campaign engine (internal/campaign)
-// skips execution entirely.
+// any Store a correct cache: Get on a warm key returns the stored
+// Artifact, and the campaign engine (internal/campaign) skips
+// execution entirely. A key match is the cache-correctness guarantee
+// on every backend.
 //
-// Layout is deliberately transparent: one JSON file per record,
-// <dir>/<name>-<fingerprint>.json, written atomically (temp file +
-// rename) so an interrupted process never leaves a half-written record
-// under a valid key. Records are self-describing — Get cross-checks the
-// decoded Artifact's name and fingerprint against the requested key, so
-// a truncated, corrupted, or hand-edited file surfaces as a clear error
+// The package is layered:
+//
+//   - Store is the narrow persistence contract (Put/Get/Has/Keys/Len
+//     plus Close). Execution (campaign) and persistence meet only
+//     here, so backends evolve independently of the engine.
+//   - FS (Open) is the filesystem backend: one transparent JSON file
+//     per record, written atomically, indexed by a manifest so Has,
+//     Keys, and Len are O(1) map lookups instead of per-key filesystem
+//     stats. It adds eviction (GC: LRU by last read, with
+//     pin-by-campaign), and snapshot admin operations (Backup,
+//     Restore, Prune).
+//   - Mem (OpenMem) is an in-memory backend for tests and ephemeral
+//     sweeps. Records are stored encoded, so Get round-trips through
+//     the same JSON path as the filesystem backend.
+//   - Verify re-decodes every record of any backend and cross-checks
+//     each record's self-described identity against its key.
+//   - The storetest subpackage is the conformance suite a third
+//     backend (object store, KV, ...) must pass to slot in behind the
+//     same contract.
+//
+// Records are self-describing — Get cross-checks the decoded
+// Artifact's name and fingerprint against the requested key, so a
+// truncated, corrupted, or mis-filed record surfaces as a clear error
 // instead of a silently wrong cache hit.
-//
-// The store is an interface seam in the microservice sense: execution
-// (campaign) and persistence (store) meet only at Put/Get, so a future
-// backend (object storage, a database) can replace the filesystem
-// without touching the engine.
 package store
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
-	"io/fs"
-	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 
 	"chipletqc/internal/experiment"
 )
 
-// Store is a filesystem-backed artifact store rooted at one directory.
-// Methods are safe for concurrent use by multiple goroutines and — via
-// the atomic rename in Put — by multiple processes sharding one
-// campaign into the same directory.
-type Store struct {
-	dir string
+// Store is the persistence contract every artifact backend satisfies:
+// a fingerprint-keyed map of self-identifying Artifacts. All methods
+// must be safe for concurrent use by multiple goroutines.
+//
+// Implementations must guarantee atomic visibility — a concurrent or
+// interrupted Put never lets Get observe a partial record — and must
+// verify on Get that the stored record identifies as the requested
+// key, returning an error (never a silent miss or a wrong artifact)
+// when it does not. The conformance suite in the storetest subpackage
+// checks these properties; both shipped backends (FS, Mem) pass it.
+type Store interface {
+	// Put persists the artifact under its (Name, Fingerprint) key,
+	// overwriting any existing record, and returns a backend-specific
+	// location for logs (the record path on the filesystem backend).
+	Put(a experiment.Artifact) (string, error)
+	// Get loads the record under (name, fingerprint). A missing record
+	// is (ok=false, err=nil); an unreadable or mis-identified record is
+	// an error naming the offending record and how to recover.
+	Get(name, fingerprint string) (a experiment.Artifact, ok bool, err error)
+	// Has reports whether a record exists under (name, fingerprint)
+	// without decoding it. A corrupt record still counts as present —
+	// Get is the arbiter of validity.
+	Has(name, fingerprint string) bool
+	// Keys returns every record key, sorted.
+	Keys() ([]string, error)
+	// Len returns the number of records.
+	Len() (int, error)
+	// Close releases the backend and flushes any index state. A closed
+	// store rejects further operations; Close is idempotent.
+	Close() error
 }
 
-// Open returns a store rooted at dir, creating the directory if needed.
-func Open(dir string) (*Store, error) {
-	if dir == "" {
-		return nil, errors.New("store: empty directory")
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("store: %w", err)
-	}
-	return &Store{dir: dir}, nil
-}
+// errClosed is returned by every operation on a closed store.
+var errClosed = errors.New("store: store is closed")
 
-// Dir returns the store's root directory.
-func (s *Store) Dir() string { return s.dir }
+// keySep joins the two key components. Fingerprints are hex, so the
+// final separator in a key is unambiguous even when the experiment
+// name itself contains separators — see ParseKey.
+const keySep = "-"
 
 // Key returns the store key for an (experiment name, config
-// fingerprint) pair — the basename (without extension) of the record
-// file that caches that exact unit of work.
+// fingerprint) pair. On the filesystem backend it is the basename
+// (without extension) of the record file caching that exact unit of
+// work.
 func Key(name, fingerprint string) string {
-	return name + "-" + fingerprint
+	return name + keySep + fingerprint
 }
 
-// validKey rejects key components that would escape the store directory
-// or collide with the record naming scheme.
-func validKey(name, fingerprint string) error {
-	for _, part := range [2]string{name, fingerprint} {
-		if part == "" {
-			return errors.New("store: empty key component")
-		}
-		if strings.ContainsAny(part, "/\\") || part != filepath.Base(part) {
-			return fmt.Errorf("store: key component %q contains a path separator", part)
-		}
+// ParseKey splits a store key back into its (experiment name, config
+// fingerprint) components. Experiment names may contain the separator
+// ("tight-thresholds-sweep"), but fingerprints are pure hex and never
+// do, so the split is on the last separator and the fingerprint is
+// validated as non-empty hex: ParseKey(Key(name, fp)) == (name, fp)
+// for every valid key, and byte strings that cannot have come from Key
+// are rejected instead of mis-split.
+func ParseKey(key string) (name, fingerprint string, err error) {
+	i := strings.LastIndex(key, keySep)
+	if i <= 0 || i == len(key)-1 {
+		return "", "", fmt.Errorf("store: key %q is not <name>%s<fingerprint>", key, keySep)
 	}
-	return nil
-}
-
-// path returns the record file for a key.
-func (s *Store) path(name, fingerprint string) string {
-	return filepath.Join(s.dir, Key(name, fingerprint)+".json")
-}
-
-// Put persists the artifact under its (Name, Fingerprint) key,
-// overwriting any existing record, and returns the record path. The
-// write is atomic: the record is staged in a temp file and renamed into
-// place, so concurrent readers and sharded sibling processes never
-// observe a partial record.
-func (s *Store) Put(a experiment.Artifact) (string, error) {
-	if err := validKey(a.Name, a.Fingerprint); err != nil {
-		return "", err
-	}
-	dst := s.path(a.Name, a.Fingerprint)
-	tmp, err := os.CreateTemp(s.dir, "."+Key(a.Name, a.Fingerprint)+".tmp-*")
-	if err != nil {
-		return "", fmt.Errorf("store: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := a.WriteJSON(tmp); err != nil {
-		tmp.Close()
-		return "", fmt.Errorf("store: writing %s: %w", dst, err)
-	}
-	if err := tmp.Close(); err != nil {
-		return "", fmt.Errorf("store: writing %s: %w", dst, err)
-	}
-	// CreateTemp's 0600 would lock out other users sharing the store
-	// directory (sharded campaigns across accounts); records are
-	// world-readable like any build artifact.
-	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
-		return "", fmt.Errorf("store: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), dst); err != nil {
-		return "", fmt.Errorf("store: %w", err)
-	}
-	return dst, nil
-}
-
-// Get loads the artifact stored under (name, fingerprint). A missing
-// record returns ok == false with a nil error; an unreadable, truncated,
-// or mismatched record returns an error naming the offending file and
-// how to recover (delete it to force a re-run).
-func (s *Store) Get(name, fingerprint string) (a experiment.Artifact, ok bool, err error) {
+	name, fingerprint = key[:i], key[i+1:]
 	if err := validKey(name, fingerprint); err != nil {
-		return experiment.Artifact{}, false, err
+		return "", "", fmt.Errorf("store: key %q: %w", key, err)
 	}
-	path := s.path(name, fingerprint)
-	f, err := os.Open(path)
-	if errors.Is(err, fs.ErrNotExist) {
-		return experiment.Artifact{}, false, nil
-	}
-	if err != nil {
-		return experiment.Artifact{}, false, fmt.Errorf("store: %w", err)
-	}
-	defer f.Close()
-	if err := json.NewDecoder(f).Decode(&a); err != nil {
-		return experiment.Artifact{}, false,
-			fmt.Errorf("store: corrupt record %s: %w (delete the file to force a re-run)", path, err)
-	}
-	if a.Name != name || a.Fingerprint != fingerprint {
-		return experiment.Artifact{}, false,
-			fmt.Errorf("store: record %s identifies as (%s, %s), expected (%s, %s) — delete the file to force a re-run",
-				path, a.Name, a.Fingerprint, name, fingerprint)
-	}
-	return a, true, nil
+	return name, fingerprint, nil
 }
 
-// Has reports whether a record exists under (name, fingerprint) without
-// reading it. A corrupt record still counts as present — Get is the
-// arbiter of validity.
-func (s *Store) Has(name, fingerprint string) bool {
-	if validKey(name, fingerprint) != nil {
+// isHex reports whether s is non-empty lowercase hex — the alphabet
+// of every fingerprint (experiment.Fingerprint renders sha256 bytes
+// with %x).
+func isHex(s string) bool {
+	if s == "" {
 		return false
 	}
-	_, err := os.Stat(s.path(name, fingerprint))
-	return err == nil
-}
-
-// Keys returns every record key in the store, sorted, ignoring files
-// that do not follow the record naming scheme (temp files, strays).
-func (s *Store) Keys() ([]string, error) {
-	entries, err := os.ReadDir(s.dir)
-	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
-	}
-	var keys []string
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || strings.HasPrefix(name, ".") || !strings.HasSuffix(name, ".json") {
-			continue
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
 		}
-		keys = append(keys, strings.TrimSuffix(name, ".json"))
 	}
-	sort.Strings(keys)
-	return keys, nil
+	return true
 }
 
-// Len returns the number of records in the store.
-func (s *Store) Len() (int, error) {
-	keys, err := s.Keys()
-	if err != nil {
-		return 0, err
+// validKey rejects key components that would escape a store directory,
+// collide with the record naming scheme, or break key round-tripping.
+func validKey(name, fingerprint string) error {
+	if name == "" {
+		return errors.New("store: empty experiment name in key")
 	}
-	return len(keys), nil
+	if strings.ContainsAny(name, "/\\") || name != filepath.Base(name) {
+		return fmt.Errorf("store: key component %q contains a path separator", name)
+	}
+	if strings.HasPrefix(name, ".") {
+		// Dotfiles are the temp-file namespace; a record hiding there
+		// would be invisible to directory scans and swept as a stray.
+		return fmt.Errorf("store: experiment name %q starts with a dot", name)
+	}
+	if !isHex(fingerprint) {
+		return fmt.Errorf("store: fingerprint %q is not non-empty lowercase hex", fingerprint)
+	}
+	return nil
 }

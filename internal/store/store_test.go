@@ -3,34 +3,31 @@ package store_test
 import (
 	"os"
 	"path/filepath"
-	"reflect"
 	"strings"
 	"testing"
+	"time"
 
-	"chipletqc/internal/experiment"
-	"chipletqc/internal/report"
 	"chipletqc/internal/store"
+	"chipletqc/internal/store/storetest"
 )
 
-// artifact builds a small, fully populated record for store tests.
-func artifact(name, fingerprint string) experiment.Artifact {
-	tb := report.New("store test payload", "x", "y")
-	tb.Add(1, 2.5)
-	tb.Add(2, 3.5)
-	return experiment.Artifact{
-		Name:                name,
-		Description:         "a store test artifact",
-		Seed:                42,
-		Scenario:            "paper",
-		ScenarioFingerprint: "feedfacefeed",
-		Fingerprint:         fingerprint,
-		WallSeconds:         1.25,
-		Trials:              1000,
-		Payload:             tb,
-	}
+// TestFSConformance runs the backend conformance suite against the
+// filesystem store.
+func TestFSConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) store.Store {
+		return openFS(t)
+	})
 }
 
-func open(t *testing.T) *store.Store {
+// TestMemConformance runs the backend conformance suite against the
+// in-memory store.
+func TestMemConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) store.Store {
+		return store.OpenMem()
+	})
+}
+
+func openFS(t *testing.T) *store.FS {
 	t.Helper()
 	s, err := store.Open(t.TempDir())
 	if err != nil {
@@ -39,17 +36,60 @@ func open(t *testing.T) *store.Store {
 	return s
 }
 
-// TestPutGetRoundTrip pins the cache contract: Get returns exactly what
-// Put stored, including the payload table and wall time.
-func TestPutGetRoundTrip(t *testing.T) {
-	s := open(t)
-	want := artifact("fig8", "abc123def456")
-	path, err := s.Put(want)
+// TestParseKeyRoundTrip pins the key algebra: ParseKey inverts Key
+// even for hyphenated experiment names, because the fingerprint side
+// of the last separator is always pure hex.
+func TestParseKeyRoundTrip(t *testing.T) {
+	for _, tc := range [][2]string{
+		{"fig8", "abc123def456"},
+		{"tight-thresholds-sweep", "00ff00ff00ff"},
+		{"a-b-c-d", "0123456789ab"},
+		{"fig-4", "aa"}, // short fingerprints are still hex
+	} {
+		key := store.Key(tc[0], tc[1])
+		name, fingerprint, err := store.ParseKey(key)
+		if err != nil {
+			t.Errorf("ParseKey(%q): %v", key, err)
+			continue
+		}
+		if name != tc[0] || fingerprint != tc[1] {
+			t.Errorf("ParseKey(%q) = (%q, %q), want (%q, %q)", key, name, fingerprint, tc[0], tc[1])
+		}
+	}
+}
+
+// TestParseKeyRejectsNonKeys pins that byte strings which cannot have
+// come from Key are rejected instead of mis-split.
+func TestParseKeyRejectsNonKeys(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"noseparator",
+		"-abc123",          // empty name
+		"fig8-",            // empty fingerprint
+		"fig8-NOTHEX",      // uppercase is not a fingerprint
+		"fig8-abc123-zzzz", // trailing component not hex
+		"fig8-abc 123",     // spaces are not hex
+		".hidden-abc123",   // dotfile namespace is reserved for temps
+	} {
+		if _, _, err := store.ParseKey(bad); err == nil {
+			t.Errorf("ParseKey(%q) should error", bad)
+		}
+	}
+}
+
+// TestFSRecordFileLayout pins the transparent on-disk contract: the
+// record lands in the store directory as world-readable JSON.
+func TestFSRecordFileLayout(t *testing.T) {
+	s := openFS(t)
+	path, err := s.Put(storetest.Artifact("fig8", "abc123def456"))
 	if err != nil {
 		t.Fatalf("Put: %v", err)
 	}
 	if filepath.Dir(path) != s.Dir() {
 		t.Errorf("record path %s is outside the store directory %s", path, s.Dir())
+	}
+	if filepath.Base(path) != "fig8-abc123def456.json" {
+		t.Errorf("record file %s does not follow <name>-<fingerprint>.json", path)
 	}
 	// Records must be readable by other users sharing the store
 	// directory (sharded multi-process campaigns) — not CreateTemp's
@@ -57,63 +97,12 @@ func TestPutGetRoundTrip(t *testing.T) {
 	if info, err := os.Stat(path); err != nil || info.Mode().Perm() != 0o644 {
 		t.Errorf("record mode = %v (err %v), want 0644", info.Mode().Perm(), err)
 	}
-	got, ok, err := s.Get("fig8", "abc123def456")
-	if err != nil || !ok {
-		t.Fatalf("Get: ok=%t err=%v", ok, err)
-	}
-	if !reflect.DeepEqual(got, want) {
-		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
-	}
-	// The text rendering — the consumer-visible face — must match too.
-	if got.String() != want.String() {
-		t.Errorf("text rendering changed through the store:\ngot:\n%s\nwant:\n%s", got.String(), want.String())
-	}
 }
 
-// TestGetMissingIsNotAnError pins the miss contract: absent records are
-// (ok=false, err=nil), not errors.
-func TestGetMissingIsNotAnError(t *testing.T) {
-	s := open(t)
-	_, ok, err := s.Get("fig8", "abc123def456")
-	if err != nil {
-		t.Fatalf("missing record should not error, got %v", err)
-	}
-	if ok {
-		t.Error("missing record reported ok=true")
-	}
-	if s.Has("fig8", "abc123def456") {
-		t.Error("Has reported a record that was never stored")
-	}
-}
-
-// TestPutOverwrites pins that Put replaces an existing record in place.
-func TestPutOverwrites(t *testing.T) {
-	s := open(t)
-	first := artifact("fig4", "aaaa00000000")
-	if _, err := s.Put(first); err != nil {
-		t.Fatalf("Put: %v", err)
-	}
-	second := first
-	second.Trials = 9999
-	if _, err := s.Put(second); err != nil {
-		t.Fatalf("Put (overwrite): %v", err)
-	}
-	got, ok, err := s.Get("fig4", "aaaa00000000")
-	if err != nil || !ok {
-		t.Fatalf("Get: ok=%t err=%v", ok, err)
-	}
-	if got.Trials != 9999 {
-		t.Errorf("overwrite did not take: trials = %d, want 9999", got.Trials)
-	}
-	if n, err := s.Len(); err != nil || n != 1 {
-		t.Errorf("Len = %d (err %v), want 1 after overwrite", n, err)
-	}
-}
-
-// TestCorruptRecordSurfacesClearError pins the corruption contract:
+// TestFSCorruptRecordSurfacesClearError pins the corruption contract:
 // a truncated or garbage record is an error naming the file and the
 // recovery path, never a silent miss or bogus hit.
-func TestCorruptRecordSurfacesClearError(t *testing.T) {
+func TestFSCorruptRecordSurfacesClearError(t *testing.T) {
 	for _, tc := range []struct {
 		name    string
 		content string
@@ -123,9 +112,8 @@ func TestCorruptRecordSurfacesClearError(t *testing.T) {
 		{"empty", ""},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			s := open(t)
-			a := artifact("fig8", "abc123def456")
-			path, err := s.Put(a)
+			s := openFS(t)
+			path, err := s.Put(storetest.Artifact("fig8", "abc123def456"))
 			if err != nil {
 				t.Fatalf("Put: %v", err)
 			}
@@ -146,13 +134,12 @@ func TestCorruptRecordSurfacesClearError(t *testing.T) {
 	}
 }
 
-// TestMismatchedRecordIsAnError pins the self-check: a record whose
+// TestFSMismatchedRecordIsAnError pins the self-check: a record whose
 // body identifies as a different key (hand-edited, or renamed into the
 // wrong slot) is rejected rather than served.
-func TestMismatchedRecordIsAnError(t *testing.T) {
-	s := open(t)
-	a := artifact("fig8", "abc123def456")
-	path, err := s.Put(a)
+func TestFSMismatchedRecordIsAnError(t *testing.T) {
+	s := openFS(t)
+	path, err := s.Put(storetest.Artifact("fig8", "abc123def456"))
 	if err != nil {
 		t.Fatalf("Put: %v", err)
 	}
@@ -170,53 +157,169 @@ func TestMismatchedRecordIsAnError(t *testing.T) {
 	}
 }
 
-// TestKeysSortedAndFiltered pins Keys: sorted record keys, ignoring
-// temp files and strays.
-func TestKeysSortedAndFiltered(t *testing.T) {
-	s := open(t)
-	for _, k := range [][2]string{{"fig8", "bbbb00000000"}, {"fig4", "aaaa00000000"}} {
-		if _, err := s.Put(artifact(k[0], k[1])); err != nil {
-			t.Fatalf("Put: %v", err)
-		}
+// TestFSKeysIgnoreStraysAndManifest pins the index scan: temp files,
+// non-record files, and the manifest itself never show up as keys.
+func TestFSKeysIgnoreStraysAndManifest(t *testing.T) {
+	s := openFS(t)
+	if _, err := s.Put(storetest.Artifact("fig4", "aaaa00000000")); err != nil {
+		t.Fatalf("Put: %v", err)
 	}
-	// Strays that Keys must skip.
-	for _, stray := range []string{".hidden.tmp-1", "notes.txt"} {
+	if err := s.Close(); err != nil { // writes manifest.json
+		t.Fatalf("Close: %v", err)
+	}
+	for _, stray := range []string{".hidden.tmp-1", "notes.txt", "not-a-record-NOHEX.json"} {
 		if err := os.WriteFile(filepath.Join(s.Dir(), stray), []byte("x"), 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}
-	keys, err := s.Keys()
+	reopened, err := store.Open(s.Dir())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer reopened.Close()
+	keys, err := reopened.Keys()
 	if err != nil {
 		t.Fatalf("Keys: %v", err)
 	}
-	want := []string{"fig4-aaaa00000000", "fig8-bbbb00000000"}
-	if !reflect.DeepEqual(keys, want) {
-		t.Errorf("Keys = %v, want %v", keys, want)
+	if len(keys) != 1 || keys[0] != "fig4-aaaa00000000" {
+		t.Errorf("Keys = %v, want [fig4-aaaa00000000]", keys)
 	}
 }
 
-// TestInvalidKeysRejected pins that path-escaping key components are
-// refused everywhere rather than touching the filesystem.
-func TestInvalidKeysRejected(t *testing.T) {
-	s := open(t)
-	bad := artifact("../escape", "abc123def456")
-	if _, err := s.Put(bad); err == nil {
-		t.Error("Put accepted a path-escaping name")
+// TestFSOpenIsNotFooledByStaleManifest pins the authority order: the
+// record files are the truth and a manifest describing records that no
+// longer exist (or missing records that do) is reconciled on Open.
+func TestFSOpenIsNotFooledByStaleManifest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, _, err := s.Get("fig8", "../../etc/passwd"); err == nil {
-		t.Error("Get accepted a path-escaping fingerprint")
+	keepPath, err := s.Put(storetest.Artifact("fig4", "aaaa00000000"))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
 	}
-	if s.Has("", "") {
-		t.Error("Has accepted empty key components")
+	dropPath, err := s.Put(storetest.Artifact("fig8", "bbbb00000000"))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
 	}
-	if _, err := s.Put(experiment.Artifact{Name: "fig8"}); err == nil {
-		t.Error("Put accepted an artifact with an empty fingerprint")
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Mutate the directory behind the manifest's back: delete one
+	// record, plant another.
+	if err := os.Remove(dropPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := copyFile(t, keepPath, filepath.Join(dir, "x.json")); err != nil {
+		t.Fatal(err)
+	}
+	planted := storetest.Artifact("eq1", "cccc00000000")
+	tmp, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plantedPath, err := tmp.Put(planted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := copyFile(t, plantedPath, filepath.Join(dir, "eq1-cccc00000000.json")); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer reopened.Close()
+	keys, err := reopened.Keys()
+	if err != nil {
+		t.Fatalf("Keys: %v", err)
+	}
+	want := []string{"eq1-cccc00000000", "fig4-aaaa00000000"}
+	if len(keys) != 2 || keys[0] != want[0] || keys[1] != want[1] {
+		t.Errorf("Keys after reconcile = %v, want %v", keys, want)
+	}
+	if reopened.Has("fig8", "bbbb00000000") {
+		t.Error("Has reports the deleted record")
+	}
+	if !reopened.Has("eq1", "cccc00000000") {
+		t.Error("Has misses the planted record")
 	}
 }
 
-// TestOpenRejectsEmptyDir pins Open's argument validation.
-func TestOpenRejectsEmptyDir(t *testing.T) {
-	if _, err := store.Open(""); err == nil {
-		t.Error("Open(\"\") should error")
+// TestFSOpenSweepsStaleTemps pins the temp-leak fix: a Put interrupted
+// between CreateTemp and Rename leaves a dotfile temp; Open removes it
+// once it is old enough that no live Put can own it, and leaves young
+// temps (a concurrent sibling's in-flight Put) alone.
+func TestFSOpenSweepsStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, ".fig8-abc123def456.json.tmp-12345")
+	fresh := filepath.Join(dir, ".fig4-aaaa00000000.json.tmp-67890")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("{half a reco"), 0o600); err != nil {
+			t.Fatal(err)
+		}
 	}
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale temp %s survived Open (stat err %v)", stale, err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Errorf("fresh temp %s should survive Open: %v", fresh, err)
+	}
+	if n, err := s.Len(); err != nil || n != 0 {
+		t.Errorf("temps must never be records: Len = %d (err %v)", n, err)
+	}
+}
+
+// TestFSIndexSurvivesReopen pins manifest persistence: a reopened
+// store knows its records without the caller re-Putting anything, and
+// Has answers without the manifest ever being deleted out from under
+// it.
+func TestFSIndexSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(storetest.Artifact("fig4", "aaaa00000000")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
+		t.Fatalf("Close should write manifest.json: %v", err)
+	}
+	reopened, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if !reopened.Has("fig4", "aaaa00000000") {
+		t.Error("reopened store lost its record")
+	}
+	if n, err := reopened.Len(); err != nil || n != 1 {
+		t.Errorf("reopened Len = %d (err %v), want 1", n, err)
+	}
+}
+
+// copyFile copies src to dst for test fixtures.
+func copyFile(t *testing.T, src, dst string) error {
+	t.Helper()
+	raw, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(dst, raw, 0o644)
 }

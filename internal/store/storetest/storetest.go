@@ -1,0 +1,238 @@
+// Package storetest is the conformance suite for artifact store
+// backends: any implementation of store.Store — the two shipped
+// backends or a third-party object-store/KV backend — must pass
+// Run, which pins the contract the campaign engine relies on:
+// fingerprint-keyed round-trips, missing-is-not-an-error, overwrite
+// semantics, key validation and round-tripping, sorted listing,
+// concurrent safety (meaningful under -race), and closed-store
+// behaviour.
+//
+// Usage, from a backend's own test file:
+//
+//	storetest.Run(t, func(t *testing.T) store.Store {
+//		s, err := store.Open(t.TempDir())
+//		...
+//		return s
+//	})
+package storetest
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"chipletqc/internal/experiment"
+	"chipletqc/internal/report"
+	"chipletqc/internal/store"
+)
+
+// Artifact builds a small, fully populated record for store tests.
+// The name may contain the key separator — backends must round-trip
+// hyphenated experiment names.
+func Artifact(name, fingerprint string) experiment.Artifact {
+	tb := report.New("store conformance payload", "x", "y")
+	tb.Add(1, 2.5)
+	tb.Add(2, 3.5)
+	return experiment.Artifact{
+		Name:                name,
+		Description:         "a store conformance artifact",
+		Seed:                42,
+		Scenario:            "paper",
+		ScenarioFingerprint: "feedfacefeed",
+		Fingerprint:         fingerprint,
+		WallSeconds:         1.25,
+		Trials:              1000,
+		Payload:             tb,
+	}
+}
+
+// Run exercises every contract obligation against stores produced by
+// open. Each subtest gets a fresh store; open must return an empty,
+// ready store every call.
+func Run(t *testing.T, open func(t *testing.T) store.Store) {
+	t.Helper()
+
+	t.Run("PutGetRoundTrip", func(t *testing.T) {
+		s := open(t)
+		want := Artifact("fig8", "abc123def456")
+		loc, err := s.Put(want)
+		if err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		if loc == "" {
+			t.Error("Put returned an empty location")
+		}
+		got, ok, err := s.Get("fig8", "abc123def456")
+		if err != nil || !ok {
+			t.Fatalf("Get: ok=%t err=%v", ok, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+		}
+		// The text rendering — the consumer-visible face — must match too.
+		if got.String() != want.String() {
+			t.Errorf("text rendering changed through the store:\ngot:\n%s\nwant:\n%s", got.String(), want.String())
+		}
+	})
+
+	t.Run("MissingIsNotAnError", func(t *testing.T) {
+		s := open(t)
+		_, ok, err := s.Get("fig8", "abc123def456")
+		if err != nil {
+			t.Fatalf("missing record should not error, got %v", err)
+		}
+		if ok {
+			t.Error("missing record reported ok=true")
+		}
+		if s.Has("fig8", "abc123def456") {
+			t.Error("Has reported a record that was never stored")
+		}
+	})
+
+	t.Run("PutOverwrites", func(t *testing.T) {
+		s := open(t)
+		first := Artifact("fig4", "aaaa00000000")
+		if _, err := s.Put(first); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		second := first
+		second.Trials = 9999
+		if _, err := s.Put(second); err != nil {
+			t.Fatalf("Put (overwrite): %v", err)
+		}
+		got, ok, err := s.Get("fig4", "aaaa00000000")
+		if err != nil || !ok {
+			t.Fatalf("Get: ok=%t err=%v", ok, err)
+		}
+		if got.Trials != 9999 {
+			t.Errorf("overwrite did not take: trials = %d, want 9999", got.Trials)
+		}
+		if n, err := s.Len(); err != nil || n != 1 {
+			t.Errorf("Len = %d (err %v), want 1 after overwrite", n, err)
+		}
+	})
+
+	t.Run("KeysSortedAndParseable", func(t *testing.T) {
+		s := open(t)
+		// Hyphenated names exercise the ParseKey last-separator rule.
+		pairs := [][2]string{
+			{"fig8", "bbbb00000000"},
+			{"fig4", "aaaa00000000"},
+			{"tight-thresholds-sweep", "00ff00ff00ff"},
+		}
+		for _, k := range pairs {
+			if _, err := s.Put(Artifact(k[0], k[1])); err != nil {
+				t.Fatalf("Put(%s, %s): %v", k[0], k[1], err)
+			}
+		}
+		keys, err := s.Keys()
+		if err != nil {
+			t.Fatalf("Keys: %v", err)
+		}
+		want := []string{
+			"fig4-aaaa00000000",
+			"fig8-bbbb00000000",
+			"tight-thresholds-sweep-00ff00ff00ff",
+		}
+		if !reflect.DeepEqual(keys, want) {
+			t.Errorf("Keys = %v, want %v", keys, want)
+		}
+		for _, key := range keys {
+			name, fingerprint, err := store.ParseKey(key)
+			if err != nil {
+				t.Fatalf("ParseKey(%q): %v", key, err)
+			}
+			if _, ok, err := s.Get(name, fingerprint); err != nil || !ok {
+				t.Errorf("parsed key %q does not Get: ok=%t err=%v", key, ok, err)
+			}
+			if !s.Has(name, fingerprint) {
+				t.Errorf("parsed key %q does not Has", key)
+			}
+		}
+	})
+
+	t.Run("InvalidKeysRejected", func(t *testing.T) {
+		s := open(t)
+		if _, err := s.Put(Artifact("../escape", "abc123def456")); err == nil {
+			t.Error("Put accepted a path-escaping name")
+		}
+		if _, _, err := s.Get("fig8", "../../etc/passwd"); err == nil {
+			t.Error("Get accepted a path-escaping fingerprint")
+		}
+		if _, _, err := s.Get("fig8", "NOTHEX"); err == nil {
+			t.Error("Get accepted a non-hex fingerprint")
+		}
+		if s.Has("", "") {
+			t.Error("Has accepted empty key components")
+		}
+		if _, err := s.Put(experiment.Artifact{Name: "fig8"}); err == nil {
+			t.Error("Put accepted an artifact with an empty fingerprint")
+		}
+		if n, err := s.Len(); err != nil || n != 0 {
+			t.Errorf("rejected keys must not create records: Len = %d (err %v)", n, err)
+		}
+	})
+
+	t.Run("ConcurrentPutGetKeys", func(t *testing.T) {
+		s := open(t)
+		const writers, perWriter = 8, 16
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perWriter; i++ {
+					name := fmt.Sprintf("conc-%d", w)
+					fingerprint := fmt.Sprintf("%012x", w*perWriter+i)
+					if _, err := s.Put(Artifact(name, fingerprint)); err != nil {
+						t.Errorf("Put(%s, %s): %v", name, fingerprint, err)
+						return
+					}
+					a, ok, err := s.Get(name, fingerprint)
+					if err != nil || !ok {
+						t.Errorf("Get(%s, %s): ok=%t err=%v", name, fingerprint, ok, err)
+						return
+					}
+					if a.Trials != 1000 {
+						t.Errorf("Get(%s, %s) returned a partial record", name, fingerprint)
+						return
+					}
+					if _, err := s.Keys(); err != nil {
+						t.Errorf("Keys during writes: %v", err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if n, err := s.Len(); err != nil || n != writers*perWriter {
+			t.Errorf("Len = %d (err %v), want %d", n, err, writers*perWriter)
+		}
+	})
+
+	t.Run("CloseIsIdempotentAndFinal", func(t *testing.T) {
+		s := open(t)
+		if _, err := s.Put(Artifact("fig8", "abc123def456")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		if err := s.Close(); err != nil {
+			t.Errorf("second Close: %v", err)
+		}
+		if _, err := s.Put(Artifact("fig4", "aaaa00000000")); err == nil {
+			t.Error("Put on a closed store should error")
+		}
+		if _, _, err := s.Get("fig8", "abc123def456"); err == nil {
+			t.Error("Get on a closed store should error")
+		}
+		if s.Has("fig8", "abc123def456") {
+			t.Error("Has on a closed store should report false")
+		}
+		if _, err := s.Keys(); err == nil {
+			t.Error("Keys on a closed store should error")
+		}
+	})
+}
