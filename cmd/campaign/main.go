@@ -26,9 +26,23 @@
 //	campaign -store artifacts -pin nightly      # protect this grid's records from -gc
 //	campaign -store artifacts -unpin nightly    # release that protection
 //
+// Daemon mode keeps one store open behind an HTTP API, so many
+// clients share its cache and its worker budget (-slots jobs run
+// concurrently; further submissions queue FIFO):
+//
+//	campaign -serve -store artifacts -addr :8080        # run the daemon
+//	campaign -submit -quick -addr :8080                 # queue a plan, print the job handle
+//	campaign -submit -watch -json -addr :8080           # queue, stream events, print final status
+//	campaign -job job-000001 -addr :8080                # one job's status (+ -watch to stream)
+//	campaign -fetch fig8/0a1b2c3d4e5f -addr :8080       # one stored artifact by key
+//	campaign -status -addr :8080                        # daemon + queue + store status
+//	campaign -shutdown -addr :8080                      # graceful drain (SIGTERM works too)
+//
 // Interrupting the process (SIGINT/SIGTERM) cancels the in-flight
 // cells promptly; completed cells stay in the store and are skipped on
-// the next invocation.
+// the next invocation. A daemon drains on the same signals: running
+// jobs cancel cleanly, their completed cells stay persisted, and
+// queued jobs report interrupted.
 package main
 
 import (
@@ -40,11 +54,13 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"sync"
 	"syscall"
 
 	"chipletqc/internal/campaign"
+	"chipletqc/internal/daemon"
 	"chipletqc/internal/store"
 )
 
@@ -95,6 +111,17 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		gcMaxBytes = fs.Int64("gc-max-bytes", 0, "-gc total-size cap in bytes (0 = no size cap)")
 		pin        = fs.String("pin", "", "admin: pin this plan's stored cells under `label`, protecting them from -gc")
 		unpin      = fs.String("unpin", "", "admin: remove every pin carrying `label` from the store")
+
+		// Daemon mode and its client verbs.
+		serve    = fs.Bool("serve", false, "run a campaign daemon on -addr over the store (empty -store keeps artifacts in memory)")
+		addr     = fs.String("addr", ":8080", "daemon `address`: bind address with -serve, target for client verbs")
+		slots    = fs.Int("slots", 0, "daemon: jobs running concurrently, sharing -workers; queued beyond that (0 = 2)")
+		submit   = fs.Bool("submit", false, "client: submit this plan to the daemon at -addr and print the job handle")
+		watch    = fs.Bool("watch", false, "client: with -submit or -job, stream the job's events and wait for its final status")
+		jobID    = fs.String("job", "", "client: print the status of job `id` from the daemon at -addr")
+		fetchKey = fs.String("fetch", "", "client: fetch the stored artifact for `experiment/fingerprint` from the daemon")
+		dstatus  = fs.Bool("status", false, "client: print the daemon's queue and store status")
+		shutdown = fs.Bool("shutdown", false, "client: ask the daemon to drain and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -102,6 +129,10 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		}
 		return errUsage
 	}
+	// Which flags did the user actually set? Mode validation below
+	// rejects set-but-ignored flags instead of silently dropping them.
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	shard, err := campaign.ParseShard(*shardSpec)
 	if err != nil {
@@ -127,11 +158,43 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		pin:     *pin,
 		unpin:   *unpin,
 	}
-	if n := admin.verbs(); n > 0 {
-		if n > 1 {
-			fmt.Fprintln(errw, "campaign: pick exactly one admin verb (-verify, -backup, -restore, -prune, -gc, -pin, -unpin)")
-			return errUsage
+	clientVerb, clientCount := "", 0
+	for _, v := range []struct {
+		name string
+		on   bool
+	}{
+		{"-submit", *submit},
+		{"-job", *jobID != ""},
+		{"-fetch", *fetchKey != ""},
+		{"-status", *dstatus},
+		{"-shutdown", *shutdown},
+	} {
+		if v.on {
+			clientVerb = v.name
+			clientCount++
 		}
+	}
+	if err := checkModeFlags(explicit, *serve, clientVerb, clientCount, admin, *gcRun, errw); err != nil {
+		return err
+	}
+
+	if *serve {
+		return runServe(ctx, *storeDir, *addr, *workers, *slots, errw)
+	}
+	if clientCount == 1 {
+		return runClient(ctx, clientArgs{
+			verb:    clientVerb,
+			addr:    *addr,
+			plan:    plan,
+			force:   !*resume,
+			watch:   *watch,
+			jobID:   *jobID,
+			fetch:   *fetchKey,
+			jsonOut: *jsonOut,
+		}, out, errw)
+	}
+
+	if admin.verbs() > 0 {
 		if *storeDir == "" {
 			fmt.Fprintln(errw, "campaign: store admin verbs need -store")
 			return errUsage
@@ -227,11 +290,245 @@ func listCells(plan campaign.Plan, shard campaign.Shard, st store.Store, out io.
 	return nil
 }
 
-// writeJSON renders the report as indented JSON.
-func writeJSON(w io.Writer, rep campaign.Report) error {
+// writeJSON renders v as indented JSON — the CLI's machine face;
+// scripts grep the two-space-indented keys.
+func writeJSON(w io.Writer, v any) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	return enc.Encode(v)
+}
+
+// checkModeFlags enforces that every explicitly-set flag is meaningful
+// in the selected mode. The failure this prevents is silent: a
+// -gc-keep without -gc, or a -shard next to -verify, parses fine and
+// then does nothing, so the user believes a cap or a restriction was
+// applied when it was not. Each rejection names the conflict.
+func checkModeFlags(explicit map[string]bool, serve bool, clientVerb string, clientCount int, admin adminRequest, gcRun bool, errw io.Writer) error {
+	if (explicit["gc-keep"] || explicit["gc-max-bytes"]) && !gcRun {
+		fmt.Fprintln(errw, "campaign: -gc-keep and -gc-max-bytes configure -gc, which was not requested; add -gc or drop them")
+		return errUsage
+	}
+	adminCount := admin.verbs()
+	switch {
+	case adminCount > 1:
+		fmt.Fprintln(errw, "campaign: pick exactly one admin verb (-verify, -backup, -restore, -prune, -gc, -pin, -unpin)")
+		return errUsage
+	case clientCount > 1:
+		fmt.Fprintln(errw, "campaign: pick exactly one client verb (-submit, -job, -fetch, -status, -shutdown)")
+		return errUsage
+	case serve && (clientCount > 0 || adminCount > 0):
+		fmt.Fprintln(errw, "campaign: -serve runs the daemon; it cannot be combined with client or admin verbs")
+		return errUsage
+	case clientCount > 0 && adminCount > 0:
+		fmt.Fprintf(errw, "campaign: %s talks to a daemon and %s operates on a local store; run them separately\n", clientVerb, admin.verbName())
+		return errUsage
+	}
+
+	planFlags := []string{"experiments", "scenarios", "quick", "seed", "precision", "maxtrials"}
+	allowed := map[string]bool{}
+	add := func(names ...string) {
+		for _, n := range names {
+			allowed[n] = true
+		}
+	}
+	var mode string
+	switch {
+	case serve:
+		mode = "-serve"
+		add("serve", "addr", "slots", "store", "workers")
+	case clientCount == 1:
+		mode = clientVerb
+		add(strings.TrimPrefix(clientVerb, "-"), "addr", "json")
+		switch clientVerb {
+		case "-submit":
+			add(planFlags...)
+			add("resume", "watch")
+		case "-job":
+			add("watch")
+		}
+	case adminCount == 1:
+		mode = admin.verbName()
+		add(strings.TrimPrefix(mode, "-"), "store")
+		switch mode {
+		case "-gc":
+			add("gc-keep", "gc-max-bytes")
+		case "-pin":
+			// -pin addresses this plan's (optionally sharded) grid.
+			add(planFlags...)
+			add("shard")
+		}
+	default:
+		mode = "a campaign run"
+		add(planFlags...)
+		add("store", "resume", "shard", "workers", "list", "json", "progress")
+	}
+	var stray []string
+	for name := range explicit {
+		if !allowed[name] {
+			stray = append(stray, "-"+name)
+		}
+	}
+	if len(stray) > 0 {
+		sort.Strings(stray)
+		fmt.Fprintf(errw, "campaign: %s %s no effect with %s; drop %s or change the mode\n",
+			strings.Join(stray, ", "), plural(len(stray), "has", "have"), mode, plural(len(stray), "it", "them"))
+		return errUsage
+	}
+	return nil
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
+
+// runServe opens (or fabricates) the store and runs the daemon until a
+// signal or a /v1/shutdown drains it.
+func runServe(ctx context.Context, storeDir, addr string, workers, slots int, errw io.Writer) error {
+	var st store.Store
+	if storeDir == "" {
+		// An addressable daemon is useful without a directory: repeat
+		// submissions still hit the cache for the process lifetime.
+		fmt.Fprintln(errw, "campaign: -serve without -store keeps artifacts in memory; they vanish when the daemon exits")
+		st = store.OpenMem()
+	} else {
+		fsStore, err := store.Open(storeDir)
+		if err != nil {
+			return err
+		}
+		defer fsStore.Close()
+		st = fsStore
+	}
+	srv := daemon.New(daemon.Options{
+		Store:   st,
+		Workers: workers,
+		Slots:   slots,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(errw, format+"\n", args...)
+		},
+	})
+	return srv.ListenAndServe(ctx, addr)
+}
+
+// clientArgs carries one client-verb invocation.
+type clientArgs struct {
+	verb    string
+	addr    string
+	plan    campaign.Plan
+	force   bool
+	watch   bool
+	jobID   string
+	fetch   string
+	jsonOut bool
+}
+
+// runClient dispatches one client verb against the daemon at -addr.
+func runClient(ctx context.Context, c clientArgs, out, errw io.Writer) error {
+	cl := daemon.NewClient(c.addr)
+	switch c.verb {
+	case "-submit":
+		st, err := cl.Submit(ctx, c.plan, c.force)
+		if err != nil {
+			return err
+		}
+		if !c.watch {
+			return printJob(out, st, c.jsonOut)
+		}
+		fmt.Fprintf(errw, "submitted %s (%d cells); watching\n", st.ID, st.GridSize)
+		return watchJob(ctx, cl, st.ID, c.jsonOut, out, errw)
+	case "-job":
+		if c.watch {
+			return watchJob(ctx, cl, c.jobID, c.jsonOut, out, errw)
+		}
+		st, err := cl.Job(ctx, c.jobID)
+		if err != nil {
+			return err
+		}
+		return printJob(out, st, c.jsonOut)
+	case "-fetch":
+		name, fingerprint, ok := strings.Cut(c.fetch, "/")
+		if !ok || name == "" || fingerprint == "" {
+			fmt.Fprintln(errw, "campaign: -fetch wants experiment/fingerprint, e.g. -fetch fig8/0a1b2c3d4e5f")
+			return errUsage
+		}
+		a, found, err := cl.Artifact(ctx, name, fingerprint)
+		if err != nil {
+			return err
+		}
+		if !found {
+			return fmt.Errorf("daemon at %s holds no artifact for (%s, %s)", cl.BaseURL(), name, fingerprint)
+		}
+		if c.jsonOut {
+			return a.WriteJSON(out)
+		}
+		return a.WriteText(out)
+	case "-status":
+		st, err := cl.Status(ctx)
+		if err != nil {
+			return err
+		}
+		if c.jsonOut {
+			return writeJSON(out, st)
+		}
+		fmt.Fprintf(out, "daemon %s: %s, up %.0fs, %d of %d slots busy (%d workers per job)\n",
+			cl.BaseURL(), st.State, st.UptimeSeconds, st.Running, st.Slots, st.JobWorkers)
+		fmt.Fprintf(out, "jobs: %d queued, %d running, %d done, %d failed, %d interrupted\n",
+			st.Queued, st.Running, st.Done, st.Failed, st.Interrupted)
+		if st.StoreRecords >= 0 {
+			where := "in memory"
+			if st.StoreDir != "" {
+				where = st.StoreDir
+			}
+			fmt.Fprintf(out, "store: %d records (%s)\n", st.StoreRecords, where)
+		}
+		return nil
+	case "-shutdown":
+		if err := cl.Shutdown(ctx); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "daemon %s: draining\n", cl.BaseURL())
+		return nil
+	}
+	return nil
+}
+
+// watchJob streams one job's events to the error stream and renders
+// its terminal status; a job that did not finish done fails the
+// invocation so scripts can gate on the exit code.
+func watchJob(ctx context.Context, cl *daemon.Client, id string, jsonOut bool, out, errw io.Writer) error {
+	printer := eventPrinter(errw)
+	final, err := cl.Watch(ctx, id, func(e daemon.EventJSON) {
+		ev := campaign.Event{Cell: e.Cell, Phase: e.Phase}
+		if e.Error != "" {
+			ev.Err = errors.New(e.Error)
+		}
+		printer(ev)
+	})
+	if err != nil {
+		return err
+	}
+	if err := printJob(out, final, jsonOut); err != nil {
+		return err
+	}
+	if final.State != daemon.StateDone {
+		return fmt.Errorf("job %s finished %s: %s", final.ID, final.State, final.Error)
+	}
+	return nil
+}
+
+// printJob renders one job status line (or the full JSON snapshot).
+func printJob(out io.Writer, st daemon.JobStatus, jsonOut bool) error {
+	if jsonOut {
+		return writeJSON(out, st)
+	}
+	line := fmt.Sprintf("%s: %s, %d cells, %d executed, %d cached", st.ID, st.State, st.GridSize, st.Executed, st.Cached)
+	if st.Error != "" {
+		line += " — " + st.Error
+	}
+	fmt.Fprintln(out, line)
+	return nil
 }
 
 // adminRequest collects the store admin flags; at most one verb may be
@@ -256,6 +553,27 @@ func (a adminRequest) verbs() int {
 		}
 	}
 	return n
+}
+
+// verbName names the selected admin verb for error messages.
+func (a adminRequest) verbName() string {
+	switch {
+	case a.verify:
+		return "-verify"
+	case a.backup != "":
+		return "-backup"
+	case a.restore != "":
+		return "-restore"
+	case a.prune:
+		return "-prune"
+	case a.gc:
+		return "-gc"
+	case a.pin != "":
+		return "-pin"
+	case a.unpin != "":
+		return "-unpin"
+	}
+	return ""
 }
 
 // runAdmin opens the store and dispatches the one selected admin verb.

@@ -1,0 +1,273 @@
+package campaign_test
+
+// Regression tests for two campaign failure-path subtleties:
+//
+//   - a cancelled campaign must never emit PhaseError, no matter which
+//     of the three failure branches (execution error, artifact identity
+//     mismatch, store Put error) the cancellation surfaces through —
+//     an interruption is not a cell failure, and progress consumers
+//     (the CLI stream, the daemon's SSE subscribers) must not report
+//     one;
+//   - splitBudget's advisory Has probe and runCell's Get can disagree
+//     when a sibling process GCs the shared store between them; the
+//     cell must re-execute as an ordinary miss, not fail the campaign.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"chipletqc/internal/campaign"
+	"chipletqc/internal/eval"
+	"chipletqc/internal/experiment"
+	"chipletqc/internal/report"
+	"chipletqc/internal/store"
+)
+
+// cancelHook lets a test experiment cancel the campaign context from
+// inside a cell, modelling a SIGTERM / daemon drain arriving while the
+// cell is mid-flight. Unset, firing is a no-op.
+var cancelHook struct {
+	mu sync.Mutex
+	fn context.CancelFunc
+}
+
+func setCancelHook(t *testing.T, fn context.CancelFunc) {
+	cancelHook.mu.Lock()
+	cancelHook.fn = fn
+	cancelHook.mu.Unlock()
+	t.Cleanup(func() {
+		cancelHook.mu.Lock()
+		cancelHook.fn = nil
+		cancelHook.mu.Unlock()
+	})
+}
+
+func fireCancelHook() {
+	cancelHook.mu.Lock()
+	fn := cancelHook.fn
+	cancelHook.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+// mismatchExperiment is a hand-rolled Experiment (bypassing the
+// experiment.New wrapper, which always stamps correct identity) that
+// returns an artifact identifying as someone else — the only way to
+// reach runCell's identity-mismatch branch.
+type mismatchExperiment struct{}
+
+func (mismatchExperiment) Name() string     { return "test-cancel-mismatch" }
+func (mismatchExperiment) Describe() string { return "returns a mis-identified artifact" }
+func (mismatchExperiment) Run(ctx context.Context, cfg eval.Config) (experiment.Artifact, error) {
+	fireCancelHook()
+	tb := report.New("mismatch payload", "x", "y")
+	tb.Add(1, 1)
+	return experiment.Artifact{
+		Name:        "somebody-else",
+		Fingerprint: "badbadbadbad",
+		Payload:     tb,
+	}, nil
+}
+
+// registerCancelExperiments registers the failure-path experiments
+// once per test binary.
+var registerCancelExperiments = sync.OnceFunc(func() {
+	experiment.Register(experiment.New("test-cancel-fail", "fails after firing the cancel hook",
+		func(ctx context.Context, cfg eval.Config) (*report.Table, int, error) {
+			fireCancelHook()
+			return nil, 0, errors.New("simulated execution failure")
+		}))
+	experiment.Register(mismatchExperiment{})
+})
+
+// failingPutStore wraps a store so every Put fires the cancel hook and
+// then fails, reaching runCell's Put-failure branch with (or without)
+// a freshly-cancelled context.
+type failingPutStore struct {
+	store.Store
+}
+
+func (f *failingPutStore) Put(a experiment.Artifact) (string, error) {
+	fireCancelHook()
+	return "", errors.New("simulated put failure")
+}
+
+// runOneCell runs a single-cell campaign for the named experiment and
+// reports the campaign error plus every PhaseError event observed.
+func runOneCell(t *testing.T, ctx context.Context, name string, st store.Store) (error, []string) {
+	t.Helper()
+	registerCancelExperiments()
+	var mu sync.Mutex
+	var phaseErrors []string
+	_, err := campaign.Run(ctx, campaign.Plan{
+		Experiments: []string{name},
+		Scenarios:   []string{"paper"},
+		Seed:        1,
+	}, campaign.Options{
+		Store:   st,
+		Workers: 1,
+		Progress: func(e campaign.Event) {
+			if e.Phase == campaign.PhaseError {
+				mu.Lock()
+				phaseErrors = append(phaseErrors, e.Err.Error())
+				mu.Unlock()
+			}
+		},
+	})
+	return err, phaseErrors
+}
+
+// TestCancelledCampaignEmitsNoPhaseError drives all three failure
+// branches with a context that is cancelled by the time the branch
+// reports, and requires silence from each: the campaign still returns
+// an error (the caller sees the interruption), but no PhaseError event
+// reaches the progress stream.
+func TestCancelledCampaignEmitsNoPhaseError(t *testing.T) {
+	cases := []struct {
+		branch     string
+		experiment string
+		store      func(t *testing.T) store.Store
+	}{
+		{"execution-failure", "test-cancel-fail", nil},
+		{"identity-mismatch", "test-cancel-mismatch", nil},
+		{"put-failure", "test-count-a", func(t *testing.T) store.Store {
+			return &failingPutStore{Store: store.OpenMem()}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.branch, func(t *testing.T) {
+			registerCounting()
+			var st store.Store
+			if tc.store != nil {
+				st = tc.store(t)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			setCancelHook(t, cancel)
+			err, phaseErrors := runOneCell(t, ctx, tc.experiment, st)
+			if err == nil {
+				t.Fatal("campaign succeeded; the failure branch never fired")
+			}
+			if len(phaseErrors) != 0 {
+				t.Errorf("cancelled campaign emitted PhaseError: %v", phaseErrors)
+			}
+		})
+	}
+}
+
+// TestFailureStillEmitsPhaseError is the control: the same three
+// branches without cancellation must keep reporting, or the
+// suppression would have silenced real failures.
+func TestFailureStillEmitsPhaseError(t *testing.T) {
+	cases := []struct {
+		branch     string
+		experiment string
+		store      func(t *testing.T) store.Store
+		want       string
+	}{
+		{"execution-failure", "test-cancel-fail", nil, "simulated execution failure"},
+		{"identity-mismatch", "test-cancel-mismatch", nil, "artifact identity"},
+		{"put-failure", "test-count-a", func(t *testing.T) store.Store {
+			return &failingPutStore{Store: store.OpenMem()}
+		}, "simulated put failure"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.branch, func(t *testing.T) {
+			registerCounting()
+			var st store.Store
+			if tc.store != nil {
+				st = tc.store(t)
+			}
+			err, phaseErrors := runOneCell(t, context.Background(), tc.experiment, st)
+			if err == nil {
+				t.Fatal("campaign succeeded; the failure branch never fired")
+			}
+			if len(phaseErrors) != 1 || !strings.Contains(phaseErrors[0], tc.want) {
+				t.Errorf("PhaseError events = %v, want exactly one containing %q", phaseErrors, tc.want)
+			}
+		})
+	}
+}
+
+// TestSiblingEvictionIsAMissNotAFailure pins the probe/Get tolerance:
+// a sibling process GCs the shared store directory after this
+// process's index was built, so splitBudget's Has probe says every
+// cell is warm while runCell's Get finds nothing. The campaign must
+// treat each vanished record as an ordinary miss and re-execute,
+// not fail.
+func TestSiblingEvictionIsAMissNotAFailure(t *testing.T) {
+	snapshot := resetExecLog()
+	dir := t.TempDir()
+	mine, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	defer mine.Close()
+	plan := plan2x2(1)
+
+	// Warm the store (and this process's index) with a full run.
+	if _, err := campaign.Run(context.Background(), plan, campaign.Options{Store: mine}); err != nil {
+		t.Fatalf("warming run: %v", err)
+	}
+	if got := len(snapshot()); got != 4 {
+		t.Fatalf("warming run simulated %d cells, want 4", got)
+	}
+
+	// A sibling process opens the same directory and evicts everything.
+	sibling, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("sibling store.Open: %v", err)
+	}
+	rep, err := sibling.GC(store.GCPolicy{MaxBytes: 1})
+	if err != nil {
+		t.Fatalf("sibling GC: %v", err)
+	}
+	if rep.Evicted != 4 {
+		t.Fatalf("sibling GC evicted %d records, want 4", rep.Evicted)
+	}
+	if err := sibling.Close(); err != nil {
+		t.Fatalf("sibling Close: %v", err)
+	}
+
+	// The stale index still answers the Has probe positively — that is
+	// the disagreement under test; if this ever goes false the FS
+	// backend grew cross-process invalidation and the scenario needs
+	// restaging, not silent passing.
+	cells, err := campaign.Expand(plan)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	for _, c := range cells {
+		if !mine.Has(c.Experiment, c.Fingerprint) {
+			t.Fatalf("index entry for %s vanished; the probe/Get disagreement is no longer staged", c.ID())
+		}
+	}
+
+	snapshot = resetExecLog()
+	var errored atomic.Bool
+	second, err := campaign.Run(context.Background(), plan, campaign.Options{
+		Store: mine,
+		Progress: func(e campaign.Event) {
+			if e.Phase == campaign.PhaseError {
+				errored.Store(true)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("run against the evicted store failed: %v", err)
+	}
+	if errored.Load() {
+		t.Error("run against the evicted store emitted PhaseError")
+	}
+	if second.Executed != 4 || second.Cached != 0 {
+		t.Errorf("executed %d cached %d, want 4/0 — vanished records must re-execute", second.Executed, second.Cached)
+	}
+	if got := len(snapshot()); got != 4 {
+		t.Errorf("re-run simulated %d cells, want 4", got)
+	}
+}

@@ -1,0 +1,113 @@
+package campaign
+
+import "sync"
+
+// Fanout broadcasts one campaign's event stream to any number of
+// concurrent subscribers. It is the bridge between Options.Progress —
+// a single callback invoked from worker goroutines — and consumers
+// that each need the whole stream, like the daemon's per-job status
+// tracking and every SSE client watching the same job.
+//
+// Emit never blocks on a slow subscriber: events are appended to an
+// in-memory history and each subscriber drains that history at its own
+// pace on its own goroutine. A subscriber that arrives mid-run (or
+// after the run finished) first replays everything emitted so far,
+// then receives live events in emission order, so late SSE clients see
+// the full per-cell story. History is bounded by the campaign grid
+// (at most two events per cell plus errors), so retention is cheap.
+type Fanout struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	history []Event
+	closed  bool
+}
+
+// NewFanout returns an empty, open fan-out.
+func NewFanout() *Fanout {
+	f := &Fanout{}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// Emit appends one event to the history and wakes every subscriber.
+// It is safe for concurrent use — pass it as Options.Progress — and
+// never blocks on subscribers. Events emitted after Close are dropped.
+func (f *Fanout) Emit(e Event) {
+	f.mu.Lock()
+	if !f.closed {
+		f.history = append(f.history, e)
+	}
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// Close marks the stream complete: every subscriber's channel closes
+// once it has drained the full history, and future Subscribe calls
+// replay the history and close immediately. Close is idempotent.
+func (f *Fanout) Close() {
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// History returns a snapshot of every event emitted so far, in order.
+func (f *Fanout) History() []Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Event(nil), f.history...)
+}
+
+// Subscribe returns a channel that first replays the full event
+// history and then streams live events in order. The channel closes
+// when the fan-out is closed and fully drained. The returned cancel
+// function detaches the subscriber early (idempotent, safe after the
+// channel closes); callers must eventually either drain the channel or
+// cancel, or the pump goroutine leaks.
+func (f *Fanout) Subscribe() (<-chan Event, func()) {
+	ch := make(chan Event)
+	done := make(chan struct{})
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			close(done)
+			// Wake the pump if it is waiting for new events.
+			f.cond.Broadcast()
+		})
+	}
+	go func() {
+		defer close(ch)
+		cursor := 0
+		for {
+			f.mu.Lock()
+			for cursor >= len(f.history) && !f.closed && !cancelled(done) {
+				f.cond.Wait()
+			}
+			batch := f.history[cursor:]
+			closed := f.closed
+			f.mu.Unlock()
+			for _, e := range batch {
+				select {
+				case ch <- e:
+					cursor++
+				case <-done:
+					return
+				}
+			}
+			if cancelled(done) || (closed && len(batch) == 0) {
+				return
+			}
+		}
+	}()
+	return ch, cancel
+}
+
+// cancelled reports whether the subscriber detached.
+func cancelled(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,191 @@
+package campaign_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"chipletqc/internal/campaign"
+)
+
+func fanoutEvent(i int) campaign.Event {
+	return campaign.Event{
+		Cell:  campaign.Cell{Index: i, Experiment: "fig8", Fingerprint: fmt.Sprintf("%012x", i)},
+		Phase: campaign.PhaseDone,
+	}
+}
+
+// drain collects everything from a subscription channel until it
+// closes, failing the test if that takes unreasonably long.
+func drain(t *testing.T, ch <-chan campaign.Event) []campaign.Event {
+	t.Helper()
+	var got []campaign.Event
+	timeout := time.After(10 * time.Second)
+	for {
+		select {
+		case e, ok := <-ch:
+			if !ok {
+				return got
+			}
+			got = append(got, e)
+		case <-timeout:
+			t.Fatalf("subscription channel did not close; got %d events so far", len(got))
+		}
+	}
+}
+
+// TestFanoutReplaysHistoryToLateSubscriber pins the property the
+// daemon's SSE endpoint depends on: a subscriber that arrives after
+// events were emitted — even after Close — sees the complete stream in
+// emission order.
+func TestFanoutReplaysHistoryToLateSubscriber(t *testing.T) {
+	f := campaign.NewFanout()
+	for i := 0; i < 5; i++ {
+		f.Emit(fanoutEvent(i))
+	}
+	mid, cancelMid := f.Subscribe()
+	defer cancelMid()
+	f.Emit(fanoutEvent(5))
+	f.Close()
+
+	got := drain(t, mid)
+	if len(got) != 6 {
+		t.Fatalf("mid-stream subscriber got %d events, want 6", len(got))
+	}
+	for i, e := range got {
+		if e.Cell.Index != i {
+			t.Errorf("event %d has index %d; replay must preserve emission order", i, e.Cell.Index)
+		}
+	}
+
+	late, cancelLate := f.Subscribe()
+	defer cancelLate()
+	if got := drain(t, late); len(got) != 6 {
+		t.Errorf("post-Close subscriber got %d events, want full 6-event replay", len(got))
+	}
+
+	if h := f.History(); len(h) != 6 {
+		t.Errorf("History() = %d events, want 6", len(h))
+	}
+}
+
+// TestFanoutManySubscribersOneEmitter checks that concurrent
+// subscribers each independently receive the full stream while the
+// emitter runs — Emit must never block on a slow or unstarted reader.
+func TestFanoutManySubscribersOneEmitter(t *testing.T) {
+	const events, subscribers = 100, 8
+	f := campaign.NewFanout()
+	var wg sync.WaitGroup
+	counts := make([]int, subscribers)
+	for s := 0; s < subscribers; s++ {
+		ch, cancel := f.Subscribe()
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			defer cancel()
+			last := -1
+			for e := range ch {
+				if e.Cell.Index <= last {
+					t.Errorf("subscriber %d saw index %d after %d; order lost", s, e.Cell.Index, last)
+					return
+				}
+				last = e.Cell.Index
+				counts[s]++
+			}
+		}(s)
+	}
+	for i := 0; i < events; i++ {
+		f.Emit(fanoutEvent(i))
+	}
+	f.Close()
+	wg.Wait()
+	for s, n := range counts {
+		if n != events {
+			t.Errorf("subscriber %d received %d events, want %d", s, n, events)
+		}
+	}
+}
+
+// TestFanoutCancelDetaches checks that a cancelled subscriber stops
+// receiving and its channel closes, while other subscribers are
+// unaffected; cancel is idempotent and safe after close.
+func TestFanoutCancelDetaches(t *testing.T) {
+	f := campaign.NewFanout()
+	f.Emit(fanoutEvent(0))
+
+	quitter, cancelQuitter := f.Subscribe()
+	if e := <-quitter; e.Cell.Index != 0 {
+		t.Fatalf("quitter's first event has index %d, want 0", e.Cell.Index)
+	}
+	cancelQuitter()
+	if _, ok := <-quitter; ok {
+		// The pump may deliver at most what was in flight; after cancel
+		// the channel must close without requiring Close on the fanout.
+		if _, ok := <-quitter; ok {
+			t.Fatal("cancelled subscriber's channel stayed open")
+		}
+	}
+	cancelQuitter() // idempotent
+
+	stayer, cancelStayer := f.Subscribe()
+	defer cancelStayer()
+	f.Emit(fanoutEvent(1))
+	f.Close()
+	if got := drain(t, stayer); len(got) != 2 {
+		t.Errorf("remaining subscriber got %d events, want 2", len(got))
+	}
+}
+
+// TestFanoutEmitAfterCloseIsDropped checks the terminal contract:
+// Close freezes the history, and stray late Emits (a worker racing
+// shutdown) neither panic nor reopen the stream.
+func TestFanoutEmitAfterCloseIsDropped(t *testing.T) {
+	f := campaign.NewFanout()
+	f.Emit(fanoutEvent(0))
+	f.Close()
+	f.Close() // idempotent
+	f.Emit(fanoutEvent(1))
+	if h := f.History(); len(h) != 1 {
+		t.Errorf("History() after post-Close Emit = %d events, want 1", len(h))
+	}
+	ch, cancel := f.Subscribe()
+	defer cancel()
+	if got := drain(t, ch); len(got) != 1 {
+		t.Errorf("subscriber got %d events, want 1", len(got))
+	}
+}
+
+// TestFanoutConcurrentEmitters races Emit from many goroutines (the
+// campaign's worker pool) against subscribers and Close — meaningful
+// under -race; every subscriber must still see every event exactly
+// once, though interleaving order across emitters is unspecified.
+func TestFanoutConcurrentEmitters(t *testing.T) {
+	const emitters, perEmitter = 8, 50
+	f := campaign.NewFanout()
+	ch, cancel := f.Subscribe()
+	defer cancel()
+	seen := make(chan int, 1)
+	go func() {
+		n := 0
+		for range ch {
+			n++
+		}
+		seen <- n
+	}()
+	var wg sync.WaitGroup
+	for e := 0; e < emitters; e++ {
+		wg.Add(1)
+		go func(e int) {
+			defer wg.Done()
+			for i := 0; i < perEmitter; i++ {
+				f.Emit(fanoutEvent(e*perEmitter + i))
+			}
+		}(e)
+	}
+	wg.Wait()
+	f.Close()
+	if n := <-seen; n != emitters*perEmitter {
+		t.Errorf("subscriber saw %d events, want %d", n, emitters*perEmitter)
+	}
+}

@@ -64,6 +64,19 @@ func (o *Options) emit(e Event) {
 	}
 }
 
+// emitError delivers a PhaseError event unless the campaign is being
+// cancelled. All cell-failure paths report through here so the rule is
+// uniform: an interruption (SIGINT, daemon drain) is not a cell
+// failure, and event consumers — the CLI's -progress stream and the
+// daemon's SSE subscribers — must never see a spurious error for a
+// cell that was merely cancelled mid-flight.
+func (o *Options) emitError(ctx context.Context, cell Cell, err error) {
+	if ctx.Err() != nil {
+		return
+	}
+	o.emit(Event{Cell: cell, Phase: PhaseError, Err: err})
+}
+
 // CellResult is one cell's outcome: its artifact and how it was
 // obtained.
 type CellResult struct {
@@ -144,8 +157,11 @@ func Run(ctx context.Context, p Plan, opts Options) (Report, error) {
 // grid would run its simulation near single-threaded while the other
 // workers burn through instant cache hits. So the inner share is sized
 // by the cells that will actually execute (a cheap Has probe; Force
-// and store-less runs execute everything), concurrent shard siblings
-// filling the store meanwhile only make the estimate conservative.
+// and store-less runs execute everything). The probe is advisory, not
+// load-bearing: siblings filling the store meanwhile make the estimate
+// conservative, and siblings evicting records make it optimistic —
+// runCell treats a probe/Get disagreement as an ordinary miss either
+// way, so the budget only shapes concurrency, never correctness.
 func splitBudget(opts *Options, cells []Cell) (outer, inner int) {
 	misses := len(cells)
 	if opts.Store != nil && !opts.Force {
@@ -182,6 +198,14 @@ func runCell(ctx context.Context, cell Cell, opts *Options, workers int) (CellRe
 			opts.emit(Event{Cell: cell, Phase: PhaseCached})
 			return CellResult{Cell: cell, Cached: true, Artifact: a}, nil
 		}
+		// ok == false falls through to execution even when splitBudget's
+		// Has probe counted this cell as a hit. The two can legitimately
+		// disagree: on a shared store directory a sibling process may GC
+		// or prune the record between the probe and this Get, and the FS
+		// backend's per-process index can outlive the file. A vanished
+		// record is a plain miss — the cell re-simulates (with a
+		// slightly generous inner worker budget, which is harmless under
+		// the determinism contract) rather than failing the campaign.
 	}
 	exp, ok := experiment.Lookup(cell.Experiment)
 	if !ok {
@@ -194,11 +218,7 @@ func runCell(ctx context.Context, cell Cell, opts *Options, workers int) (CellRe
 	cfg.Workers = workers
 	a, err := exp.Run(ctx, cfg)
 	if err != nil {
-		// A cancelled context is an interruption, not a cell failure —
-		// keep the event stream truthful for the SIGINT workflow.
-		if ctx.Err() == nil {
-			opts.emit(Event{Cell: cell, Phase: PhaseError, Err: err})
-		}
+		opts.emitError(ctx, cell, err)
 		return CellResult{}, fmt.Errorf("campaign: cell %s: %w", cell.ID(), err)
 	}
 	// The artifact must identify as this cell, or the store would file
@@ -215,14 +235,12 @@ func runCell(ctx context.Context, cell Cell, opts *Options, workers int) (CellRe
 	if a.Name != cell.Experiment || a.Fingerprint != cell.Fingerprint {
 		err := fmt.Errorf("campaign: cell %s: experiment returned artifact identity (%s, %s), want (%s, %s) — stamp Name and the config fingerprint (experiment.Fingerprint) in Run, or leave them empty",
 			cell.ID(), a.Name, a.Fingerprint, cell.Experiment, cell.Fingerprint)
-		opts.emit(Event{Cell: cell, Phase: PhaseError, Err: err})
+		opts.emitError(ctx, cell, err)
 		return CellResult{}, err
 	}
 	if opts.Store != nil {
 		if _, err := opts.Store.Put(a); err != nil {
-			if ctx.Err() == nil {
-				opts.emit(Event{Cell: cell, Phase: PhaseError, Err: err})
-			}
+			opts.emitError(ctx, cell, err)
 			return CellResult{}, fmt.Errorf("campaign: cell %s: %w", cell.ID(), err)
 		}
 	}

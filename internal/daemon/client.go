@@ -1,0 +1,211 @@
+package daemon
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"chipletqc/internal/campaign"
+	"chipletqc/internal/experiment"
+)
+
+// Client talks to a campaign daemon over its HTTP API. The zero value
+// is not usable; construct with NewClient.
+type Client struct {
+	base string
+	// HTTPClient overrides http.DefaultClient (tests point it at an
+	// httptest server's client).
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the daemon at baseURL. A bare
+// host:port (the CLI's -addr form) is promoted to http://, and a
+// leading ":port" means localhost.
+func NewClient(baseURL string) *Client {
+	base := strings.TrimRight(baseURL, "/")
+	if strings.HasPrefix(base, ":") {
+		base = "localhost" + base
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{base: base}
+}
+
+// BaseURL returns the normalized base URL the client talks to.
+func (c *Client) BaseURL() string { return c.base }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues one API request; body (if non-nil) is sent as JSON and the
+// response decoded into out (if non-nil). Error responses decode the
+// daemon's {"error": ...} body into the returned error.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return apiError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// apiError turns an error response into a Go error carrying the
+// daemon's message.
+func apiError(resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&e) == nil && e.Error != "" {
+		return fmt.Errorf("daemon: %s (HTTP %d)", e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("daemon: HTTP %d", resp.StatusCode)
+}
+
+// Submit posts a plan and returns the queued job's status snapshot.
+func (c *Client) Submit(ctx context.Context, plan campaign.Plan, force bool) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/campaigns", Submission{Plan: plan, Force: force}, &st)
+	return st, err
+}
+
+// Job fetches one job's status, including its per-cell breakdown.
+func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/campaigns/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+// Jobs lists every job the daemon has seen, in submission order.
+func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
+	var out struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/campaigns", nil, &out)
+	return out.Jobs, err
+}
+
+// Artifact fetches one stored artifact by key; ok reports whether the
+// daemon's store holds it.
+func (c *Client) Artifact(ctx context.Context, name, fingerprint string) (experiment.Artifact, bool, error) {
+	path := "/v1/artifacts/" + url.PathEscape(name) + "/" + url.PathEscape(fingerprint)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return experiment.Artifact{}, false, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return experiment.Artifact{}, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return experiment.Artifact{}, false, nil
+	}
+	if resp.StatusCode >= 400 {
+		return experiment.Artifact{}, false, apiError(resp)
+	}
+	var a experiment.Artifact
+	if err := json.NewDecoder(resp.Body).Decode(&a); err != nil {
+		return experiment.Artifact{}, false, err
+	}
+	return a, true, nil
+}
+
+// Status fetches the daemon's status snapshot.
+func (c *Client) Status(ctx context.Context) (ServerStatus, error) {
+	var st ServerStatus
+	err := c.do(ctx, http.MethodGet, "/v1/status", nil, &st)
+	return st, err
+}
+
+// Shutdown asks the daemon to drain and exit.
+func (c *Client) Shutdown(ctx context.Context) error {
+	return c.do(ctx, http.MethodPost, "/v1/shutdown", nil, nil)
+}
+
+// Watch subscribes to a job's SSE stream, invoking onEvent (if
+// non-nil) for each cell event — the full history replays first, so a
+// watcher attached late still sees every cell — and returns the
+// terminal JobStatus the stream ends with.
+func (c *Client) Watch(ctx context.Context, id string, onEvent func(EventJSON)) (JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/campaigns/"+url.PathEscape(id)+"/events", nil)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return JobStatus{}, apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	var event, data string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			switch event {
+			case "cell":
+				if onEvent != nil {
+					var e EventJSON
+					if err := json.Unmarshal([]byte(data), &e); err != nil {
+						return JobStatus{}, fmt.Errorf("daemon: bad event payload: %w", err)
+					}
+					onEvent(e)
+				}
+			case "status":
+				var st JobStatus
+				if err := json.Unmarshal([]byte(data), &st); err != nil {
+					return JobStatus{}, fmt.Errorf("daemon: bad status payload: %w", err)
+				}
+				return st, nil
+			}
+			event, data = "", ""
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return JobStatus{}, err
+	}
+	return JobStatus{}, fmt.Errorf("daemon: event stream for %s ended before the job finished", id)
+}

@@ -1,0 +1,233 @@
+package daemon
+
+import (
+	"sync"
+	"time"
+
+	"chipletqc/internal/campaign"
+)
+
+// State is a job's lifecycle position. A job moves strictly
+// queued → running → one of the three terminal states.
+type State string
+
+// Job states.
+const (
+	// StateQueued means the job is waiting for a worker slot.
+	StateQueued State = "queued"
+	// StateRunning means the job's campaign is executing.
+	StateRunning State = "running"
+	// StateDone means every cell completed and the report is final.
+	StateDone State = "done"
+	// StateFailed means a cell failed and aborted the campaign.
+	StateFailed State = "failed"
+	// StateInterrupted means the daemon drained (SIGTERM or the
+	// shutdown verb) before the job could finish; cells completed
+	// before the interruption are persisted in the store, so
+	// re-submitting the same plan resumes from them.
+	StateInterrupted State = "interrupted"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateInterrupted
+}
+
+// CellPhasePending is the per-cell phase before any campaign event
+// arrives for the cell; afterwards the phase is the last campaign
+// event phase observed (run/cached/done/error).
+const CellPhasePending = "pending"
+
+// CellStatus is one cell's position in a job, as served by the API.
+type CellStatus struct {
+	Index       int    `json:"index"`
+	Experiment  string `json:"experiment"`
+	Scenario    string `json:"scenario"`
+	Override    string `json:"override,omitempty"`
+	Fingerprint string `json:"config_fingerprint"`
+	// Phase is "pending" until the first event, then the last observed
+	// campaign phase: run, cached, done, or error.
+	Phase string `json:"phase"`
+	Error string `json:"error,omitempty"`
+}
+
+// JobStatus is the API's snapshot of one job: identity, lifecycle
+// state, live executed/cached counts wired off the campaign event
+// stream, and (optionally) per-cell phases.
+type JobStatus struct {
+	ID       string        `json:"id"`
+	State    State         `json:"state"`
+	Plan     campaign.Plan `json:"plan"`
+	GridSize int           `json:"grid_size"`
+	// Executed and Cached count cells by outcome so far; on a done job
+	// they match the campaign report.
+	Executed int `json:"executed"`
+	Cached   int `json:"cached"`
+	// Errors counts PhaseError events; Error carries the campaign
+	// error on a failed or interrupted job.
+	Errors      int       `json:"errors,omitempty"`
+	Error       string    `json:"error,omitempty"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+	// WallSeconds is the campaign wall time of a finished job.
+	WallSeconds float64 `json:"wall_time_seconds,omitempty"`
+	// Cells is the per-cell breakdown (omitted from list endpoints).
+	Cells []CellStatus `json:"cells,omitempty"`
+}
+
+// job is the daemon's in-process record of one submitted campaign.
+// The immutable identity fields are set at submission; everything
+// behind mu is updated by the dispatcher and the campaign's progress
+// events. The fanout carries the event stream to every subscriber and
+// closes exactly when the job reaches a terminal state.
+type job struct {
+	id     string
+	plan   campaign.Plan
+	force  bool
+	cells  []campaign.Cell
+	fanout *campaign.Fanout
+
+	mu        sync.Mutex
+	state     State
+	err       string
+	phases    []string
+	cellErrs  []string
+	executed  int
+	cached    int
+	errors    int
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	report    *campaign.Report
+}
+
+// newJob returns a queued job for an already-expanded plan.
+func newJob(id string, plan campaign.Plan, force bool, cells []campaign.Cell) *job {
+	phases := make([]string, len(cells))
+	for i := range phases {
+		phases[i] = CellPhasePending
+	}
+	return &job{
+		id:        id,
+		plan:      plan,
+		force:     force,
+		cells:     cells,
+		fanout:    campaign.NewFanout(),
+		state:     StateQueued,
+		phases:    phases,
+		cellErrs:  make([]string, len(cells)),
+		submitted: time.Now(),
+	}
+}
+
+// observe is the job's campaign.Options.Progress handler: it folds
+// each event into the per-cell phase table and live counters, then
+// fans it out to every subscriber. Safe for concurrent use.
+func (j *job) observe(e campaign.Event) {
+	j.mu.Lock()
+	if i := e.Cell.Index; i >= 0 && i < len(j.phases) {
+		j.phases[i] = string(e.Phase)
+		switch e.Phase {
+		case campaign.PhaseDone:
+			j.executed++
+		case campaign.PhaseCached:
+			j.cached++
+		case campaign.PhaseError:
+			j.errors++
+			if e.Err != nil {
+				j.cellErrs[i] = e.Err.Error()
+			}
+		}
+	}
+	j.mu.Unlock()
+	j.fanout.Emit(e)
+}
+
+// start marks the job running.
+func (j *job) start() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateRunning
+	j.started = time.Now()
+}
+
+// finish records the campaign outcome and closes the event stream.
+// interrupted distinguishes a daemon drain from a genuine cell
+// failure: the campaign returns an error either way, but only a
+// failure should read as one.
+func (j *job) finish(rep campaign.Report, err error, interrupted bool) {
+	j.mu.Lock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.report = &rep
+		// The report is authoritative for a completed run.
+		j.executed, j.cached = rep.Executed, rep.Cached
+	case interrupted:
+		j.state = StateInterrupted
+		j.err = err.Error()
+	default:
+		j.state = StateFailed
+		j.err = err.Error()
+	}
+	j.mu.Unlock()
+	j.fanout.Close()
+}
+
+// abandon marks a job that never ran (still queued at drain time)
+// interrupted and closes its event stream so watchers end cleanly.
+func (j *job) abandon(reason string) {
+	j.mu.Lock()
+	j.state = StateInterrupted
+	j.err = reason
+	j.finished = time.Now()
+	j.mu.Unlock()
+	j.fanout.Close()
+}
+
+// getState returns the current lifecycle state.
+func (j *job) getState() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// status snapshots the job for the API; withCells includes the
+// per-cell phase breakdown.
+func (j *job) status(withCells bool) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Plan:        j.plan,
+		GridSize:    len(j.cells),
+		Executed:    j.executed,
+		Cached:      j.cached,
+		Errors:      j.errors,
+		Error:       j.err,
+		SubmittedAt: j.submitted,
+		StartedAt:   j.started,
+		FinishedAt:  j.finished,
+	}
+	if j.report != nil {
+		st.WallSeconds = j.report.WallSeconds
+	}
+	if withCells {
+		st.Cells = make([]CellStatus, len(j.cells))
+		for i, c := range j.cells {
+			st.Cells[i] = CellStatus{
+				Index:       c.Index,
+				Experiment:  c.Experiment,
+				Scenario:    c.Scenario,
+				Override:    c.Override,
+				Fingerprint: c.Fingerprint,
+				Phase:       j.phases[i],
+				Error:       j.cellErrs[i],
+			}
+		}
+	}
+	return st
+}

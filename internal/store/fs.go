@@ -98,6 +98,14 @@ func (s *FS) Put(a experiment.Artifact) (string, error) {
 	if err := validKey(a.Name, a.Fingerprint); err != nil {
 		return "", err
 	}
+	// Check closed before staging any bytes: a Put racing Close (a
+	// drained daemon, a test teardown) should fail cleanly up front
+	// rather than write a record file the flushed manifest never saw.
+	// The index update below re-checks under the same lock Close takes,
+	// so a Put that slips past this check still can't corrupt the index.
+	if s.isClosed() {
+		return "", errClosed
+	}
 	dst := s.path(a.Name, a.Fingerprint)
 	tmp, err := os.CreateTemp(s.dir, "."+Key(a.Name, a.Fingerprint)+tempMarker+"*")
 	if err != nil {

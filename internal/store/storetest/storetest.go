@@ -211,6 +211,129 @@ func Run(t *testing.T, open func(t *testing.T) store.Store) {
 		}
 	})
 
+	t.Run("ConcurrentMixedVerbs", func(t *testing.T) {
+		// The campaign daemon holds one store open across many
+		// concurrent jobs: cells Put while other jobs Get/Has their own
+		// keys, status endpoints call Keys/Len, and an admin GC can run
+		// against the live store. This case races every verb at once
+		// (meaningful under -race) and pins the only invariants such a
+		// mix may rely on: no operation errors, and every Get observes
+		// either a clean miss or one complete record — never a partial
+		// or mis-identified one.
+		s := open(t)
+		const stable = 8 // records present before the race starts
+		for i := 0; i < stable; i++ {
+			if _, err := s.Put(Artifact("mixed-stable", fmt.Sprintf("%012x", i))); err != nil {
+				t.Fatalf("seed Put: %v", err)
+			}
+		}
+		type gcer interface {
+			GC(store.GCPolicy) (store.GCReport, error)
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) { // writers: fresh keys and overwrites
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := s.Put(Artifact(fmt.Sprintf("mixed-w%d", w), fmt.Sprintf("%012x", i%16))); err != nil {
+						t.Errorf("racing Put: %v", err)
+						return
+					}
+				}
+			}(w)
+			wg.Add(1)
+			go func(w int) { // readers: Get/Has over stable and racing keys
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					name, fingerprint := "mixed-stable", fmt.Sprintf("%012x", i%stable)
+					if i%3 == 0 {
+						name, fingerprint = fmt.Sprintf("mixed-w%d", w), fmt.Sprintf("%012x", i%16)
+					}
+					a, ok, err := s.Get(name, fingerprint)
+					if err != nil {
+						t.Errorf("racing Get(%s, %s): %v", name, fingerprint, err)
+						return
+					}
+					if ok && (a.Trials != 1000 || a.Name != name || a.Fingerprint != fingerprint) {
+						t.Errorf("racing Get(%s, %s) returned a partial or mis-identified record: %+v", name, fingerprint, a)
+						return
+					}
+					s.Has(name, fingerprint) // may be either answer mid-race; must not crash or block
+				}
+			}(w)
+		}
+		wg.Add(1)
+		go func() { // listers: Keys and Len race everything above
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				keys, err := s.Keys()
+				if err != nil {
+					t.Errorf("racing Keys: %v", err)
+					return
+				}
+				for _, k := range keys {
+					if _, _, err := store.ParseKey(k); err != nil {
+						t.Errorf("racing Keys returned unparseable key %q: %v", k, err)
+						return
+					}
+				}
+				if _, err := s.Len(); err != nil {
+					t.Errorf("racing Len: %v", err)
+					return
+				}
+			}
+		}()
+		if g, ok := s.(gcer); ok {
+			wg.Add(1)
+			go func() { // GC races the live store on backends that support it
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := g.GC(store.GCPolicy{MaxRecords: stable}); err != nil {
+						t.Errorf("racing GC: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		// Let the race run long enough to interleave meaningfully.
+		for i := 0; i < 200; i++ {
+			if _, err := s.Put(Artifact("mixed-main", fmt.Sprintf("%012x", i%8))); err != nil {
+				t.Errorf("main-goroutine Put: %v", err)
+				break
+			}
+		}
+		close(stop)
+		wg.Wait()
+		if _, err := s.Len(); err != nil {
+			t.Errorf("Len after the race: %v", err)
+		}
+		if _, err := s.Keys(); err != nil {
+			t.Errorf("Keys after the race: %v", err)
+		}
+	})
+
 	t.Run("CloseIsIdempotentAndFinal", func(t *testing.T) {
 		s := open(t)
 		if _, err := s.Put(Artifact("fig8", "abc123def456")); err != nil {

@@ -1,0 +1,150 @@
+package chipletqc_test
+
+import (
+	"context"
+	"net"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"chipletqc"
+)
+
+// facadeServeExp is a caller-defined experiment used to drive the
+// daemon facade; the registry is global per test binary, so register
+// exactly once.
+type facadeServeExp struct{ runs sync.Map }
+
+func (e *facadeServeExp) Name() string     { return "facade-serve-exp" }
+func (e *facadeServeExp) Describe() string { return "facade daemon integration probe" }
+
+func (e *facadeServeExp) Run(ctx context.Context, cfg chipletqc.ExperimentConfig) (chipletqc.Artifact, error) {
+	fp := chipletqc.ConfigFingerprint(cfg)
+	n, _ := e.runs.LoadOrStore(fp, 0)
+	e.runs.Store(fp, n.(int)+1)
+	scn := cfg.ResolvedScenario()
+	return chipletqc.Artifact{
+		Name:                e.Name(),
+		Description:         e.Describe(),
+		Seed:                cfg.Seed,
+		Scenario:            scn.Name,
+		ScenarioFingerprint: scn.Fingerprint(),
+		Fingerprint:         fp,
+		Trials:              1,
+	}, nil
+}
+
+var serveExp = &facadeServeExp{}
+var registerServeExp = sync.OnceFunc(func() { chipletqc.RegisterExperiment(serveExp) })
+
+// TestCampaignServerFacade drives the daemon entirely through the
+// public facade: mount the handler, submit the same plan twice through
+// a CampaignClient, watch the event stream, and fetch an artifact by
+// key — the repeat must be served from the store without re-running
+// the experiment.
+func TestCampaignServerFacade(t *testing.T) {
+	registerServeExp()
+	st := chipletqc.OpenMemStore()
+	srv, handler := chipletqc.CampaignHandler(chipletqc.CampaignServerOptions{Store: st, Workers: 2})
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+	defer srv.Drain()
+
+	c := chipletqc.NewCampaignClient(ts.URL)
+	c.HTTPClient = ts.Client()
+	plan := chipletqc.CampaignPlan{
+		Experiments: []string{"facade-serve-exp"},
+		Scenarios:   []string{"paper", "future-fab"},
+		Seed:        3,
+	}
+
+	job, err := c.Submit(context.Background(), plan, false)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	var events []chipletqc.CampaignEventJSON
+	final, err := c.Watch(context.Background(), job.ID, func(e chipletqc.CampaignEventJSON) {
+		events = append(events, e)
+	})
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	if final.State != chipletqc.CampaignJobDone || final.Executed != 2 {
+		t.Fatalf("first job: state %s executed %d, want done/2", final.State, final.Executed)
+	}
+	if len(events) != 4 {
+		t.Errorf("watched %d events, want 4 (run+done per cell)", len(events))
+	}
+
+	repeat, err := c.Submit(context.Background(), plan, false)
+	if err != nil {
+		t.Fatalf("repeat Submit: %v", err)
+	}
+	refinal, err := c.Watch(context.Background(), repeat.ID, nil)
+	if err != nil {
+		t.Fatalf("repeat Watch: %v", err)
+	}
+	if refinal.State != chipletqc.CampaignJobDone || refinal.Executed != 0 || refinal.Cached != 2 {
+		t.Fatalf("repeat job: state %s executed %d cached %d, want done/0/2", refinal.State, refinal.Executed, refinal.Cached)
+	}
+	serveExp.runs.Range(func(key, value any) bool {
+		if value.(int) != 1 {
+			t.Errorf("cell %v executed %d times, want exactly 1 (repeat must be cached)", key, value)
+		}
+		return true
+	})
+
+	cell := final.Cells[0]
+	a, ok, err := c.Artifact(context.Background(), cell.Experiment, cell.Fingerprint)
+	if err != nil || !ok {
+		t.Fatalf("Artifact: ok=%t err=%v", ok, err)
+	}
+	if a.Fingerprint != cell.Fingerprint || a.Name != cell.Experiment {
+		t.Errorf("fetched artifact identifies as (%s, %s), want (%s, %s)", a.Name, a.Fingerprint, cell.Experiment, cell.Fingerprint)
+	}
+
+	status, err := c.Status(context.Background())
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if status.Done != 2 || status.StoreRecords != 2 {
+		t.Errorf("server status done %d records %d, want 2 and 2", status.Done, status.StoreRecords)
+	}
+}
+
+// TestServeCampaignsDrains pins the one-call server form: a cancelled
+// context must drain the daemon and return nil.
+func TestServeCampaignsDrains(t *testing.T) {
+	registerServeExp()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- chipletqc.ServeCampaignsOn(ctx, l, chipletqc.CampaignServerOptions{Store: chipletqc.OpenMemStore()})
+	}()
+
+	c := chipletqc.NewCampaignClient(l.Addr().String())
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := c.Status(context.Background()); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never answered Status")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("ServeCampaignsOn returned %v after context cancellation, want nil", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("ServeCampaignsOn did not return after context cancellation")
+	}
+}
