@@ -50,6 +50,7 @@ import (
 	"chipletqc/internal/noise"
 	"chipletqc/internal/qbench"
 	"chipletqc/internal/runner"
+	"chipletqc/internal/sampling"
 	"chipletqc/internal/scenario"
 	"chipletqc/internal/topo"
 	"chipletqc/internal/yield"
@@ -211,6 +212,18 @@ type YieldOptions struct {
 	// MaxTrials caps the adaptive budget; nil inherits the scenario's
 	// policy, Ptr(0) resets to the Batch fallback.
 	MaxTrials *int
+	// RelPrecision is the adaptive mode's relative target: stop once
+	// the 95% CI half-width falls to RelPrecision x the point estimate
+	// — the right stopping rule for deep-low-yield scenarios. nil
+	// inherits the scenario's trial policy; Ptr(0.0) disables the
+	// relative target.
+	RelPrecision *float64
+	// Sampling selects the yield estimator by method name: "plain",
+	// "stratified", or "importance" (rare-event estimators with
+	// likelihood-ratio reweighting; see the README's rare-event sampling
+	// section). "" inherits the scenario's trial policy; "none" forces
+	// the historical inline counting path.
+	Sampling string
 	// Progress, when non-nil, receives per-checkpoint trial counts.
 	Progress func(ProgressEvent)
 }
@@ -231,6 +244,14 @@ func (o YieldOptions) Validate() error {
 	}
 	if o.MaxTrials != nil && *o.MaxTrials < 0 {
 		return fmt.Errorf("chipletqc: YieldOptions.MaxTrials %d is negative", *o.MaxTrials)
+	}
+	if o.RelPrecision != nil && *o.RelPrecision < 0 {
+		return fmt.Errorf("chipletqc: YieldOptions.RelPrecision %g is negative", *o.RelPrecision)
+	}
+	switch o.Sampling {
+	case "", "none", "off", sampling.Plain, sampling.Stratified, sampling.Importance:
+	default:
+		return fmt.Errorf("chipletqc: YieldOptions.Sampling %q unknown (want plain, stratified, importance, or none)", o.Sampling)
 	}
 	return nil
 }
@@ -280,6 +301,10 @@ func yieldConfigFromOptions(opts YieldOptions) (yield.Config, error) {
 	if opts.MaxTrials != nil {
 		cfg.MaxTrials = *opts.MaxTrials
 	}
+	if opts.RelPrecision != nil {
+		cfg.RelPrecision = *opts.RelPrecision
+	}
+	cfg.Sampling = yield.ResolveSamplingMethod(cfg.Sampling, opts.Sampling)
 	cfg.Progress = opts.Progress
 	return cfg, nil
 }

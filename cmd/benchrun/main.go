@@ -14,6 +14,7 @@
 //	benchrun -all -max 300                 # Fig. 10 over enumerated systems (registry artifact)
 //	benchrun -all -workers 8               # pin the worker-pool size
 //	benchrun -perf                         # write BENCH_yield.json perf record
+//	benchrun -perfcheck BENCH_yield.json   # fail on >10% ns/op regression vs the committed baseline
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"testing"
 
@@ -33,6 +35,7 @@ import (
 	"chipletqc/internal/experiment"
 	"chipletqc/internal/mcm"
 	"chipletqc/internal/report"
+	"chipletqc/internal/sampling"
 	"chipletqc/internal/scenario"
 	"chipletqc/internal/topo"
 	"chipletqc/internal/yield"
@@ -76,8 +79,12 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		workers   = fs.Int("workers", 0, "parallel workers (0 = all CPU cores; results identical either way)")
 		precision = fs.Float64("precision", 0, "adaptive mode: stop yield simulations once their 95% CI half-width reaches this (0 = the scenario's policy; negative forces fixed batch)")
 		maxTrials = fs.Int("maxtrials", 0, "adaptive mode trial budget per simulation (0 = the scenario's policy, then batch size; negative resets)")
+		relPrec   = fs.Float64("relprecision", 0, "adaptive mode relative target: stop once the CI half-width reaches this fraction of the yield (0 = the scenario's policy; negative disables)")
+		smpl      = fs.String("sampling", "", "yield estimator: plain, stratified, or importance (\"\" = the scenario's policy; none = historical inline path)")
 		perf      = fs.Bool("perf", false, "run the yield hot-path micro-benchmark and write a machine-readable perf record")
 		perfOut   = fs.String("perfout", "BENCH_yield.json", "perf record output path for -perf")
+		perfCheck = fs.String("perfcheck", "", "compare a fresh micro-benchmark against this committed baseline record; exit non-zero on regression")
+		perfTol   = fs.Float64("perftol", 0.10, "allowed fractional ns/op regression for -perfcheck (0.10 = 10%)")
 		csv       = fs.Bool("csv", false, "emit CSV")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -102,8 +109,15 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	cfg.Workers = *workers
 	// 0 inherits the scenario's trial policy; negative forces fixed-batch.
 	cfg.ApplyTrialPolicyOverrides(*precision, *maxTrials)
+	cfg.ApplySamplingOverrides(*smpl, *relPrec)
+	if err := cfg.Sampling.Validate(); err != nil {
+		return err
+	}
 	cfg.Fig10Samples = *samples
 
+	if *perfCheck != "" {
+		return runPerfCheck(ctx, scn, *batch, *workers, *seed, *perfCheck, *perfTol, out)
+	}
 	if *perf {
 		return runPerf(ctx, scn, *batch, *workers, *seed, *perfOut, out)
 	}
@@ -179,11 +193,12 @@ type perfRecord struct {
 	BytesPerOp   int64   `json:"bytes_per_op"`
 }
 
-// runPerf micro-benchmarks yield.Simulate on a 100-qubit device in both
-// fixed-batch and adaptive (1% precision) modes and writes the records
-// as JSON to path. The records carry the scenario name so the CI perf
-// trajectory distinguishes device worlds.
-func runPerf(ctx context.Context, scn scenario.Scenario, batch, workers int, seed int64, path string, out io.Writer) error {
+// measurePerf micro-benchmarks yield.Simulate on a 100-qubit device in
+// fixed-batch, adaptive (1% precision), and importance-sampled
+// (rare-event estimator, same fixed budget) modes. The records carry
+// the scenario name so the CI perf trajectory distinguishes device
+// worlds.
+func measurePerf(ctx context.Context, scn scenario.Scenario, batch, workers int, seed int64) ([]perfRecord, error) {
 	if batch <= 0 {
 		batch = scn.Trials.ChipletBatch // -batch 0 = the scenario's policy, as elsewhere
 	}
@@ -193,21 +208,31 @@ func runPerf(ctx context.Context, scn scenario.Scenario, batch, workers int, see
 	// The fixed-mode record must stay fixed even under a scenario whose
 	// trial policy is adaptive, or its ns/op is not comparable across
 	// PRs; the adaptive record pins its own 1% precision below.
-	base.Precision, base.MaxTrials = 0, 0
+	base.Precision, base.MaxTrials, base.RelPrecision = 0, 0, 0
+	base.Sampling = sampling.Spec{}
 
 	measure := func(name string, cfg yield.Config) (perfRecord, error) {
 		res, err := yield.Simulate(ctx, d, cfg) // warm-up + result snapshot
 		if err != nil {
 			return perfRecord{}, err
 		}
-		br := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if _, err := yield.Simulate(ctx, d, cfg); err != nil {
-					b.Fatal(err)
+		// Best-of-3: the minimum ns/op is far less sensitive to scheduler
+		// noise than a single sample, which is what lets the perf gate
+		// hold a tight tolerance without flaking.
+		var br testing.BenchmarkResult
+		for rep := 0; rep < 3; rep++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := yield.Simulate(ctx, d, cfg); err != nil {
+						b.Fatal(err)
+					}
 				}
+			})
+			if rep == 0 || r.NsPerOp() < br.NsPerOp() {
+				br = r
 			}
-		})
+		}
 		ns := float64(br.NsPerOp())
 		rec := perfRecord{
 			Name:        name,
@@ -229,16 +254,32 @@ func runPerf(ctx context.Context, scn scenario.Scenario, batch, workers int, see
 
 	adaptive := base
 	adaptive.Precision = 0.01
-	fixed, err := measure("yield_simulate_fixed", base)
-	if err != nil {
-		return err
+	importanceCfg := base
+	importanceCfg.Sampling = sampling.Spec{Method: sampling.Importance}
+	var records []perfRecord
+	for _, m := range []struct {
+		name string
+		cfg  yield.Config
+	}{
+		{"yield_simulate_fixed", base},
+		{"yield_simulate_adaptive_1pct", adaptive},
+		{"yield_simulate_importance", importanceCfg},
+	} {
+		rec, err := measure(m.name, m.cfg)
+		if err != nil {
+			return nil, err
+		}
+		records = append(records, rec)
 	}
-	adapt, err := measure("yield_simulate_adaptive_1pct", adaptive)
-	if err != nil {
-		return err
-	}
-	records := []perfRecord{fixed, adapt}
+	return records, nil
+}
 
+// runPerf measures the hot-path records and writes them as JSON to path.
+func runPerf(ctx context.Context, scn scenario.Scenario, batch, workers int, seed int64, path string, out io.Writer) error {
+	records, err := measurePerf(ctx, scn, batch, workers, seed)
+	if err != nil {
+		return err
+	}
 	data, err := json.MarshalIndent(records, "", "  ")
 	if err != nil {
 		return err
@@ -246,16 +287,70 @@ func runPerf(ctx context.Context, scn scenario.Scenario, batch, workers int, see
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
+	if err := perfTable(records).WriteText(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nwrote %s\n", path)
+	return nil
+}
 
+// runPerfCheck measures the hot-path records and compares each ns/op
+// against the committed baseline at path, failing on any fractional
+// regression beyond tol. Records present on only one side are reported
+// but never fail the check, so the benchmark set can evolve without
+// lock-step baseline updates.
+func runPerfCheck(ctx context.Context, scn scenario.Scenario, batch, workers int, seed int64, path string, tol float64, out io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("perfcheck baseline: %w", err)
+	}
+	var baseline []perfRecord
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("perfcheck baseline %s: %w", path, err)
+	}
+	base := map[string]perfRecord{}
+	for _, r := range baseline {
+		base[r.Name] = r
+	}
+	records, err := measurePerf(ctx, scn, batch, workers, seed)
+	if err != nil {
+		return err
+	}
+	tb := report.New(fmt.Sprintf("Perf check vs %s (tolerance %+.0f%%)", path, tol*100),
+		"name", "baseline_ns", "current_ns", "delta", "verdict")
+	var failures []string
+	for _, r := range records {
+		b, ok := base[r.Name]
+		if !ok || b.NsPerOp <= 0 {
+			tb.Add(r.Name, "-", fmt.Sprintf("%.0f", r.NsPerOp), "-", "new (not gated)")
+			continue
+		}
+		delta := r.NsPerOp/b.NsPerOp - 1
+		verdict := "ok"
+		if delta > tol {
+			verdict = "REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%)",
+				r.Name, b.NsPerOp, r.NsPerOp, delta*100))
+		}
+		tb.Add(r.Name, fmt.Sprintf("%.0f", b.NsPerOp), fmt.Sprintf("%.0f", r.NsPerOp),
+			fmt.Sprintf("%+.1f%%", delta*100), verdict)
+	}
+	if err := tb.WriteText(out); err != nil {
+		return err
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("perf regression beyond %.0f%%: %s", tol*100, strings.Join(failures, "; "))
+	}
+	return nil
+}
+
+// perfTable renders perf records for human reading.
+func perfTable(records []perfRecord) *report.Table {
 	tb := report.New("Yield hot-path micro-benchmark",
 		"name", "trials", "ns_per_op", "trials_per_sec", "allocs_per_op")
 	for _, r := range records {
 		tb.Add(r.Name, r.TrialsUsed, fmt.Sprintf("%.0f", r.NsPerOp),
 			fmt.Sprintf("%.3g", r.TrialsPerSec), r.AllocsPerOp)
 	}
-	if err := tb.WriteText(out); err != nil {
-		return err
-	}
-	fmt.Fprintf(out, "\nwrote %s\n", path)
-	return nil
+	return tb
 }

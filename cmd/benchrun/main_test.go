@@ -47,8 +47,8 @@ func TestRunPerfWritesRecord(t *testing.T) {
 	if err := json.Unmarshal(data, &records); err != nil {
 		t.Fatalf("perf record is not valid JSON: %v", err)
 	}
-	if len(records) != 2 {
-		t.Fatalf("records = %d, want fixed + adaptive", len(records))
+	if len(records) != 3 {
+		t.Fatalf("records = %d, want fixed + adaptive + importance", len(records))
 	}
 	for _, r := range records {
 		if r.NsPerOp <= 0 || r.TrialsPerSec <= 0 {
@@ -61,11 +61,59 @@ func TestRunPerfWritesRecord(t *testing.T) {
 			t.Errorf("%s: negative allocs", r.Name)
 		}
 	}
-	if records[0].Name != "yield_simulate_fixed" || records[1].Name != "yield_simulate_adaptive_1pct" {
-		t.Errorf("unexpected record names: %s, %s", records[0].Name, records[1].Name)
+	if records[0].Name != "yield_simulate_fixed" ||
+		records[1].Name != "yield_simulate_adaptive_1pct" ||
+		records[2].Name != "yield_simulate_importance" {
+		t.Errorf("unexpected record names: %s, %s, %s", records[0].Name, records[1].Name, records[2].Name)
 	}
 	if !strings.Contains(out.String(), "wrote "+path) {
 		t.Errorf("missing confirmation line:\n%s", out.String())
+	}
+}
+
+// TestRunPerfCheck exercises -perfcheck against both a generous and an
+// impossible committed baseline: the generous one passes, the
+// impossible one (1 ns/op) must be reported as a regression beyond the
+// tolerance.
+func TestRunPerfCheck(t *testing.T) {
+	dir := t.TempDir()
+	generous := filepath.Join(dir, "generous.json")
+	impossible := filepath.Join(dir, "impossible.json")
+	base := []perfRecord{
+		{Name: "yield_simulate_fixed", NsPerOp: 1e15},
+		{Name: "yield_simulate_adaptive_1pct", NsPerOp: 1e15},
+		{Name: "yield_simulate_importance", NsPerOp: 1e15},
+	}
+	writeRecords := func(path string, rs []perfRecord) {
+		data, err := json.Marshal(rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeRecords(generous, base)
+	for i := range base {
+		base[i].NsPerOp = 1
+	}
+	writeRecords(impossible, base)
+
+	var out, errs strings.Builder
+	if err := run(context.Background(), []string{"-perfcheck", generous, "-batch", "100"}, &out, &errs); err != nil {
+		t.Errorf("perfcheck vs generous baseline should pass: %v", err)
+	}
+	if !strings.Contains(out.String(), "Perf check") {
+		t.Errorf("missing perf check table:\n%s", out.String())
+	}
+
+	out.Reset()
+	err := run(context.Background(), []string{"-perfcheck", impossible, "-batch", "100"}, &out, &errs)
+	if err == nil {
+		t.Fatal("perfcheck vs 1 ns/op baseline should fail")
+	}
+	if !strings.Contains(err.Error(), "perf regression") {
+		t.Errorf("unexpected failure: %v", err)
 	}
 }
 

@@ -97,6 +97,8 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		workers     = fs.Int("workers", 0, "total worker budget across cells (0 = all CPU cores; results identical either way)")
 		precision   = fs.Float64("precision", 0, "adaptive mode: per-cell 95% CI half-width target (0 = each scenario's policy; negative forces fixed batch)")
 		maxTrials   = fs.Int("maxtrials", 0, "adaptive mode trial budget per simulation (0 = each scenario's policy; negative resets)")
+		relPrec     = fs.Float64("relprecision", 0, "adaptive mode relative target: per-cell CI half-width as a fraction of the yield (0 = each scenario's policy; negative disables)")
+		smpl        = fs.String("sampling", "", "yield estimator for every cell: plain, stratified, or importance (\"\" = each scenario's policy; none = historical inline path)")
 		list        = fs.Bool("list", false, "print the expanded cell grid with store hit/miss status and exit")
 		jsonOut     = fs.Bool("json", false, "write the campaign report as JSON to stdout instead of text")
 		progress    = fs.Bool("progress", false, "stream per-cell events to the error stream")
@@ -144,8 +146,11 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		Seed:        *seed,
 		Quick:       *quick,
 	}
-	if *precision != 0 || *maxTrials != 0 {
-		plan.Overrides = []campaign.Override{{Precision: *precision, MaxTrials: *maxTrials}}
+	if *precision != 0 || *maxTrials != 0 || *relPrec != 0 || *smpl != "" {
+		plan.Overrides = []campaign.Override{{
+			Precision: *precision, MaxTrials: *maxTrials,
+			RelPrecision: *relPrec, Sampling: *smpl,
+		}}
 	}
 
 	admin := adminRequest{
@@ -324,7 +329,7 @@ func checkModeFlags(explicit map[string]bool, serve bool, clientVerb string, cli
 		return errUsage
 	}
 
-	planFlags := []string{"experiments", "scenarios", "quick", "seed", "precision", "maxtrials"}
+	planFlags := []string{"experiments", "scenarios", "quick", "seed", "precision", "maxtrials", "relprecision", "sampling"}
 	allowed := map[string]bool{}
 	add := func(names ...string) {
 		for _, n := range names {

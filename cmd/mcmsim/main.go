@@ -66,6 +66,8 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		workers   = fs.Int("workers", 0, "parallel workers (0 = all CPU cores; results identical either way)")
 		precision = fs.Float64("precision", 0, "adaptive mode: stop each yield simulation once its 95% CI half-width reaches this (0 = the scenario's policy; negative forces fixed batch)")
 		maxTrials = fs.Int("maxtrials", 0, "adaptive mode trial budget per simulation (0 = the scenario's policy, then batch size; negative resets)")
+		relPrec   = fs.Float64("relprecision", 0, "adaptive mode relative target: stop once the CI half-width reaches this fraction of the yield (0 = the scenario's policy; negative disables)")
+		smpl      = fs.String("sampling", "", "yield estimator: plain, stratified, or importance (\"\" = the scenario's policy; none = historical inline path)")
 		fig8      = fs.Bool("fig8", false, "run the registered fig8 experiment (full yield comparison)")
 		fig9      = fs.Bool("fig9", false, "run the registered fig9 experiment (E_avg ratio heatmaps)")
 		csv       = fs.Bool("csv", false, "emit CSV")
@@ -92,6 +94,10 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	cfg.Workers = *workers
 	// 0 inherits the scenario's trial policy; negative forces fixed-batch.
 	cfg.ApplyTrialPolicyOverrides(*precision, *maxTrials)
+	cfg.ApplySamplingOverrides(*smpl, *relPrec)
+	if err := cfg.Sampling.Validate(); err != nil {
+		return err
+	}
 
 	switch {
 	case *fig8:

@@ -11,6 +11,8 @@
 //	yieldsim -chiplets                      # catalog chiplet yields
 //	yieldsim -workers 8                     # pin the worker-pool size
 //	yieldsim -precision 0.01                # adaptive: stop at 1% CI half-width
+//	yieldsim -scenario tight-thresholds -sampling importance -relprecision 0.2
+//	                                        # rare-event mode: weighted estimator, +-20% relative CI
 package main
 
 import (
@@ -63,6 +65,8 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		workers   = fs.Int("workers", 0, "parallel workers (0 = all CPU cores; results identical either way)")
 		precision = fs.Float64("precision", 0, "adaptive mode: stop each simulation once the yield's 95% CI half-width reaches this (0 = the scenario's policy; negative forces fixed batch)")
 		maxTrials = fs.Int("maxtrials", 0, "adaptive mode trial budget (0 = the scenario's policy, then batch; negative resets)")
+		relPrec   = fs.Float64("relprecision", 0, "adaptive mode relative target: stop once the CI half-width reaches this fraction of the yield (0 = the scenario's policy; negative disables)")
+		smpl      = fs.String("sampling", "", "yield estimator: plain, stratified, or importance (\"\" = the scenario's policy; none = historical inline path)")
 		chiplets  = fs.Bool("chiplets", false, "report catalog chiplet yields instead of the size sweep")
 		analytic  = fs.Bool("analytic", false, "add the closed-form yield estimate next to Monte Carlo")
 		csv       = fs.Bool("csv", false, "emit CSV instead of an aligned table")
@@ -82,6 +86,10 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	cfg.Workers = *workers
 	// 0 inherits the scenario's trial policy; negative forces fixed-batch.
 	cfg.ApplyTrialPolicyOverrides(*precision, *maxTrials)
+	cfg.ApplySamplingOverrides(*smpl, *relPrec)
+	if err := cfg.Sampling.Validate(); err != nil {
+		return err
+	}
 
 	if *chiplets {
 		if *sigma > 0 {

@@ -9,7 +9,9 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"time"
 
 	"chipletqc/internal/campaign"
 	"chipletqc/internal/experiment"
@@ -156,30 +158,87 @@ func (c *Client) Shutdown(ctx context.Context) error {
 	return c.do(ctx, http.MethodPost, "/v1/shutdown", nil, nil)
 }
 
+// Watch reconnection policy: a dropped stream (proxy timeout, daemon
+// restart behind a load balancer, flaky link) is retried with a short
+// flat backoff; the budget resets whenever a connection makes progress,
+// so only consecutive dead connections exhaust it.
+const (
+	watchMaxRetries = 5
+	watchBackoff    = 200 * time.Millisecond
+)
+
 // Watch subscribes to a job's SSE stream, invoking onEvent (if
 // non-nil) for each cell event — the full history replays first, so a
 // watcher attached late still sees every cell — and returns the
 // terminal JobStatus the stream ends with.
+//
+// A stream that drops before the terminal status is reconnected
+// automatically (up to watchMaxRetries consecutive failures, flat
+// watchBackoff between attempts). The daemon replays the full event
+// history on every subscription and stamps each cell event with its
+// history index as the SSE id, so the client deduplicates replayed
+// events across reconnects: onEvent fires exactly once per event, in
+// order, no matter how many times the transport drops.
 func (c *Client) Watch(ctx context.Context, id string, onEvent func(EventJSON)) (JobStatus, error) {
+	seen := 0 // cell events already delivered to onEvent
+	retries := 0
+	for {
+		st, progressed, done, err := c.watchOnce(ctx, id, onEvent, &seen)
+		if done {
+			return st, err
+		}
+		// err is the transport-level drop; API errors (HTTP >= 400) and
+		// context cancellation returned with done=true above.
+		if progressed {
+			retries = 0
+		}
+		retries++
+		if retries > watchMaxRetries {
+			return JobStatus{}, fmt.Errorf("daemon: event stream for %s dropped %d times without finishing: %w",
+				id, retries-1, err)
+		}
+		select {
+		case <-ctx.Done():
+			return JobStatus{}, ctx.Err()
+		case <-time.After(watchBackoff):
+		}
+	}
+}
+
+// watchOnce runs a single SSE connection. It reports whether the stream
+// delivered anything new (progressed) and whether Watch should stop
+// (done): a terminal status, an API-level error, a malformed payload,
+// or a cancelled context all end the watch; transport drops return
+// done=false for the reconnect loop.
+func (c *Client) watchOnce(ctx context.Context, id string, onEvent func(EventJSON), seen *int) (st JobStatus, progressed, done bool, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/campaigns/"+url.PathEscape(id)+"/events", nil)
 	if err != nil {
-		return JobStatus{}, err
+		return JobStatus{}, false, true, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return JobStatus{}, err
+		if ctx.Err() != nil {
+			return JobStatus{}, false, true, ctx.Err()
+		}
+		return JobStatus{}, false, false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
-		return JobStatus{}, apiError(resp)
+		return JobStatus{}, false, true, apiError(resp)
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
 	var event, data string
+	eid := -1
+	pos := 0 // cell events seen on THIS connection, the fallback id
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
+		case strings.HasPrefix(line, "id: "):
+			if n, perr := strconv.Atoi(strings.TrimPrefix(line, "id: ")); perr == nil {
+				eid = n
+			}
 		case strings.HasPrefix(line, "event: "):
 			event = strings.TrimPrefix(line, "event: ")
 		case strings.HasPrefix(line, "data: "):
@@ -187,25 +246,37 @@ func (c *Client) Watch(ctx context.Context, id string, onEvent func(EventJSON)) 
 		case line == "":
 			switch event {
 			case "cell":
-				if onEvent != nil {
-					var e EventJSON
-					if err := json.Unmarshal([]byte(data), &e); err != nil {
-						return JobStatus{}, fmt.Errorf("daemon: bad event payload: %w", err)
+				idx := eid
+				if idx < 0 {
+					idx = pos // daemons predating SSE ids: positional dedupe
+				}
+				pos++
+				if idx >= *seen {
+					if onEvent != nil {
+						var e EventJSON
+						if err := json.Unmarshal([]byte(data), &e); err != nil {
+							return JobStatus{}, progressed, true, fmt.Errorf("daemon: bad event payload: %w", err)
+						}
+						onEvent(e)
 					}
-					onEvent(e)
+					*seen = idx + 1
+					progressed = true
 				}
 			case "status":
-				var st JobStatus
 				if err := json.Unmarshal([]byte(data), &st); err != nil {
-					return JobStatus{}, fmt.Errorf("daemon: bad status payload: %w", err)
+					return JobStatus{}, progressed, true, fmt.Errorf("daemon: bad status payload: %w", err)
 				}
-				return st, nil
+				return st, true, true, nil
 			}
-			event, data = "", ""
+			event, data, eid = "", "", -1
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return JobStatus{}, err
+	err = sc.Err()
+	if ctx.Err() != nil {
+		return JobStatus{}, progressed, true, ctx.Err()
 	}
-	return JobStatus{}, fmt.Errorf("daemon: event stream for %s ended before the job finished", id)
+	if err == nil {
+		err = fmt.Errorf("stream ended before the job finished")
+	}
+	return JobStatus{}, progressed, false, err
 }

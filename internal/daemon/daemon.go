@@ -397,32 +397,43 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 	events, cancel := j.fanout.Subscribe()
 	defer cancel()
+	// Cell events carry their history index as the SSE id, so a client
+	// that reconnects after a dropped stream — the full history replays
+	// on every subscription — can skip the events it already processed.
+	seq := 0
 	for {
 		select {
 		case e, ok := <-events:
 			if !ok {
 				// Stream complete: the job is terminal.
-				writeSSE(w, fl, "status", j.status(true))
+				writeSSE(w, fl, -1, "status", j.status(true))
 				return
 			}
 			ej := EventJSON{Phase: e.Phase, Cell: e.Cell}
 			if e.Err != nil {
 				ej.Error = e.Err.Error()
 			}
-			if writeSSE(w, fl, "cell", ej) != nil {
+			if writeSSE(w, fl, seq, "cell", ej) != nil {
 				return
 			}
+			seq++
 		case <-r.Context().Done():
 			return
 		}
 	}
 }
 
-// writeSSE emits one Server-Sent Event with a JSON data payload.
-func writeSSE(w io.Writer, fl http.Flusher, event string, data any) error {
+// writeSSE emits one Server-Sent Event with a JSON data payload; a
+// non-negative id is emitted as the standard SSE id field.
+func writeSSE(w io.Writer, fl http.Flusher, id int, event string, data any) error {
 	b, err := json.Marshal(data)
 	if err != nil {
 		return err
+	}
+	if id >= 0 {
+		if _, err := fmt.Fprintf(w, "id: %d\n", id); err != nil {
+			return err
+		}
 	}
 	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b); err != nil {
 		return err

@@ -1,0 +1,156 @@
+package daemon_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"chipletqc/internal/campaign"
+	"chipletqc/internal/daemon"
+)
+
+// sseServer simulates a daemon whose event stream drops mid-replay: the
+// handler serves scripted SSE connections, each a prefix of the full
+// history, with only the last one reaching the terminal status.
+type sseServer struct {
+	mu    sync.Mutex
+	conns int
+	// perConn[i] is how many cell events connection i+1 delivers before
+	// dropping; connections beyond the script replay everything and
+	// finish with the status event.
+	perConn []int
+	total   int
+}
+
+func (s *sseServer) handler(t *testing.T) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/campaigns/job-1/events" {
+			http.NotFound(w, r)
+			return
+		}
+		s.mu.Lock()
+		s.conns++
+		conn := s.conns
+		s.mu.Unlock()
+		fl := w.(http.Flusher)
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		fl.Flush()
+		// Full history replays from index 0 on every connection, exactly
+		// like the real daemon; the SSE id carries the history index.
+		n := s.total
+		drop := conn <= len(s.perConn)
+		if drop {
+			n = s.perConn[conn-1]
+		}
+		for i := 0; i < n; i++ {
+			ej := daemon.EventJSON{Phase: campaign.PhaseDone, Cell: campaign.Cell{
+				Index: i, Experiment: fmt.Sprintf("exp-%d", i), Scenario: "paper",
+			}}
+			b, err := json.Marshal(ej)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			fmt.Fprintf(w, "id: %d\nevent: cell\ndata: %s\n\n", i, b)
+			fl.Flush()
+		}
+		if drop {
+			// Abort the connection without a terminal event: the client
+			// sees the transport die mid-stream.
+			panic(http.ErrAbortHandler)
+		}
+		b, err := json.Marshal(daemon.JobStatus{ID: "job-1", State: daemon.StateDone})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		fmt.Fprintf(w, "event: status\ndata: %s\n\n", b)
+		fl.Flush()
+	}
+}
+
+// TestWatchReconnectsAfterDrop pins the reconnect contract: a stream
+// that drops twice mid-replay is reattached, the full history replays
+// each time, and the watcher still sees every event exactly once, in
+// order, before the terminal status arrives.
+func TestWatchReconnectsAfterDrop(t *testing.T) {
+	srv := &sseServer{total: 6, perConn: []int{3, 5}}
+	ts := httptest.NewServer(srv.handler(t))
+	defer ts.Close()
+	c := daemon.NewClient(ts.URL)
+	c.HTTPClient = ts.Client()
+
+	var got []daemon.EventJSON
+	st, err := c.Watch(context.Background(), "job-1", func(e daemon.EventJSON) {
+		got = append(got, e)
+	})
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	if st.State != daemon.StateDone {
+		t.Errorf("terminal state = %s, want done", st.State)
+	}
+	if srv.conns != 3 {
+		t.Errorf("connections = %d, want 3 (two drops, one completion)", srv.conns)
+	}
+	if len(got) != srv.total {
+		t.Fatalf("delivered %d events, want exactly %d (no duplicates across replays)",
+			len(got), srv.total)
+	}
+	for i, e := range got {
+		if e.Cell.Index != i {
+			t.Errorf("event %d carries cell index %d, want in-order delivery", i, e.Cell.Index)
+		}
+	}
+}
+
+// TestWatchGivesUpAfterConsecutiveDrops: a stream that dies repeatedly
+// without ever making progress must exhaust the retry budget and
+// surface the drop as an error instead of spinning forever.
+func TestWatchGivesUpAfterConsecutiveDrops(t *testing.T) {
+	srv := &sseServer{total: 4, perConn: []int{0, 0, 0, 0, 0, 0, 0, 0, 0, 0}}
+	ts := httptest.NewServer(srv.handler(t))
+	defer ts.Close()
+	c := daemon.NewClient(ts.URL)
+	c.HTTPClient = ts.Client()
+
+	_, err := c.Watch(context.Background(), "job-1", nil)
+	if err == nil {
+		t.Fatal("Watch should fail once consecutive drops exhaust the retry budget")
+	}
+	if !strings.Contains(err.Error(), "dropped") {
+		t.Errorf("error should describe the dropped stream, got: %v", err)
+	}
+}
+
+// TestWatchProgressResetsRetryBudget: drops separated by progress must
+// not accumulate toward the give-up threshold — seven connections that
+// each deliver one new event stay well past the 5-consecutive-failure
+// budget and still finish.
+func TestWatchProgressResetsRetryBudget(t *testing.T) {
+	srv := &sseServer{total: 8, perConn: []int{1, 2, 3, 4, 5, 6, 7}}
+	ts := httptest.NewServer(srv.handler(t))
+	defer ts.Close()
+	c := daemon.NewClient(ts.URL)
+	c.HTTPClient = ts.Client()
+
+	var got []daemon.EventJSON
+	st, err := c.Watch(context.Background(), "job-1", func(e daemon.EventJSON) {
+		got = append(got, e)
+	})
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	if st.State != daemon.StateDone {
+		t.Errorf("terminal state = %s, want done", st.State)
+	}
+	if len(got) != srv.total {
+		t.Errorf("delivered %d events, want %d", len(got), srv.total)
+	}
+}

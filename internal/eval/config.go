@@ -8,6 +8,7 @@ import (
 	"chipletqc/internal/collision"
 	"chipletqc/internal/noise"
 	"chipletqc/internal/runner"
+	"chipletqc/internal/sampling"
 	"chipletqc/internal/scenario"
 	"chipletqc/internal/stats"
 	"chipletqc/internal/topo"
@@ -67,6 +68,18 @@ type Config struct {
 	// MaxTrials caps each adaptive simulation's budget; <= 0 falls back
 	// to the relevant fixed batch size (MonoBatch / ChipletBatch).
 	MaxTrials int
+	// RelPrecision is the adaptive mode's relative target: stop once
+	// each simulation's 95% CI half-width falls to RelPrecision x the
+	// point estimate — the right stopping rule for deep-low-yield
+	// scenarios, where any absolute target stops before the event is
+	// even observed. Either target being met stops a run; 0 disables
+	// this one.
+	RelPrecision float64
+	// Sampling selects the yield estimator (see internal/sampling):
+	// plain counting, stratified, or importance sampling with
+	// likelihood-ratio reweighting for rare-event scenarios. The zero
+	// spec runs the historical inline counting path.
+	Sampling sampling.Spec
 
 	// Progress, when non-nil, receives streaming progress events from
 	// the experiment pipelines: per-device trial counts at every
@@ -101,6 +114,8 @@ func ConfigFor(s scenario.Scenario, seed int64) Config {
 		ChipletBatch:  s.Trials.ChipletBatch,
 		Precision:     s.Trials.Precision,
 		MaxTrials:     s.Trials.MaxTrials,
+		RelPrecision:  s.Trials.RelPrecision,
+		Sampling:      s.Trials.Sampling,
 		MaxQubits:     500,
 		Fig4MaxQubits: 1000,
 		Fig6Batch:     100000,
@@ -179,6 +194,16 @@ func (c *Config) ApplyTrialPolicyOverrides(precision float64, maxTrials int) {
 	c.MaxTrials = yield.ResolveTrialPolicy(c.MaxTrials, maxTrials)
 }
 
+// ApplySamplingOverrides layers per-run estimator and relative-precision
+// knobs over the scenario trial policy already on the config;
+// yield.ResolveSamplingMethod defines the method sentinels ("" inherits,
+// "none" forces the historical inline path) and yield.ResolveTrialPolicy
+// the relative-precision ones.
+func (c *Config) ApplySamplingOverrides(method string, relPrecision float64) {
+	c.Sampling = yield.ResolveSamplingMethod(c.Sampling, method)
+	c.RelPrecision = yield.ResolveTrialPolicy(c.RelPrecision, relPrecision)
+}
+
 // progress emits a unit-level event when a Progress hook is installed.
 func (c *Config) progress(label string, done, total int) {
 	if c.Progress != nil {
@@ -207,6 +232,8 @@ func (c *Config) yieldConfig(batch int, seed int64) yield.Config {
 	ycfg.Workers = c.Workers
 	ycfg.Precision = c.Precision
 	ycfg.MaxTrials = c.MaxTrials
+	ycfg.RelPrecision = c.RelPrecision
+	ycfg.Sampling = c.Sampling
 	ycfg.Progress = c.Progress
 	return ycfg
 }

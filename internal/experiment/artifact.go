@@ -98,6 +98,15 @@ func Fingerprint(cfg eval.Config) string {
 		fmt.Fprintf(&sb, "linkmean=%g;", *cfg.LinkMean)
 	}
 	fmt.Fprintf(&sb, "precision=%g;maxtrials=%d;", cfg.Precision, cfg.MaxTrials)
+	// Rare-event sampling knobs enter only when set, so pinned
+	// fingerprints from releases that predate the sampling subsystem
+	// stay stable (a campaign store keyed on them keeps its cache).
+	if cfg.RelPrecision != 0 {
+		fmt.Fprintf(&sb, "relprec=%g;", cfg.RelPrecision)
+	}
+	if sp := cfg.Sampling.String(); sp != "" {
+		fmt.Fprintf(&sb, "sampling=%s;", sp)
+	}
 	fmt.Fprintf(&sb, "fig4max=%d;fig6batch=%d;fig6dim=%d;fig10samples=%d;",
 		cfg.Fig4MaxQubits, cfg.Fig6Batch, cfg.Fig6MaxDim, cfg.Fig10Samples)
 	if cfg.Det != nil {

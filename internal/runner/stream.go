@@ -86,6 +86,19 @@ func Checkpoints(min, max int) []int {
 // campaign must be discarded by the caller.
 func Stream[L, T any](ctx context.Context, max, workers int, checkpoints []int, newLocal func() L,
 	trial func(l L, i int) T, observe func(i int, v T), stop func(trials int) bool) (int, error) {
+	return StreamPlanned(ctx, max, workers, checkpoints, newLocal, nil, trial, observe, stop)
+}
+
+// StreamPlanned is Stream with a block-planning hook: when plan is
+// non-nil it is called with the half-open trial range [lo, hi) of each
+// upcoming block before any worker starts it, on the coordinating
+// goroutine, never concurrently with trial. Estimators that assign
+// trials to strata use it to freeze per-block assignment from
+// statistics accumulated at the previous checkpoint — the assignment
+// becomes a pure function of the trial index and the checkpoint grid,
+// preserving worker-count invariance.
+func StreamPlanned[L, T any](ctx context.Context, max, workers int, checkpoints []int, newLocal func() L,
+	plan func(lo, hi int), trial func(l L, i int) T, observe func(i int, v T), stop func(trials int) bool) (int, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
@@ -114,6 +127,9 @@ func Stream[L, T any](ctx context.Context, max, workers int, checkpoints []int, 
 			buf = make([]T, n)
 		}
 		buf = buf[:n]
+		if plan != nil {
+			plan(done, cp)
+		}
 		runBlock(locals, done, cp, buf, trial, cancelled)
 		// ctx.Err() directly, not the async watcher flag: a
 		// cancellation observed synchronously by a nested call inside

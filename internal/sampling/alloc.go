@@ -1,0 +1,88 @@
+package sampling
+
+import "math"
+
+// allocator plans deterministic trial-to-stratum assignment for
+// estimators that reallocate trials toward informative strata (Neyman
+// allocation). Plans are computed per checkpoint block on the
+// coordinating goroutine from statistics frozen at the previous
+// checkpoint; while workers run, the current plan is read-only, so
+// stratum lookup is safe from any goroutine and the assignment is a
+// pure function of the trial index at any worker count.
+type allocator struct {
+	strata    int
+	allocated []int64 // lifetime trials assigned per stratum
+
+	// Current block's assignment: trial i in [blockLo, blockLo+
+	// len(assign)) is in stratum assign[i-blockLo].
+	blockLo int
+	assign  []int
+}
+
+func newAllocator(strata int) *allocator {
+	return &allocator{strata: strata, allocated: make([]int64, strata)}
+}
+
+// planBlock assigns trials [lo, hi) by greedy deficit against the given
+// target shares (any non-negative scale). Until at least one share is
+// positive (early blocks where no stratum has resolved statistics), it
+// falls back to equal shares; once shares exist, a stratum whose share
+// is currently 0 still gets a trickle floor so a wrong early estimate
+// can be revised.
+func (a *allocator) planBlock(lo, hi int, shares []float64) {
+	n := hi - lo
+	a.blockLo = lo
+	if cap(a.assign) < n {
+		a.assign = make([]int, n)
+	}
+	a.assign = a.assign[:n]
+
+	total := 0.0
+	for _, sh := range shares {
+		total += sh
+	}
+	if total == 0 {
+		for s := range shares {
+			shares[s] = 1
+		}
+		total = float64(a.strata)
+	} else {
+		floor := total / float64(a.strata) / 16
+		for s := range shares {
+			if shares[s] < floor {
+				shares[s] = floor
+			}
+		}
+		total = 0
+		for _, sh := range shares {
+			total += sh
+		}
+	}
+
+	assignedTotal := int64(0)
+	for _, al := range a.allocated {
+		assignedTotal += al
+	}
+	for j := 0; j < n; j++ {
+		// Assign the slot to the stratum with the largest deficit against
+		// its target share of the new lifetime total; ties break to the
+		// lowest stratum index, keeping the plan fully deterministic.
+		target := float64(assignedTotal + 1)
+		best, bestDeficit := 0, math.Inf(-1)
+		for s := 0; s < a.strata; s++ {
+			deficit := shares[s]/total*target - float64(a.allocated[s])
+			if deficit > bestDeficit {
+				best, bestDeficit = s, deficit
+			}
+		}
+		a.assign[j] = best
+		a.allocated[best]++
+		assignedTotal++
+	}
+}
+
+// stratumOf returns trial i's planned stratum; callable concurrently
+// with workers (the plan is frozen while they run).
+func (a *allocator) stratumOf(i int) int {
+	return a.assign[i-a.blockLo]
+}

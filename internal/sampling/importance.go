@@ -1,0 +1,322 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+
+	"chipletqc/internal/collision"
+	"chipletqc/internal/fab"
+	"chipletqc/internal/stats"
+	"chipletqc/internal/topo"
+)
+
+// importance is a sequential conditioned importance sampler: it places
+// qubit frequencies one at a time in index order, drawing each from
+// the fabrication Gaussian *conditioned on the set of values that keep
+// the partial assignment collision-free*, and reweights by the exact
+// Gaussian likelihood ratio.
+//
+// Every Table I criterion is an interval condition on one frequency
+// once the other frequencies it mentions are fixed: types 1, 2, 3, 5,
+// 6, and 7 each forbid one or two bands |f_q − center| ≤ T with the
+// center an affine function of already-placed frequencies, and type 4
+// requires the control/target pair to straddle (f_q confined to a
+// window of width |anharmonicity|). Each criterion is attached to the
+// highest-indexed qubit it mentions, so by the time qubit q is placed
+// the allowed set A_q — the type-4 window intersection minus the union
+// of forbidden bands — is fully determined by f_0..f_{q−1}, and after
+// the last qubit every criterion has been enforced: the sample is
+// collision-free by construction.
+//
+// Drawing f_q from the Gaussian restricted to A_q and multiplying the
+// trial weight by the allowed mass m_q = P(N(target_q, sigma) ∈ A_q)
+// makes the likelihood ratio exact:
+//
+//	w = Π_q m_q ,   p̂ = mean(w·y) ,
+//
+// unbiased because the proposal's support is exactly the free set (and
+// y ≡ 1 there — the engine's independent collision check doubles as a
+// guard: a construction bug could only shrink the support's *effective*
+// contribution through y = 0, never inflate the estimate... a trial
+// whose partial assignment has no free completion gets w = 0 and still
+// counts). The decisive property for deep-low-yield scenarios: every
+// trial carries yield information — there are no wasted almost-certain
+// failures — and w ≤ 1 always (each factor is a probability), so the
+// weight distribution has no heavy upper tail and the variance is
+// finite unconditionally.
+//
+// Stopping is guarded by the Kish effective sample size
+// (Σw)²/Σw² ≥ MinESS — an estimate resting on a handful of dominant
+// weights must keep sampling no matter how small its nominal variance
+// looks — and the standard error is +Inf until at least two trials and
+// one free sample have been seen.
+//
+// Determinism: the constraint tables are pure functions of the device
+// and thresholds, each trial consumes only its private (seed, i)
+// stream, and PlanBlock is a no-op — so the estimate is bit-identical
+// at any worker count.
+type importance struct {
+	d      *topo.Device
+	m      fab.Model
+	minESS float64
+
+	windows [][]seqWindow // per-qubit type-4 windows, other end placed
+	bands   [][]seqBand   // per-qubit forbidden bands, centers placed
+
+	w         stats.Welford // weight stats (w·y per trial)
+	trials    int
+	successes int
+}
+
+// seqWindow narrows qubit q's allowed interval to
+// [f[o] + lo, f[o] + hi] for an already-placed qubit o.
+type seqWindow struct {
+	o      int
+	lo, hi float64
+}
+
+// seqBand forbids |f_q − center| ≤ hw with
+// center = ca·f[qa] + cb·f[qb] + c0; qb is -1 when the center depends
+// on a single placed qubit.
+type seqBand struct {
+	qa, qb int
+	ca, cb float64
+	c0, hw float64
+}
+
+func newImportance(c Spec, d *topo.Device, m fab.Model, p collision.Params) *importance {
+	e := &importance{
+		d:       d,
+		m:       m,
+		minESS:  c.MinESS,
+		windows: make([][]seqWindow, d.N),
+		bands:   make([][]seqBand, d.N),
+	}
+	a := p.Anharmonicity
+	band1 := func(q, qa int, c0, hw float64) {
+		e.bands[q] = append(e.bands[q], seqBand{qa: qa, qb: -1, ca: 1, c0: c0, hw: hw})
+	}
+	for _, edge := range d.G.Edges() {
+		ctl := d.ControlOf(edge.U, edge.V)
+		tgt := d.TargetOf(edge.U, edge.V)
+		q, o := ctl, tgt
+		if tgt > ctl {
+			q, o = tgt, ctl
+		}
+		// Type 4: the target must lie in [f_control + a, f_control].
+		if q == tgt {
+			e.windows[q] = append(e.windows[q], seqWindow{o: o, lo: a, hi: 0})
+		} else {
+			e.windows[q] = append(e.windows[q], seqWindow{o: o, lo: 0, hi: -a})
+		}
+		// Type 1: f_i = f_j ± T1 — symmetric in the pair.
+		band1(q, o, 0, p.T1)
+		// Type 2: f_control + a/2 = f_target ± T2.
+		if q == tgt {
+			band1(q, o, a/2, p.T2)
+		} else {
+			band1(q, o, -a/2, p.T2)
+		}
+		// Type 3: f_i = f_j + a ± T3, either orientation.
+		band1(q, o, a, p.T3)
+		band1(q, o, -a, p.T3)
+	}
+	for _, cp := range d.ControlPairs() {
+		i, j, k := cp.Control, cp.T1, cp.T2
+		// Types 5 and 6 mention only the two targets.
+		q, o := j, k
+		if k > j {
+			q, o = k, j
+		}
+		band1(q, o, 0, p.T5)
+		band1(q, o, a, p.T6)
+		band1(q, o, -a, p.T6)
+		// Type 7: 2f_i + a = f_j + f_k ± T7, attached to the last-placed
+		// of the triple.
+		switch {
+		case i > j && i > k:
+			e.bands[i] = append(e.bands[i], seqBand{qa: j, qb: k, ca: 0.5, cb: 0.5, c0: -a / 2, hw: p.T7 / 2})
+		case j > k:
+			e.bands[j] = append(e.bands[j], seqBand{qa: i, qb: k, ca: 2, cb: -1, c0: a, hw: p.T7})
+		default:
+			e.bands[k] = append(e.bands[k], seqBand{qa: i, qb: j, ca: 2, cb: -1, c0: a, hw: p.T7})
+		}
+	}
+	return e
+}
+
+func (e *importance) Name() string { return Importance }
+
+func (e *importance) PlanBlock(lo, hi int) {}
+
+func (e *importance) SampleInto(r *rand.Rand, i int, buf []float64) float64 {
+	logw := 0.0
+	for q := 0; q < e.d.N; q++ {
+		mu := e.m.Plan.Target(e.d.Class[q])
+		// Allowed interval from the type-4 windows, standardized.
+		zLo, zHi := math.Inf(-1), math.Inf(1)
+		for _, win := range e.windows[q] {
+			zLo = math.Max(zLo, (buf[win.o]+win.lo-mu)/e.m.Sigma)
+			zHi = math.Min(zHi, (buf[win.o]+win.hi-mu)/e.m.Sigma)
+		}
+		// Forbidden bands clipped to the window, sorted by start.
+		var starts, ends [maxSeqBands]float64
+		nb := 0
+		for _, b := range e.bands[q] {
+			c := b.ca*buf[b.qa] + b.c0
+			if b.qb >= 0 {
+				c += b.cb * buf[b.qb]
+			}
+			za, zb := (c-b.hw-mu)/e.m.Sigma, (c+b.hw-mu)/e.m.Sigma
+			if zb <= zLo || za >= zHi {
+				continue
+			}
+			za, zb = math.Max(za, zLo), math.Min(zb, zHi)
+			at := nb
+			for at > 0 && starts[at-1] > za {
+				starts[at], ends[at] = starts[at-1], ends[at-1]
+				at--
+			}
+			starts[at], ends[at] = za, zb
+			nb++
+		}
+		// Allowed pieces are the gaps; accumulate their Gaussian masses.
+		var pLo, pHi [maxSeqBands + 1]float64
+		var pMass [maxSeqBands + 1]float64
+		np, cur, total := 0, zLo, 0.0
+		emit := func(a, b float64) {
+			if b <= a {
+				return
+			}
+			m := gaussMass(a, b)
+			if m <= 0 {
+				return
+			}
+			pLo[np], pHi[np], pMass[np] = a, b, m
+			total += m
+			np++
+		}
+		for bi := 0; bi < nb; bi++ {
+			if starts[bi] > cur {
+				emit(cur, starts[bi])
+			}
+			cur = math.Max(cur, ends[bi])
+		}
+		emit(cur, zHi)
+		if total <= 0 {
+			// Dead end: no collision-free completion of this partial
+			// assignment. The trial keeps its zero weight; fill the rest
+			// with plan targets so the buffer stays finite.
+			for ; q < e.d.N; q++ {
+				buf[q] = e.m.Plan.Target(e.d.Class[q])
+			}
+			return math.Inf(-1)
+		}
+		v := r.Float64() * total
+		pi := 0
+		for pi < np-1 && v > pMass[pi] {
+			v -= pMass[pi]
+			pi++
+		}
+		z := gaussInterp(pLo[pi], pHi[pi], v)
+		buf[q] = mu + e.m.Sigma*z
+		logw += math.Log(total)
+	}
+	return logw
+}
+
+// maxSeqBands bounds the forbidden bands attached to one qubit: a
+// lattice qubit has a handful of couplings and control-pair triples,
+// each contributing at most a few bands. The constructor's tables are
+// never larger in practice; SampleInto keeps its scratch on the stack.
+const maxSeqBands = 64
+
+// gaussMass returns P(a < Z < b) for standard normal Z, computed from
+// the nearer tail so deep-tail intervals keep relative precision.
+func gaussMass(a, b float64) float64 {
+	switch {
+	case a >= 0:
+		return 0.5 * (math.Erfc(a/math.Sqrt2) - math.Erfc(b/math.Sqrt2))
+	case b <= 0:
+		return 0.5 * (math.Erfc(-b/math.Sqrt2) - math.Erfc(-a/math.Sqrt2))
+	default:
+		return 0.5 * (math.Erf(b/math.Sqrt2) + math.Erf(-a/math.Sqrt2))
+	}
+}
+
+// gaussInterp returns the z with P(a < Z ≤ z) = rem for standard
+// normal Z, inverting from the nearer tail; the result is clamped to
+// [a, b] so rounding can never escape the allowed piece.
+func gaussInterp(a, b, rem float64) float64 {
+	var z float64
+	if a >= 0 {
+		// Work in the upper tail: complementary mass decreases from
+		// erfc(a/√2)/2 by rem.
+		q := 0.5*math.Erfc(a/math.Sqrt2) - rem
+		z = math.Sqrt2 * math.Erfcinv(2*math.Max(q, math.SmallestNonzeroFloat64))
+	} else {
+		p := 0.5*math.Erfc(-a/math.Sqrt2) + rem
+		z = -math.Sqrt2 * math.Erfcinv(2*math.Min(math.Max(p, math.SmallestNonzeroFloat64), 1))
+	}
+	return math.Min(math.Max(z, a), b)
+}
+
+func (e *importance) Observe(i int, ok bool, logw float64) {
+	e.trials++
+	wy := 0.0
+	// A dead-ended trial (logw = -Inf) hands the engine a plan-target
+	// buffer, which the checker reports free; the -Inf weight marks it a
+	// zero-weight failure regardless.
+	if ok && !math.IsInf(logw, -1) {
+		e.successes++
+		wy = math.Exp(logw)
+	}
+	e.w.Add(wy)
+}
+
+// ess returns the Kish effective sample size (Σw)²/Σw² of the weighted
+// trials (0 before any free sample).
+func (e *importance) ess() float64 {
+	n := float64(e.w.N())
+	if n == 0 || e.w.Mean() == 0 {
+		return 0
+	}
+	sum := n * e.w.Mean()
+	sum2 := (n-1)*e.w.Variance() + n*e.w.Mean()*e.w.Mean()
+	return sum * sum / sum2
+}
+
+// estimate returns the point estimate and its standard error; se is
+// +Inf until at least two trials and one free sample have been seen.
+func (e *importance) estimate() (p, se float64) {
+	p = e.w.Mean()
+	if e.w.N() < 2 || e.successes == 0 {
+		return p, math.Inf(1)
+	}
+	return p, math.Sqrt(e.w.Variance() / float64(e.w.N()))
+}
+
+func (e *importance) HalfWidth(z float64) float64 {
+	if e.ess() < e.minESS {
+		return math.Inf(1)
+	}
+	_, se := e.estimate()
+	return z * se
+}
+
+func (e *importance) Snapshot(z float64) Estimate {
+	p, se := e.estimate()
+	lo, hi := 0.0, 1.0
+	if !math.IsInf(se, 1) {
+		lo, hi = p-z*se, p+z*se
+	}
+	return Estimate{
+		Estimator: Importance,
+		Trials:    e.trials,
+		Successes: e.successes,
+		Yield:     p,
+		ESS:       e.ess(),
+		CILo:      math.Max(0, lo),
+		CIHi:      math.Min(1, hi),
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"chipletqc/internal/collision"
 	"chipletqc/internal/fab"
 	"chipletqc/internal/noise"
+	"chipletqc/internal/sampling"
 	"chipletqc/internal/topo"
 	"chipletqc/internal/yield"
 )
@@ -103,6 +104,19 @@ type TrialPolicy struct {
 	ChipletBatch int     // chiplet fabrication batch (paper: 10^4)
 	Precision    float64 // adaptive 95% CI half-width target (0 = fixed batch)
 	MaxTrials    int     // adaptive budget cap (0 = batch size)
+
+	// RelPrecision is the adaptive mode's relative target: stop once
+	// the CI half-width <= RelPrecision x the point estimate (0 =
+	// disabled). This is the stopping rule that works for deep-low
+	// yields, where any absolute target stops before the event has
+	// been observed.
+	RelPrecision float64
+	// Sampling selects the scenario's default yield estimator (see
+	// internal/sampling). The zero spec keeps the historical inline
+	// counting path; rare-event scenarios default to importance
+	// sampling so campaign cells get the variance reduction without
+	// per-run flags.
+	Sampling sampling.Spec
 }
 
 // Scenario bundles everything that defines a simulated device world.
@@ -191,6 +205,13 @@ func (s Scenario) Validate() error {
 		return fmt.Errorf("scenario %q: negative trial policy (precision %g, max trials %d)",
 			s.Name, s.Trials.Precision, s.Trials.MaxTrials)
 	}
+	if s.Trials.RelPrecision < 0 {
+		return fmt.Errorf("scenario %q: negative relative precision %g",
+			s.Name, s.Trials.RelPrecision)
+	}
+	if err := s.Trials.Sampling.Validate(); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
 	return nil
 }
 
@@ -212,6 +233,14 @@ func (s Scenario) Fingerprint() string {
 	fmt.Fprintf(&sb, "asm=%d/%g;", s.Assembly.MaxReshuffles, s.Assembly.BondFailureScale)
 	fmt.Fprintf(&sb, "trials=%d/%d/%g/%d;", s.Trials.MonoBatch, s.Trials.ChipletBatch,
 		s.Trials.Precision, s.Trials.MaxTrials)
+	// Post-seed trial-policy extensions fold in only when set, so every
+	// scenario fingerprint minted before they existed is unchanged.
+	if s.Trials.RelPrecision != 0 {
+		fmt.Fprintf(&sb, "relprec=%g;", s.Trials.RelPrecision)
+	}
+	if sp := s.Trials.Sampling.String(); sp != "" {
+		fmt.Fprintf(&sb, "sampling=%s;", sp)
+	}
 	sum := sha256.Sum256([]byte(sb.String()))
 	return fmt.Sprintf("%x", sum[:6])
 }
@@ -247,13 +276,15 @@ func (s Scenario) CollisionFree(d *topo.Device, f []float64) bool {
 // defaults come from the trial policy; callers override per run.
 func (s Scenario) YieldConfig(batch int, seed int64) yield.Config {
 	return yield.Config{
-		Batch:     batch,
-		Model:     s.Fab,
-		Params:    s.Params,
-		Catalog:   s.Catalog,
-		Seed:      seed,
-		Precision: s.Trials.Precision,
-		MaxTrials: s.Trials.MaxTrials,
+		Batch:        batch,
+		Model:        s.Fab,
+		Params:       s.Params,
+		Catalog:      s.Catalog,
+		Seed:         seed,
+		Precision:    s.Trials.Precision,
+		RelPrecision: s.Trials.RelPrecision,
+		MaxTrials:    s.Trials.MaxTrials,
+		Sampling:     s.Trials.Sampling,
 	}
 }
 

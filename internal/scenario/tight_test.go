@@ -1,0 +1,86 @@
+package scenario
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"chipletqc/internal/sampling"
+	"chipletqc/internal/topo"
+	"chipletqc/internal/yield"
+)
+
+// TestTightThresholdsPresetPolicy pins the rare-event preset's trial
+// policy: importance sampling by default, a relative-precision stop,
+// and both folded into the fingerprint — while the pre-sampling presets
+// keep their fingerprints byte-identical to earlier releases.
+func TestTightThresholdsPresetPolicy(t *testing.T) {
+	s := MustLookup(TightThresholdsName)
+	if s.Trials.Sampling.Method != sampling.Importance {
+		t.Errorf("tight-thresholds sampling method = %q, want importance", s.Trials.Sampling.Method)
+	}
+	if s.Trials.RelPrecision != 0.2 {
+		t.Errorf("tight-thresholds RelPrecision = %v, want 0.2", s.Trials.RelPrecision)
+	}
+	fp := s.Fingerprint()
+	noSampling := s
+	noSampling.Trials.Sampling = sampling.Spec{}
+	if noSampling.Fingerprint() == fp {
+		t.Error("sampling spec does not fold into the fingerprint: rare-event cells would collide with plain cache entries")
+	}
+	noRel := s
+	noRel.Trials.RelPrecision = 0
+	if noRel.Fingerprint() == fp {
+		t.Error("relative precision does not fold into the fingerprint")
+	}
+	// Canonical equivalence: an explicitly-defaulted spec must hash like
+	// the bare method spec, so equivalent configs share cache entries.
+	explicit := s
+	explicit.Trials.Sampling = sampling.Spec{Method: sampling.Importance, MinESS: sampling.DefaultMinESS}
+	if explicit.Fingerprint() != fp {
+		t.Error("default-resolved sampling specs split the fingerprint space")
+	}
+}
+
+// TestTightThresholdsImportanceSavesTrials is the rare-event engine's
+// acceptance test: on the tight-thresholds scenario at 24 qubits
+// (collision-free yield ~1e-4), the preset's importance estimator must
+// reach the +-20% relative-precision stop in at least 10x fewer trials
+// than the plain adaptive estimator — and the two estimates must agree.
+// The measured ratio is two to three orders of magnitude; 10x is the
+// contract.
+func TestTightThresholdsImportanceSavesTrials(t *testing.T) {
+	s := MustLookup(TightThresholdsName)
+	d := topo.MonolithicDevice(topo.MonolithicSpec(24))
+	run := func(spec sampling.Spec) yield.Result {
+		cfg := s.YieldConfig(0, 7)
+		cfg.Precision = 0 // relative target only: absolute stops never fire
+		cfg.RelPrecision = 0.2
+		cfg.MaxTrials = 1 << 22
+		cfg.Sampling = spec
+		res, err := yield.Simulate(context.Background(), d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-11s trials=%8d yield=%.4g ci=[%.4g, %.4g] ess=%.0f",
+			spec.Method, res.Batch, res.Fraction(), res.CILo, res.CIHi, res.ESS)
+		return res
+	}
+	imp := run(s.Trials.Sampling)
+	plain := run(sampling.Spec{Method: sampling.Plain})
+
+	if imp.Batch >= 1<<22 {
+		t.Fatalf("importance run exhausted its %d-trial budget without converging", 1<<22)
+	}
+	if ratio := float64(plain.Batch) / float64(imp.Batch); ratio < 10 {
+		t.Errorf("importance sampling saved only %.1fx trials (%d vs %d), want >= 10x",
+			ratio, plain.Batch, imp.Batch)
+	}
+	seI := imp.HalfWidth() / 1.96
+	seP := plain.HalfWidth() / 1.96
+	z := (imp.Fraction() - plain.Fraction()) / math.Hypot(seI, seP)
+	if math.Abs(z) > 5 {
+		t.Errorf("estimates disagree: importance %v vs plain %v (z = %.2f)",
+			imp.Fraction(), plain.Fraction(), z)
+	}
+}

@@ -1,0 +1,136 @@
+package stats
+
+import "math"
+
+// GammaP returns the regularized lower incomplete gamma function
+// P(a, x) = γ(a, x)/Γ(a), the CDF of a Gamma(a, 1) variable at x.
+// It uses the standard series expansion for x < a+1 and the Lentz
+// continued fraction for the upper tail otherwise; both converge to
+// near machine precision for the moderate shapes the sampling
+// estimators need (a = k/2 for k up to a few thousand qubits).
+func GammaP(a, x float64) float64 {
+	switch {
+	case a <= 0 || math.IsNaN(a) || math.IsNaN(x):
+		return math.NaN()
+	case x <= 0:
+		return 0
+	case math.IsInf(x, 1):
+		return 1
+	}
+	if x < a+1 {
+		return gammaPSeries(a, x)
+	}
+	return 1 - gammaQContinuedFraction(a, x)
+}
+
+// gammaPSeries evaluates P(a, x) by the power series
+// γ(a,x) = e^-x x^a Σ_n Γ(a)/Γ(a+1+n) x^n, reliable for x < a+1.
+func gammaPSeries(a, x float64) float64 {
+	sum := 1 / a
+	term := sum
+	for n := 1; n < 1000; n++ {
+		term *= x / (a + float64(n))
+		sum += term
+		if math.Abs(term) < math.Abs(sum)*1e-16 {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaQContinuedFraction evaluates Q(a, x) = 1 - P(a, x) by the
+// modified Lentz continued fraction, reliable for x >= a+1.
+func gammaQContinuedFraction(a, x float64) float64 {
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for n := 1; n < 1000; n++ {
+		an := -float64(n) * (float64(n) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-16 {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return h * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// ChiSquareCDF returns P(X <= x) for X chi-square with k degrees of
+// freedom.
+func ChiSquareCDF(k int, x float64) float64 {
+	return GammaP(float64(k)/2, x/2)
+}
+
+// ChiSquareQuantile returns the p-quantile of the chi-square
+// distribution with k degrees of freedom: the x with CDF(x) = p. It
+// runs a bisection-safeguarded Newton iteration on the CDF; hint, when
+// positive, seeds the iteration (callers stratifying the radius pass
+// the stratum midpoint so per-trial quantiles converge in a few
+// steps). p outside (0, 1) returns 0 or +Inf.
+func ChiSquareQuantile(k int, p, hint float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := float64(k) / 2
+	lg, _ := math.Lgamma(a)
+	// Bracket the root: expand hi until the CDF clears p.
+	lo, hi := 0.0, float64(k)+10*math.Sqrt(2*float64(k))+10
+	for ChiSquareCDF(k, hi) < p {
+		lo = hi
+		hi *= 2
+	}
+	x := hint
+	if x <= lo || x >= hi {
+		// Wilson-Hilferty starting point: chi-square is approximately
+		// k(1 - 2/9k + z sqrt(2/9k))^3 at normal quantile z.
+		z := math.Sqrt2 * math.Erfinv(2*p-1)
+		c := 2.0 / (9 * float64(k))
+		x = float64(k) * math.Pow(1-c+z*math.Sqrt(c), 3)
+		if x <= lo || x >= hi {
+			x = (lo + hi) / 2
+		}
+	}
+	for i := 0; i < 100; i++ {
+		f := ChiSquareCDF(k, x) - p
+		if f > 0 {
+			hi = x
+		} else {
+			lo = x
+		}
+		// Newton step on the CDF; the density of chi-square_k at x is
+		// exp((a-1)·ln(x/2) - x/2 - lnΓ(a))/2.
+		pdf := math.Exp((a-1)*math.Log(x/2)-x/2-lg) / 2
+		var next float64
+		if pdf > 0 {
+			next = x - f/pdf
+		}
+		if !(next > lo && next < hi) {
+			next = (lo + hi) / 2
+		}
+		// Relative tolerance: deep lower-tail quantiles can be
+		// arbitrarily small (chi-square_1 at p = 1e-12 is ~1e-24), so an
+		// absolute epsilon would return before the root is resolved.
+		if math.Abs(next-x) <= 1e-13*math.Abs(next) {
+			return next
+		}
+		x = next
+	}
+	return x
+}

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// GammaP(1/2, x) = erf(sqrt(x)) exactly, which pits the series and the
+// continued fraction against the stdlib's independent erf across both
+// evaluation regimes.
+func TestGammaPHalfMatchesErf(t *testing.T) {
+	for _, x := range []float64{1e-8, 0.01, 0.3, 1, 1.4, 2, 5, 10, 40} {
+		got := GammaP(0.5, x)
+		want := math.Erf(math.Sqrt(x))
+		if math.Abs(got-want) > 1e-13 {
+			t.Errorf("GammaP(0.5, %g) = %.16g, want erf(sqrt(x)) = %.16g", x, got, want)
+		}
+	}
+}
+
+// GammaP(1, x) = 1 - e^-x (the exponential CDF).
+func TestGammaPOneIsExponential(t *testing.T) {
+	for _, x := range []float64{0.1, 1, 2, 10, 50} {
+		got := GammaP(1, x)
+		want := -math.Expm1(-x)
+		if math.Abs(got-want) > 1e-13 {
+			t.Errorf("GammaP(1, %g) = %.16g, want %.16g", x, got, want)
+		}
+	}
+}
+
+func TestGammaPEdgeCases(t *testing.T) {
+	if got := GammaP(3, 0); got != 0 {
+		t.Errorf("GammaP(3, 0) = %g, want 0", got)
+	}
+	if got := GammaP(3, math.Inf(1)); got != 1 {
+		t.Errorf("GammaP(3, +Inf) = %g, want 1", got)
+	}
+	if got := GammaP(0, 1); !math.IsNaN(got) {
+		t.Errorf("GammaP(0, 1) = %g, want NaN", got)
+	}
+}
+
+// Textbook chi-square critical values (k, p, x) to 3 decimals.
+func TestChiSquareQuantileKnownValues(t *testing.T) {
+	cases := []struct {
+		k int
+		p float64
+		x float64
+	}{
+		{1, 0.95, 3.841},
+		{2, 0.95, 5.991},
+		{10, 0.50, 9.342},
+		{10, 0.95, 18.307},
+		{29, 0.05, 17.708},
+		{29, 0.95, 42.557},
+		{100, 0.99, 135.807},
+	}
+	for _, c := range cases {
+		got := ChiSquareQuantile(c.k, c.p, 0)
+		if math.Abs(got-c.x) > 5e-4 {
+			t.Errorf("ChiSquareQuantile(%d, %g) = %.4f, want %.3f", c.k, c.p, got, c.x)
+		}
+	}
+}
+
+// The quantile must invert the CDF to near machine precision across
+// degrees of freedom and deep into both tails, with or without a
+// caller-provided Newton seed.
+func TestChiSquareQuantileRoundTrip(t *testing.T) {
+	for _, k := range []int{1, 2, 5, 29, 63, 200} {
+		for _, p := range []float64{1e-12, 1e-6, 0.01, 0.25, 0.5, 0.75, 0.99, 1 - 1e-10} {
+			for _, hint := range []float64{0, float64(k)} {
+				x := ChiSquareQuantile(k, p, hint)
+				back := ChiSquareCDF(k, x)
+				if math.Abs(back-p) > 1e-9*p+1e-14 {
+					t.Errorf("k=%d hint=%g: CDF(Quantile(%g)) = %g", k, hint, p, back)
+				}
+			}
+		}
+	}
+}
+
+func TestChiSquareQuantileEdges(t *testing.T) {
+	if got := ChiSquareQuantile(5, 0, 0); got != 0 {
+		t.Errorf("quantile at p=0: got %g, want 0", got)
+	}
+	if got := ChiSquareQuantile(5, 1, 0); !math.IsInf(got, 1) {
+		t.Errorf("quantile at p=1: got %g, want +Inf", got)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"chipletqc/internal/collision"
 	"chipletqc/internal/fab"
 	"chipletqc/internal/runner"
+	"chipletqc/internal/sampling"
 	"chipletqc/internal/stats"
 	"chipletqc/internal/topo"
 )
@@ -52,9 +53,22 @@ type Config struct {
 	// yield has half-width <= Precision. 0 keeps the fixed-batch mode,
 	// whose draws are bit-identical to earlier releases.
 	Precision float64
+	// RelPrecision is the adaptive mode's relative target: stop once the
+	// 95% CI half-width <= RelPrecision x the point estimate. It is the
+	// right stopping rule for near-zero yields, where any absolute
+	// target stops long before the event has even been observed; a run
+	// with zero successes can never satisfy it. Either precision target
+	// being met stops the run; 0 disables this one.
+	RelPrecision float64
 	// MaxTrials caps the adaptive mode's budget; <= 0 falls back to
 	// Batch, so adaptive runs never exceed the fixed default's cost.
 	MaxTrials int
+	// Sampling selects the yield estimator (see internal/sampling):
+	// plain counting, stratified, or importance sampling with
+	// likelihood-ratio reweighting for deep-low-yield scenarios. The
+	// zero spec runs the historical inline counting path, bit-identical
+	// to releases that predate the sampling subsystem.
+	Sampling sampling.Spec
 	// Progress, when non-nil, receives a per-device event at every
 	// checkpoint trial count (and at completion), labelled with the
 	// device name. It may be called concurrently from different
@@ -86,6 +100,31 @@ func (c *Config) ApplyTrialPolicyOverrides(precision float64, maxTrials int) {
 	c.MaxTrials = ResolveTrialPolicy(c.MaxTrials, maxTrials)
 }
 
+// ResolveSamplingMethod applies a per-run estimator override to a
+// scenario-seeded sampling spec: "" inherits the current spec, "none"
+// forces the historical inline path, and any other value selects that
+// estimator method at its default parameters. It is the single
+// definition of the -sampling flag contract for this engine's Config
+// and eval.Config.
+func ResolveSamplingMethod(current sampling.Spec, method string) sampling.Spec {
+	switch method {
+	case "":
+		return current
+	case "none", "off":
+		return sampling.Spec{}
+	}
+	return sampling.Spec{Method: method}
+}
+
+// ApplySamplingOverrides layers per-run estimator and relative-precision
+// knobs over the scenario trial policy already on the config; method
+// follows ResolveSamplingMethod, relPrecision the ResolveTrialPolicy
+// sentinels.
+func (c *Config) ApplySamplingOverrides(method string, relPrecision float64) {
+	c.Sampling = ResolveSamplingMethod(c.Sampling, method)
+	c.RelPrecision = ResolveTrialPolicy(c.RelPrecision, relPrecision)
+}
+
 // adaptiveMinTrials is the first early-stop checkpoint: small enough
 // that near-certain yields (p ~ 0 or 1) stop almost immediately, large
 // enough that the Wilson interval is meaningful before the first
@@ -103,10 +142,23 @@ type Result struct {
 	Free   int // collision-free devices
 	CILo   float64
 	CIHi   float64
+
+	// Estimator names the sampling estimator that produced the result;
+	// empty for the historical inline counting path. When set, Yield is
+	// the estimator's (possibly weighted) point estimate — Free/Batch
+	// counts raw proposal-level outcomes and is NOT the yield under
+	// importance sampling — and ESS its effective sample size.
+	Estimator string
+	Yield     float64
+	ESS       float64
 }
 
-// Fraction returns the collision-free yield in [0, 1].
+// Fraction returns the collision-free yield in [0, 1]: the estimator's
+// point estimate when one ran, otherwise the raw Free/Batch count.
 func (r Result) Fraction() float64 {
+	if r.Estimator != "" {
+		return r.Yield
+	}
 	if r.Batch == 0 {
 		return 0
 	}
@@ -129,8 +181,9 @@ func (r Result) String() string {
 // campaign within one in-flight trial per worker and returns ctx.Err().
 func Simulate(ctx context.Context, d *topo.Device, cfg Config) (Result, error) {
 	res := Result{Device: d.Name, Qubits: d.N, CIHi: 1}
+	adaptive := cfg.Precision > 0 || cfg.RelPrecision > 0
 	max := cfg.Batch
-	if cfg.Precision > 0 && cfg.MaxTrials > 0 {
+	if adaptive && cfg.MaxTrials > 0 {
 		max = cfg.MaxTrials
 	}
 	if max <= 0 {
@@ -138,11 +191,6 @@ func Simulate(ctx context.Context, d *topo.Device, cfg Config) (Result, error) {
 	}
 	checker := collision.NewChecker(d, cfg.Params)
 	newLocal := runner.NewScratch(d.N)
-	trial := func(l runner.Scratch, i int) bool {
-		r := l.RNG.At(cfg.Seed, i)
-		cfg.Model.SampleInto(r, d, l.Buf)
-		return checker.Free(l.Buf)
-	}
 	lastEmit := -1
 	emit := func(done int) {
 		if cfg.Progress != nil && done != lastEmit {
@@ -150,14 +198,25 @@ func Simulate(ctx context.Context, d *topo.Device, cfg Config) (Result, error) {
 			cfg.Progress(Event{Label: d.Name, Done: done, Total: max})
 		}
 	}
+	if !cfg.Sampling.IsZero() {
+		return simulateEstimated(ctx, d, cfg, checker, max, adaptive, emit)
+	}
+	trial := func(l runner.Scratch, i int) bool {
+		r := l.RNG.At(cfg.Seed, i)
+		cfg.Model.SampleInto(r, d, l.Buf)
+		return checker.Free(l.Buf)
+	}
 	// Both modes run through the checkpointed stream: the fixed mode's
 	// stop is constant-false, so its executed trials and counted
 	// successes are bit-identical to the historical CountLocal path,
 	// while still getting checkpoint-granular progress reporting.
 	var p stats.Proportion
 	stop := func(int) bool { return false }
-	if cfg.Precision > 0 {
-		stop = func(int) bool { return p.HalfWidth(stats.Z95) <= cfg.Precision }
+	if adaptive {
+		stop = func(int) bool {
+			return (cfg.Precision > 0 && p.HalfWidth(stats.Z95) <= cfg.Precision) ||
+				(cfg.RelPrecision > 0 && p.RelHalfWidth(stats.Z95) <= cfg.RelPrecision)
+		}
 	}
 	trials, err := runner.Stream(ctx, max, cfg.Workers,
 		runner.Checkpoints(adaptiveMinTrials, max), newLocal, trial,
@@ -170,6 +229,61 @@ func Simulate(ctx context.Context, d *topo.Device, cfg Config) (Result, error) {
 	res.Batch, res.Free = p.Trials, p.Successes
 	res.CILo, res.CIHi = stats.Wilson(res.Free, res.Batch, stats.Z95)
 	return res, nil
+}
+
+// simulateEstimated is Simulate's pluggable-estimator path: trials carry
+// a log likelihood-ratio weight from the estimator's proposal through
+// the checkpointed stream, the estimator folds outcomes in index order,
+// and adaptive stopping asks the estimator for its (possibly weighted,
+// ESS-guarded) half-width. Worker-count invariance holds exactly as on
+// the inline path because block planning and observation both happen on
+// the coordinating goroutine at the fixed checkpoint grid.
+func simulateEstimated(ctx context.Context, d *topo.Device, cfg Config,
+	checker *collision.Checker, max int, adaptive bool, emit func(int)) (Result, error) {
+	est, err := sampling.New(cfg.Sampling, d, cfg.Model, cfg.Params)
+	if err != nil {
+		return Result{}, err
+	}
+	type outcome struct {
+		ok   bool
+		logw float64
+	}
+	trial := func(l runner.Scratch, i int) outcome {
+		r := l.RNG.At(cfg.Seed, i)
+		logw := est.SampleInto(r, i, l.Buf)
+		return outcome{ok: checker.Free(l.Buf), logw: logw}
+	}
+	stop := func(int) bool { return false }
+	if adaptive {
+		stop = func(int) bool {
+			hw := est.HalfWidth(stats.Z95)
+			if cfg.Precision > 0 && hw <= cfg.Precision {
+				return true
+			}
+			if cfg.RelPrecision > 0 {
+				if e := est.Snapshot(stats.Z95); e.Yield > 0 && hw <= cfg.RelPrecision*e.Yield {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	trials, err := runner.StreamPlanned(ctx, max, cfg.Workers,
+		runner.Checkpoints(adaptiveMinTrials, max), runner.NewScratch(d.N),
+		est.PlanBlock, trial,
+		func(i int, o outcome) { est.Observe(i, o.ok, o.logw) },
+		func(done int) bool { emit(done); return stop(done) })
+	if err != nil {
+		return Result{}, err
+	}
+	emit(trials)
+	e := est.Snapshot(stats.Z95)
+	return Result{
+		Device: d.Name, Qubits: d.N,
+		Batch: e.Trials, Free: e.Successes,
+		CILo: e.CILo, CIHi: e.CIHi,
+		Estimator: e.Estimator, Yield: e.Yield, ESS: e.ESS,
+	}, nil
 }
 
 // Point is one (qubits, yield) sample of a yield-vs-size curve, with
