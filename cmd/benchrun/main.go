@@ -27,6 +27,8 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"testing"
@@ -85,6 +87,8 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		perfOut   = fs.String("perfout", "BENCH_yield.json", "perf record output path for -perf")
 		perfCheck = fs.String("perfcheck", "", "compare a fresh micro-benchmark against this committed baseline record; exit non-zero on regression")
 		perfTol   = fs.Float64("perftol", 0.10, "allowed fractional ns/op regression for -perfcheck (0.10 = 10%)")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile to this file at exit")
 		csv       = fs.Bool("csv", false, "emit CSV")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -92,6 +96,37 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 			return nil
 		}
 		return errUsage
+	}
+
+	// Profiling hooks: attributing a yield-throughput regression needs
+	// the same pprof view the micro-benchmarks get, on the real binary.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(errw, "benchrun: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile reflects live state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(errw, "benchrun: memprofile:", err)
+			}
+		}()
 	}
 
 	scn, err := scenario.Lookup(*scen)
@@ -194,10 +229,12 @@ type perfRecord struct {
 }
 
 // measurePerf micro-benchmarks yield.Simulate on a 100-qubit device in
-// fixed-batch, adaptive (1% precision), and importance-sampled
-// (rare-event estimator, same fixed budget) modes. The records carry
-// the scenario name so the CI perf trajectory distinguishes device
-// worlds.
+// fixed-batch, adaptive (1% precision), stratified, and
+// importance-sampled (rare-event estimators, same fixed budget) modes,
+// plus one end-to-end wall-time record of the tight-thresholds
+// rare-event scenario (adaptive stop at 20% relative precision on a
+// 24-qubit device). The records carry the scenario name so the CI perf
+// trajectory distinguishes device worlds.
 func measurePerf(ctx context.Context, scn scenario.Scenario, batch, workers int, seed int64) ([]perfRecord, error) {
 	if batch <= 0 {
 		batch = scn.Trials.ChipletBatch // -batch 0 = the scenario's policy, as elsewhere
@@ -211,8 +248,8 @@ func measurePerf(ctx context.Context, scn scenario.Scenario, batch, workers int,
 	base.Precision, base.MaxTrials, base.RelPrecision = 0, 0, 0
 	base.Sampling = sampling.Spec{}
 
-	measure := func(name string, cfg yield.Config) (perfRecord, error) {
-		res, err := yield.Simulate(ctx, d, cfg) // warm-up + result snapshot
+	measure := func(name, scnName string, dev *topo.Device, cfg yield.Config) (perfRecord, error) {
+		res, err := yield.Simulate(ctx, dev, cfg) // warm-up + result snapshot
 		if err != nil {
 			return perfRecord{}, err
 		}
@@ -224,7 +261,7 @@ func measurePerf(ctx context.Context, scn scenario.Scenario, batch, workers int,
 			r := testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					if _, err := yield.Simulate(ctx, d, cfg); err != nil {
+					if _, err := yield.Simulate(ctx, dev, cfg); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -236,8 +273,8 @@ func measurePerf(ctx context.Context, scn scenario.Scenario, batch, workers int,
 		ns := float64(br.NsPerOp())
 		rec := perfRecord{
 			Name:        name,
-			Scenario:    scn.Name,
-			Qubits:      d.N,
+			Scenario:    scnName,
+			Qubits:      dev.N,
 			Batch:       cfg.Batch,
 			Precision:   cfg.Precision,
 			TrialsUsed:  res.Batch,
@@ -254,6 +291,8 @@ func measurePerf(ctx context.Context, scn scenario.Scenario, batch, workers int,
 
 	adaptive := base
 	adaptive.Precision = 0.01
+	stratifiedCfg := base
+	stratifiedCfg.Sampling = sampling.Spec{Method: sampling.Stratified}
 	importanceCfg := base
 	importanceCfg.Sampling = sampling.Spec{Method: sampling.Importance}
 	var records []perfRecord
@@ -263,14 +302,38 @@ func measurePerf(ctx context.Context, scn scenario.Scenario, batch, workers int,
 	}{
 		{"yield_simulate_fixed", base},
 		{"yield_simulate_adaptive_1pct", adaptive},
+		{"yield_simulate_stratified", stratifiedCfg},
 		{"yield_simulate_importance", importanceCfg},
 	} {
-		rec, err := measure(m.name, m.cfg)
+		rec, err := measure(m.name, scn.Name, d, m.cfg)
 		if err != nil {
 			return nil, err
 		}
 		records = append(records, rec)
 	}
+
+	// End-to-end rare-event record: the tight-thresholds scenario on a
+	// 24-qubit device, run to its adaptive stopping rule rather than a
+	// fixed batch. This is the wall-time the campaign engine actually
+	// pays per rare-event data point — trial count and per-trial cost
+	// together — so proposal-quality regressions that per-trial ns/op
+	// cannot see (a worse proposal needs more trials) still trip the
+	// gate.
+	tight, err := scenario.Lookup(scenario.TightThresholdsName)
+	if err != nil {
+		return nil, err
+	}
+	td := topo.MonolithicDevice(topo.MonolithicSpec(24))
+	tcfg := tight.YieldConfig(0, seed)
+	tcfg.Workers = workers
+	tcfg.Precision = 0
+	tcfg.RelPrecision = 0.2
+	tcfg.MaxTrials = 1 << 20
+	rec, err := measure("yield_tight_thresholds_e2e", tight.Name, td, tcfg)
+	if err != nil {
+		return nil, err
+	}
+	records = append(records, rec)
 	return records, nil
 }
 

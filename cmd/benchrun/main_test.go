@@ -47,24 +47,33 @@ func TestRunPerfWritesRecord(t *testing.T) {
 	if err := json.Unmarshal(data, &records); err != nil {
 		t.Fatalf("perf record is not valid JSON: %v", err)
 	}
-	if len(records) != 3 {
-		t.Fatalf("records = %d, want fixed + adaptive + importance", len(records))
+	want := []string{
+		"yield_simulate_fixed",
+		"yield_simulate_adaptive_1pct",
+		"yield_simulate_stratified",
+		"yield_simulate_importance",
+		"yield_tight_thresholds_e2e",
 	}
-	for _, r := range records {
+	if len(records) != len(want) {
+		t.Fatalf("records = %d, want %d (fixed + adaptive + stratified + importance + tight e2e)",
+			len(records), len(want))
+	}
+	for i, r := range records {
+		if r.Name != want[i] {
+			t.Errorf("record %d named %q, want %q", i, r.Name, want[i])
+		}
 		if r.NsPerOp <= 0 || r.TrialsPerSec <= 0 {
 			t.Errorf("%s: non-positive timing %+v", r.Name, r)
 		}
-		if r.TrialsUsed <= 0 || r.TrialsUsed > 200 {
+		// The e2e record runs the tight-thresholds scenario to its own
+		// adaptive stopping rule, so only the fixed-budget records are
+		// bounded by the -batch flag.
+		if r.TrialsUsed <= 0 || (r.Name != "yield_tight_thresholds_e2e" && r.TrialsUsed > 200) {
 			t.Errorf("%s: trials_used = %d, want in (0, 200]", r.Name, r.TrialsUsed)
 		}
 		if r.AllocsPerOp < 0 {
 			t.Errorf("%s: negative allocs", r.Name)
 		}
-	}
-	if records[0].Name != "yield_simulate_fixed" ||
-		records[1].Name != "yield_simulate_adaptive_1pct" ||
-		records[2].Name != "yield_simulate_importance" {
-		t.Errorf("unexpected record names: %s, %s, %s", records[0].Name, records[1].Name, records[2].Name)
 	}
 	if !strings.Contains(out.String(), "wrote "+path) {
 		t.Errorf("missing confirmation line:\n%s", out.String())

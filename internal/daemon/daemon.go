@@ -20,6 +20,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
@@ -151,6 +152,14 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/artifacts/{experiment}/{fingerprint}", s.handleArtifact)
 	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
 	s.mux.HandleFunc("POST /v1/shutdown", s.handleShutdown)
+	// Explicit pprof wiring: the daemon builds its own mux, so the
+	// net/http/pprof init-time DefaultServeMux registrations never apply.
+	// Long campaigns are profiled live through these endpoints.
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return s
 }
 

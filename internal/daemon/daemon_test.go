@@ -468,3 +468,26 @@ func TestServeListensAndDrainsOnContext(t *testing.T) {
 		t.Fatal("Serve did not return after context cancellation")
 	}
 }
+
+// TestPprofEndpoints pins the daemon's profiling surface: the daemon
+// owns its mux, so net/http/pprof's init-time DefaultServeMux
+// registrations never apply and the handlers must be wired explicitly.
+// A long campaign that cannot be profiled live cannot be debugged.
+func TestPprofEndpoints(t *testing.T) {
+	c, _ := newTestDaemon(t, daemon.Options{})
+	base, hc := clientBase(t, c)
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, err := hc.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: HTTP %d, want 200", path, resp.StatusCode)
+		}
+		if len(body) == 0 {
+			t.Errorf("GET %s: empty body", path)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+// Package race reports whether the program was built with the race
+// detector, so correctness-audit paths that are sampled in production
+// can stay always-on under -race runs.
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

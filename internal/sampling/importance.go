@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -14,7 +15,7 @@ import (
 // qubit frequencies one at a time in index order, drawing each from
 // the fabrication Gaussian *conditioned on the set of values that keep
 // the partial assignment collision-free*, and reweights by the exact
-// Gaussian likelihood ratio.
+// likelihood ratio.
 //
 // Every Table I criterion is an interval condition on one frequency
 // once the other frequencies it mentions are fixed: types 1, 2, 3, 5,
@@ -28,22 +29,46 @@ import (
 // the last qubit every criterion has been enforced: the sample is
 // collision-free by construction.
 //
-// Drawing f_q from the Gaussian restricted to A_q and multiplying the
-// trial weight by the allowed mass m_q = P(N(target_q, sigma) ∈ A_q)
-// makes the likelihood ratio exact:
+// Drawing f_q from the truncated Gaussian restricted to A_q and
+// multiplying the trial weight by the proposal's own allowed mass and
+// density makes the likelihood ratio exact per draw branch:
 //
-//	w = Π_q m_q ,   p̂ = mean(w·y) ,
+//	w = Π_q w_q ,   w_q = m̃_q            (rejection draw)
+//	                w_q = m̃_q·φ(z_q)/g(z_q)  (inversion draw)
+//	p̂ = mean(w·y) ,
 //
-// unbiased because the proposal's support is exactly the free set (and
-// y ≡ 1 there — the engine's independent collision check doubles as a
-// guard: a construction bug could only shrink the support's *effective*
-// contribution through y = 0, never inflate the estimate... a trial
-// whose partial assignment has no free completion gets w = 0 and still
-// counts). The decisive property for deep-low-yield scenarios: every
-// trial carries yield information — there are no wasted almost-certain
-// failures — and w ≤ 1 always (each factor is a probability), so the
-// weight distribution has no heavy upper tail and the variance is
-// finite unconditionally.
+// where m̃_q is the interpolant's mass of A_q, φ the true standard
+// normal density, and g the interpolant's density at the drawn z_q.
+// High-mass qubits draw by rejection from the plain Gaussian (accepted
+// values follow φ restricted to A_q exactly, so the density ratio
+// cancels); low-mass qubits invert the interpolant's CDF, and weighting
+// by that proposal's exact density keeps the inversion branch unbiased
+// regardless of the table's accuracy. The residual bias is the table's
+// *mass* accuracy on rejection-drawn qubits (≲1e-7 relative per qubit
+// in the bulk regime where rejection applies) plus the ±seqZCut
+// truncation (~1e-15 relative, conservative; see gausstab.go) — both
+// orders of magnitude below any reachable statistical precision.
+// The estimate is unbiased because the proposal's support is exactly
+// the collision-free set (and y ≡ 1 there — the engine's independent
+// collision audit doubles as a guard: a construction bug could only
+// shrink the support's *effective* contribution through y = 0, never
+// inflate the estimate... a trial whose partial assignment has no free
+// completion gets w = 0 and still counts). The decisive property for
+// deep-low-yield scenarios: every trial carries yield information —
+// there are no wasted almost-certain failures — and w ≤ 1·(1 + ~1e-5)
+// always (each mass factor is a probability and the density ratio is 1
+// up to interpolation error), so the weight distribution has no heavy
+// upper tail and the variance is finite unconditionally.
+//
+// Hot-path layout: everything a trial needs is precomputed at
+// construction in *standardized z units* — per-qubit plan targets,
+// per-window and per-band affine constants pre-divided by sigma — so
+// SampleInto touches no special function and performs no division.
+// Placed values stay in z units in buf until one final pass converts
+// to GHz. Weight accumulation multiplies the per-qubit factors
+// m̃_q/g_q into a running product (flushed to log space only when it
+// nears overflow) and sums z²/2 terms, so the per-qubit cost is a
+// handful of flops rather than a Log/Exp pair.
 //
 // Stopping is guarded by the Kish effective sample size
 // (Σw)²/Σw² ≥ MinESS — an estimate resting on a handful of dominant
@@ -60,43 +85,116 @@ type importance struct {
 	m      fab.Model
 	minESS float64
 
-	windows [][]seqWindow // per-qubit type-4 windows, other end placed
-	bands   [][]seqBand   // per-qubit forbidden bands, centers placed
+	mu  []float64 // per-qubit plan target (GHz), hoisted from Plan.Target
+	tab *gaussTable
+
+	// Flattened per-qubit constraint tables, all constants in z units.
+	winOff []int32
+	win    []zWindow
+	b1Off  []int32
+	b1     []zBand1
+	b2Off  []int32
+	b2     []zBand2
 
 	w         stats.Welford // weight stats (w·y per trial)
 	trials    int
 	successes int
 }
 
-// seqWindow narrows qubit q's allowed interval to
-// [f[o] + lo, f[o] + hi] for an already-placed qubit o.
-type seqWindow struct {
-	o      int
+// zWindow narrows qubit q's allowed z-interval to
+// [z_ref + lo, z_ref + hi] for an already-placed qubit ref.
+type zWindow struct {
+	ref    int32
 	lo, hi float64
 }
 
-// seqBand forbids |f_q − center| ≤ hw with
-// center = ca·f[qa] + cb·f[qb] + c0; qb is -1 when the center depends
-// on a single placed qubit.
-type seqBand struct {
-	qa, qb int
-	ca, cb float64
-	c0, hw float64
+// zBand1 forbids z_q ∈ [z_ref + lo, z_ref + lo + w]: a band whose
+// center depends on a single placed qubit with unit coefficient (types
+// 1, 2, 3, 5, 6 — all of them).
+type zBand1 struct {
+	ref   int32
+	lo, w float64
 }
 
-func newImportance(c Spec, d *topo.Device, m fab.Model, p collision.Params) *importance {
+// zBand2 forbids z_q ∈ [ca·z_a + cb·z_b + lo, … + w]: the type-7 bands
+// whose center is an affine combination of two placed qubits.
+type zBand2 struct {
+	a, b          int32
+	ca, cb, lo, w float64
+}
+
+// BandLimitError reports a device too densely coupled for the
+// sequential proposal: some qubit accumulates more forbidden bands
+// than the per-qubit scratch capacity maxSeqBands, so SampleInto could
+// not place it without overrunning its stack tables. Surfaced from
+// construction (sampling.New) rather than panicking mid-trial.
+type BandLimitError struct {
+	Qubit, Bands, Limit int
+}
+
+func (e *BandLimitError) Error() string {
+	return fmt.Sprintf("sampling: qubit %d carries %d forbidden bands (limit %d); device too densely coupled for the sequential proposal",
+		e.Qubit, e.Bands, e.Limit)
+}
+
+func newImportance(c Spec, d *topo.Device, m fab.Model, p collision.Params) (*importance, error) {
 	e := &importance{
-		d:       d,
-		m:       m,
-		minESS:  c.MinESS,
-		windows: make([][]seqWindow, d.N),
-		bands:   make([][]seqBand, d.N),
+		d:      d,
+		m:      m,
+		minESS: c.MinESS,
+		tab:    gaussTab,
+		mu:     make([]float64, d.N),
 	}
+	for q := 0; q < d.N; q++ {
+		e.mu[q] = m.Plan.Target(d.Class[q])
+	}
+	edges := d.G.Edges()
+	cps := d.ControlPairs()
+
+	// Two passes — count, then fill — so the flattened tables are
+	// allocated exactly once (the estimator is built per Simulate call;
+	// per-qubit append chains would dominate the engine's allocs/op).
+	nWin := make([]int32, d.N+1)
+	nB1 := make([]int32, d.N+1)
+	nB2 := make([]int32, d.N+1)
+	for _, edge := range edges {
+		q := max(edge.U, edge.V)
+		nWin[q+1]++
+		nB1[q+1] += 4 // T1, T2, T3×2
+	}
+	for _, cp := range cps {
+		nB1[max(cp.T1, cp.T2)+1] += 3 // T5, T6×2
+		nB2[max(cp.Control, max(cp.T1, cp.T2))+1]++
+	}
+	for q := 0; q < d.N; q++ {
+		if n := int(nB1[q+1] + nB2[q+1]); n > maxSeqBands {
+			return nil, &BandLimitError{Qubit: q, Bands: n, Limit: maxSeqBands}
+		}
+		nWin[q+1] += nWin[q]
+		nB1[q+1] += nB1[q]
+		nB2[q+1] += nB2[q]
+	}
+	e.winOff, e.b1Off, e.b2Off = nWin, nB1, nB2
+	e.win = make([]zWindow, nWin[d.N])
+	e.b1 = make([]zBand1, nB1[d.N])
+	e.b2 = make([]zBand2, nB2[d.N])
+
+	invSigma := 1 / m.Sigma
+	curW := make([]int32, d.N)
+	curB1 := make([]int32, d.N)
+	curB2 := make([]int32, d.N)
+	copy(curW, nWin)
+	copy(curB1, nB1)
+	copy(curB2, nB2)
 	a := p.Anharmonicity
-	band1 := func(q, qa int, c0, hw float64) {
-		e.bands[q] = append(e.bands[q], seqBand{qa: qa, qb: -1, ca: 1, c0: c0, hw: hw})
+	// band1 forbids |f_q − (f_o + c0)| ≤ hw, stored pre-standardized:
+	// z_q ∈ [z_o + (mu_o + c0 − hw − mu_q)/σ, … + 2hw/σ].
+	band1 := func(q, o int, c0, hw float64) {
+		e.b1[curB1[q]] = zBand1{ref: int32(o),
+			lo: (e.mu[o] + c0 - hw - e.mu[q]) * invSigma, w: 2 * hw * invSigma}
+		curB1[q]++
 	}
-	for _, edge := range d.G.Edges() {
+	for _, edge := range edges {
 		ctl := d.ControlOf(edge.U, edge.V)
 		tgt := d.TargetOf(edge.U, edge.V)
 		q, o := ctl, tgt
@@ -104,11 +202,14 @@ func newImportance(c Spec, d *topo.Device, m fab.Model, p collision.Params) *imp
 			q, o = tgt, ctl
 		}
 		// Type 4: the target must lie in [f_control + a, f_control].
+		lo, hi := 0.0, -a
 		if q == tgt {
-			e.windows[q] = append(e.windows[q], seqWindow{o: o, lo: a, hi: 0})
-		} else {
-			e.windows[q] = append(e.windows[q], seqWindow{o: o, lo: 0, hi: -a})
+			lo, hi = a, 0
 		}
+		e.win[curW[q]] = zWindow{ref: int32(o),
+			lo: (e.mu[o] + lo - e.mu[q]) * invSigma,
+			hi: (e.mu[o] + hi - e.mu[q]) * invSigma}
+		curW[q]++
 		// Type 1: f_i = f_j ± T1 — symmetric in the pair.
 		band1(q, o, 0, p.T1)
 		// Type 2: f_control + a/2 = f_target ± T2.
@@ -121,7 +222,15 @@ func newImportance(c Spec, d *topo.Device, m fab.Model, p collision.Params) *imp
 		band1(q, o, a, p.T3)
 		band1(q, o, -a, p.T3)
 	}
-	for _, cp := range d.ControlPairs() {
+	// band2 forbids |f_q − (ca·f_a + cb·f_b + c0)| ≤ hw, standardized
+	// with the placed qubits' own coefficients kept on their z values.
+	band2 := func(q, qa, qb int, ca, cb, c0, hw float64) {
+		e.b2[curB2[q]] = zBand2{a: int32(qa), b: int32(qb), ca: ca, cb: cb,
+			lo: (ca*e.mu[qa] + cb*e.mu[qb] + c0 - hw - e.mu[q]) * invSigma,
+			w:  2 * hw * invSigma}
+		curB2[q]++
+	}
+	for _, cp := range cps {
 		i, j, k := cp.Control, cp.T1, cp.T2
 		// Types 5 and 6 mention only the two targets.
 		q, o := j, k
@@ -135,104 +244,248 @@ func newImportance(c Spec, d *topo.Device, m fab.Model, p collision.Params) *imp
 		// of the triple.
 		switch {
 		case i > j && i > k:
-			e.bands[i] = append(e.bands[i], seqBand{qa: j, qb: k, ca: 0.5, cb: 0.5, c0: -a / 2, hw: p.T7 / 2})
+			band2(i, j, k, 0.5, 0.5, -a/2, p.T7/2)
 		case j > k:
-			e.bands[j] = append(e.bands[j], seqBand{qa: i, qb: k, ca: 2, cb: -1, c0: a, hw: p.T7})
+			band2(j, i, k, 2, -1, a, p.T7)
 		default:
-			e.bands[k] = append(e.bands[k], seqBand{qa: i, qb: j, ca: 2, cb: -1, c0: a, hw: p.T7})
+			band2(k, i, j, 2, -1, a, p.T7)
 		}
 	}
-	return e
+	// Pre-sort each qubit's bands by their constant offset: bands sharing
+	// a reference qubit then stay in realized order every trial, so the
+	// hot path's insertion sort runs on nearly-sorted input.
+	for q := 0; q < d.N; q++ {
+		b := e.b1[nB1[q]:nB1[q+1]]
+		for i := 1; i < len(b); i++ {
+			for j := i; j > 0 && b[j-1].lo > b[j].lo; j-- {
+				b[j-1], b[j] = b[j], b[j-1]
+			}
+		}
+	}
+	return e, nil
 }
 
 func (e *importance) Name() string { return Importance }
 
+// FreeByConstruction reports that every finite-weight sample this
+// estimator produces satisfies the collision criteria by construction,
+// so the engine may downgrade its independent per-trial collision check
+// to a sampled audit.
+func (e *importance) FreeByConstruction() bool { return true }
+
 func (e *importance) PlanBlock(lo, hi int) {}
 
 func (e *importance) SampleInto(r *rand.Rand, i int, buf []float64) float64 {
-	logw := 0.0
-	for q := 0; q < e.d.N; q++ {
-		mu := e.m.Plan.Target(e.d.Class[q])
-		// Allowed interval from the type-4 windows, standardized.
-		zLo, zHi := math.Inf(-1), math.Inf(1)
-		for _, win := range e.windows[q] {
-			zLo = math.Max(zLo, (buf[win.o]+win.lo-mu)/e.m.Sigma)
-			zHi = math.Min(zHi, (buf[win.o]+win.hi-mu)/e.m.Sigma)
+	var starts, ends [maxSeqBands]float64
+	var pLo, pHi, pMass [maxSeqBands + 1]float64
+	tab := e.tab
+	n := e.d.N
+	// Placed values accumulate in z units; the weight accumulates as a
+	// running product of m̃_q/g_q factors (flushed to logw before it can
+	// overflow — 1/g can reach ~1e16 per deep-tail qubit) plus Σ z²/2
+	// for the true-density numerator, folded together at the end.
+	prod, ssum, logw := 1.0, 0.0, 0.0
+	placed := 0
+	for q := 0; q < n; q++ {
+		w0, w1 := e.winOff[q], e.winOff[q+1]
+		b10, b11 := e.b1Off[q], e.b1Off[q+1]
+		b20, b21 := e.b2Off[q], e.b2Off[q+1]
+		if w0 == w1 && b10 == b11 && b20 == b21 {
+			// Unconstrained qubit: the conditioned proposal is the plain
+			// fabrication Gaussian — draw it exactly, weight factor 1.
+			buf[q] = r.NormFloat64()
+			continue
 		}
-		// Forbidden bands clipped to the window, sorted by start.
-		var starts, ends [maxSeqBands]float64
+		// Allowed interval from the type-4 windows, truncated at ±seqZCut.
+		zLo, zHi := -seqZCut, seqZCut
+		for _, wn := range e.win[w0:w1] {
+			if v := buf[wn.ref] + wn.lo; v > zLo {
+				zLo = v
+			}
+			if v := buf[wn.ref] + wn.hi; v < zHi {
+				zHi = v
+			}
+		}
 		nb := 0
-		for _, b := range e.bands[q] {
-			c := b.ca*buf[b.qa] + b.c0
-			if b.qb >= 0 {
-				c += b.cb * buf[b.qb]
+		if zHi > zLo {
+			// Forbidden bands clipped to the window, insertion-sorted by
+			// start.
+			for _, b := range e.b1[b10:b11] {
+				za := buf[b.ref] + b.lo
+				zb := za + b.w
+				if zb <= zLo || za >= zHi {
+					continue
+				}
+				if za < zLo {
+					za = zLo
+				}
+				if zb > zHi {
+					zb = zHi
+				}
+				at := nb
+				for at > 0 && starts[at-1] > za {
+					starts[at], ends[at] = starts[at-1], ends[at-1]
+					at--
+				}
+				starts[at], ends[at] = za, zb
+				nb++
 			}
-			za, zb := (c-b.hw-mu)/e.m.Sigma, (c+b.hw-mu)/e.m.Sigma
-			if zb <= zLo || za >= zHi {
-				continue
+			for _, b := range e.b2[b20:b21] {
+				za := b.ca*buf[b.a] + b.cb*buf[b.b] + b.lo
+				zb := za + b.w
+				if zb <= zLo || za >= zHi {
+					continue
+				}
+				if za < zLo {
+					za = zLo
+				}
+				if zb > zHi {
+					zb = zHi
+				}
+				at := nb
+				for at > 0 && starts[at-1] > za {
+					starts[at], ends[at] = starts[at-1], ends[at-1]
+					at--
+				}
+				starts[at], ends[at] = za, zb
+				nb++
 			}
-			za, zb = math.Max(za, zLo), math.Min(zb, zHi)
-			at := nb
-			for at > 0 && starts[at-1] > za {
-				starts[at], ends[at] = starts[at-1], ends[at-1]
-				at--
-			}
-			starts[at], ends[at] = za, zb
-			nb++
 		}
-		// Allowed pieces are the gaps; accumulate their Gaussian masses.
-		var pLo, pHi [maxSeqBands + 1]float64
-		var pMass [maxSeqBands + 1]float64
-		np, cur, total := 0, zLo, 0.0
-		emit := func(a, b float64) {
-			if b <= a {
-				return
+		var z, g, total float64
+		np := 0
+		if nb == 0 {
+			// The window survives whole (no in-window bands): one piece,
+			// no gap scan.
+			if zHi > zLo {
+				total = tab.mass(zLo, zHi)
 			}
-			m := gaussMass(a, b)
-			if m <= 0 {
-				return
+			pLo[0], pHi[0], pMass[0] = zLo, zHi, total
+			np = 1
+		} else {
+			// Allowed pieces are the gaps between bands; accumulate their
+			// masses.
+			cur := zLo
+			for bi := 0; bi < nb; bi++ {
+				if s := starts[bi]; s > cur {
+					if m := tab.mass(cur, s); m > 0 {
+						pLo[np], pHi[np], pMass[np] = cur, s, m
+						total += m
+						np++
+					}
+				}
+				if ends[bi] > cur {
+					cur = ends[bi]
+				}
 			}
-			pLo[np], pHi[np], pMass[np] = a, b, m
-			total += m
-			np++
+			if zHi > cur {
+				if m := tab.mass(cur, zHi); m > 0 {
+					pLo[np], pHi[np], pMass[np] = cur, zHi, m
+					total += m
+					np++
+				}
+			}
 		}
-		for bi := 0; bi < nb; bi++ {
-			if starts[bi] > cur {
-				emit(cur, starts[bi])
-			}
-			cur = math.Max(cur, ends[bi])
-		}
-		emit(cur, zHi)
 		if total <= 0 {
 			// Dead end: no collision-free completion of this partial
-			// assignment. The trial keeps its zero weight; fill the rest
-			// with plan targets so the buffer stays finite.
-			for ; q < e.d.N; q++ {
-				buf[q] = e.m.Plan.Target(e.d.Class[q])
+			// assignment. The trial keeps its zero weight; convert what
+			// was placed and fill the rest with plan targets so the
+			// buffer stays finite.
+			for j := 0; j < q; j++ {
+				buf[j] = e.mu[j] + e.m.Sigma*buf[j]
+			}
+			for j := q; j < n; j++ {
+				buf[j] = e.mu[j]
 			}
 			return math.Inf(-1)
 		}
-		v := r.Float64() * total
-		pi := 0
-		for pi < np-1 && v > pMass[pi] {
-			v -= pMass[pi]
-			pi++
+		// Rejection fast path: when the allowed mass is large, drawing
+		// the plain Gaussian until it lands in the allowed set beats
+		// inversion by ~5× — an accepted draw follows φ restricted to A_q
+		// exactly, so the density ratio cancels and the weight factor is
+		// the allowed mass alone. A bounded attempt budget keeps the
+		// fallback deterministic: on exhaustion (probability ≤ 2⁻³²) the
+		// qubit falls through to inversion, whose weight is exact for
+		// *its* branch — branch-conditional weights stay unbiased because
+		// the rejected attempts are independent of the final draw.
+		drawn := false
+		if total >= seqRejectMin {
+			for try := 0; try < seqRejectCap; try++ {
+				z = r.NormFloat64()
+				if z < zLo || z > zHi {
+					continue
+				}
+				free := true
+				for k := 0; k < nb; k++ {
+					if z < starts[k] {
+						break
+					}
+					if z <= ends[k] {
+						free = false
+						break
+					}
+				}
+				if free {
+					drawn = true
+					break
+				}
+			}
 		}
-		z := gaussInterp(pLo[pi], pHi[pi], v)
-		buf[q] = mu + e.m.Sigma*z
-		logw += math.Log(total)
+		if drawn {
+			prod *= total
+		} else {
+			// Inversion path: select a piece by the uniform draw, invert
+			// the interpolant's CDF within it, and weight by the
+			// interpolant's own mass and density — exact for the proposal
+			// actually drawn from.
+			v := r.Float64() * total
+			pi := 0
+			for pi < np-1 && v > pMass[pi] {
+				v -= pMass[pi]
+				pi++
+			}
+			z, g = tab.invMass(pLo[pi], pHi[pi], v, pMass[pi])
+			prod *= total / g
+			ssum += 0.5 * z * z
+			placed++
+		}
+		buf[q] = z
+		if prod > 1e250 || prod < 1e-250 {
+			logw += math.Log(prod)
+			prod = 1
+		}
 	}
-	return logw
+	sigma := e.m.Sigma
+	for q := 0; q < n; q++ {
+		buf[q] = e.mu[q] + sigma*buf[q]
+	}
+	return logw + math.Log(prod) - ssum - float64(placed)*lnSqrt2Pi
 }
 
 // maxSeqBands bounds the forbidden bands attached to one qubit: a
 // lattice qubit has a handful of couplings and control-pair triples,
-// each contributing at most a few bands. The constructor's tables are
-// never larger in practice; SampleInto keeps its scratch on the stack.
+// each contributing at most a few bands. Construction validates every
+// qubit against the bound (see BandLimitError); SampleInto keeps its
+// scratch on the stack.
 const maxSeqBands = 64
 
+const (
+	// seqRejectMin is the allowed-mass threshold above which SampleInto
+	// samples a qubit by rejection from the plain Gaussian instead of
+	// CDF inversion: at mass ≥ 0.5 the expected attempt count is ≤ 2 and
+	// a NormFloat64 draw plus a band scan is ~5× cheaper than the Newton
+	// inversion chain. Below the threshold — the genuinely rare-event
+	// qubits — inversion always wins.
+	seqRejectMin = 0.5
+	// seqRejectCap bounds the rejection attempts so a trial's RNG
+	// consumption is finite; with mass ≥ seqRejectMin the cap is reached
+	// with probability ≤ 2⁻³², upon which the qubit falls back to exact
+	// inversion.
+	seqRejectCap = 32
+)
+
 // gaussMass returns P(a < Z < b) for standard normal Z, computed from
-// the nearer tail so deep-tail intervals keep relative precision.
+// the nearer tail so deep-tail intervals keep relative precision. It is
+// the exact (libm erf) reference for the hot path's gaussTable.
 func gaussMass(a, b float64) float64 {
 	switch {
 	case a >= 0:
@@ -246,7 +499,8 @@ func gaussMass(a, b float64) float64 {
 
 // gaussInterp returns the z with P(a < Z ≤ z) = rem for standard
 // normal Z, inverting from the nearer tail; the result is clamped to
-// [a, b] so rounding can never escape the allowed piece.
+// [a, b] so rounding can never escape the allowed piece. Exact (libm
+// erfcinv) reference for gaussTable.invMass.
 func gaussInterp(a, b, rem float64) float64 {
 	var z float64
 	if a >= 0 {

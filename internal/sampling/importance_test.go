@@ -64,6 +64,14 @@ func TestGaussInterpInvertsMass(t *testing.T) {
 	}
 }
 
+// seqLogwSlack bounds how far a log weight may legitimately sit above
+// zero: each per-qubit factor is a probability times the density ratio
+// φ/g, which is 1 up to the tail table's interpolation error (≤ ~5e-5
+// in the deepest cell, ~1e-7 in the bulk — see gausstab.go), so at n
+// qubits the log weight can reach ~n·5e-5 without any construction
+// bug. Anything past this slack means a factor genuinely exceeded 1.
+const seqLogwSlack = 1e-2
+
 // TestSequentialSamplesAreCollisionFree pins the free-by-construction
 // property against the engine's independent checker — the proposal's
 // support must be exactly the collision-free set — and checks the
@@ -104,7 +112,7 @@ func TestSequentialSamplesAreCollisionFree(t *testing.T) {
 		if !math.IsInf(logw, -1) && !ok {
 			t.Fatalf("trial %d: sequential sample not collision-free (construction bug)", i)
 		}
-		if logw > 0 {
+		if logw > seqLogwSlack {
 			t.Fatalf("trial %d: log weight %v > 0, but every factor is a probability", i, logw)
 		}
 		e.Observe(i, ok, logw)
@@ -206,7 +214,7 @@ func FuzzEstimatorWeightsFinite(f *testing.F) {
 				if math.IsNaN(logw) || math.IsInf(logw, 1) {
 					t.Fatalf("%s trial %d: log weight %v", spec.Method, i, logw)
 				}
-				if spec.Method == Importance && logw > 0 {
+				if spec.Method == Importance && logw > seqLogwSlack {
 					t.Fatalf("importance trial %d: weight %v > 1", i, math.Exp(logw))
 				}
 				for q, v := range buf {

@@ -293,14 +293,10 @@ func New(spec Spec, d *topo.Device, m fab.Model, p collision.Params) (Estimator,
 		if m.Sigma <= 0 {
 			return nil, fmt.Errorf("sampling: importance sampling needs a positive fabrication sigma (got %g)", m.Sigma)
 		}
-		e := newImportance(c, d, m, p)
-		for q := range e.bands {
-			if len(e.bands[q]) > maxSeqBands {
-				return nil, fmt.Errorf("sampling: qubit %d carries %d forbidden bands (limit %d); device too densely coupled for the sequential proposal",
-					q, len(e.bands[q]), maxSeqBands)
-			}
-		}
-		return e, nil
+		// newImportance validates the per-qubit band counts against the
+		// sequential proposal's scratch capacity and returns a typed
+		// *BandLimitError for over-dense devices.
+		return newImportance(c, d, m, p)
 	}
 	return nil, fmt.Errorf("sampling: unknown method %q", c.Method)
 }

@@ -167,8 +167,18 @@ func TestStratifiedSliceMassesExact(t *testing.T) {
 			if got, want := e.massW[s], float64(spec.Strata)*e.mass[s]; got != want {
 				t.Errorf("tilt %g: massW[%d] = %g, want S*mass = %g", tilt, s, got, want)
 			}
-			if s > 0 && e.midQ[s] <= e.midQ[s-1] {
-				t.Errorf("tilt %g: midpoint quantiles not increasing at stratum %d", tilt, s)
+			// The quantile seed table must be strictly increasing within a
+			// stratum (its nodes sit at strictly increasing CDF values) and
+			// non-decreasing across the whole table.
+			row := e.seedQ[s*(stratSeedN+1) : (s+1)*(stratSeedN+1)]
+			for j := 1; j < len(row); j++ {
+				if row[j] <= row[j-1] {
+					t.Errorf("tilt %g: stratum %d seed nodes not increasing at %d (%g <= %g)",
+						tilt, s, j, row[j], row[j-1])
+				}
+			}
+			if s > 0 && row[0] < e.seedQ[s*(stratSeedN+1)-1] {
+				t.Errorf("tilt %g: seed table decreasing across stratum boundary %d", tilt, s)
 			}
 			total += e.mass[s]
 		}

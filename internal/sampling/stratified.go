@@ -72,15 +72,29 @@ type stratified struct {
 	k     int       // chi-square degrees of freedom, N-1
 	beta  []float64 // slice boundaries in target-CDF space, len S+1
 	mass  []float64 // exact target mass per slice, beta[s+1]-beta[s]
-	midQ  []float64 // per-stratum midpoint quantiles, Newton seeds
 	logW  []float64 // per-stratum log likelihood ratio, ln(S*mass_s)
 	massW []float64 // per-stratum likelihood ratio, S*mass_s
+
+	// Hot-path invariants, hoisted at construction: per-qubit plan
+	// targets (GHz), and per-stratum quantile seed tables — stratSeedN+1
+	// chi-square quantiles at evenly spaced CDF nodes across each slice,
+	// so a trial's inverse-CDF draw starts from a linear interpolation
+	// within ~1e-3 of the root and the exact Newton refinement in
+	// stats.ChiSquareQuantile converges in a step or two. The drawn
+	// radius stays exact (the table only seeds), so the piecewise-
+	// constant likelihood ratio is untouched.
+	mu    []float64
+	seedQ []float64 // strata × (stratSeedN+1) quantile nodes
 
 	perStratum []stats.Welford // w·y stats, index = stratum
 	alloc      *allocator      // Neyman block plans (nil when proportional)
 	trials     int
 	successes  int
 }
+
+// stratSeedN is the number of seed-table cells per stratum; the table
+// holds stratSeedN+1 quantile nodes per slice.
+const stratSeedN = 16
 
 func newStratified(c Spec, d *topo.Device, m fab.Model) *stratified {
 	e := &stratified{
@@ -93,20 +107,45 @@ func newStratified(c Spec, d *topo.Device, m fab.Model) *stratified {
 		k:          d.N - 1,
 		beta:       make([]float64, c.Strata+1),
 		mass:       make([]float64, c.Strata),
-		midQ:       make([]float64, c.Strata),
 		logW:       make([]float64, c.Strata),
 		massW:      make([]float64, c.Strata),
+		mu:         make([]float64, d.N),
+		seedQ:      make([]float64, c.Strata*(stratSeedN+1)),
 		perStratum: make([]stats.Welford, c.Strata),
+	}
+	for q := 0; q < d.N; q++ {
+		e.mu[q] = m.Plan.Target(d.Class[q])
 	}
 	warp := 1 / (c.Tilt * c.Tilt)
 	for s := 0; s <= c.Strata; s++ {
 		e.beta[s] = math.Pow(float64(s)/float64(c.Strata), warp)
 	}
+	// March the quantile nodes in CDF order, each seeded by its
+	// predecessor, so the table build costs a couple of Newton steps per
+	// node instead of a cold bracket each.
+	hint := 0.0
 	for s := 0; s < c.Strata; s++ {
 		e.mass[s] = e.beta[s+1] - e.beta[s]
 		e.massW[s] = float64(c.Strata) * e.mass[s]
 		e.logW[s] = math.Log(e.massW[s])
-		e.midQ[s] = stats.ChiSquareQuantile(e.k, e.beta[s]+e.mass[s]/2, 0)
+		for j := 0; j <= stratSeedN; j++ {
+			if s > 0 && j == 0 {
+				// Shared boundary: the previous stratum's top node sits at
+				// the same CDF value; recomputing it from a different hint
+				// would land within Newton tolerance but not identically.
+				e.seedQ[s*(stratSeedN+1)] = e.seedQ[s*(stratSeedN+1)-1]
+				continue
+			}
+			uu := e.beta[s] + e.mass[s]*float64(j)/stratSeedN
+			if uu >= 1 {
+				// The top node backs off the open endpoint (quantile +Inf);
+				// per-trial draws land above it and Newton walks the rest.
+				uu = 1 - 1e-12
+			}
+			q := stats.ChiSquareQuantile(e.k, uu, hint)
+			e.seedQ[s*(stratSeedN+1)+j] = q
+			hint = q
+		}
 	}
 	if e.neyman {
 		e.alloc = newAllocator(c.Strata)
@@ -181,13 +220,22 @@ func (e *stratified) SampleInto(r *rand.Rand, i int, buf []float64) float64 {
 	// Squared differential radius: inverse-CDF draw from the target
 	// chi-square law conditioned on stratum s's slice. Clamp uu off the
 	// endpoints so the quantile stays finite.
-	uu := e.beta[s] + r.Float64()*e.mass[s]
+	v := r.Float64()
+	uu := e.beta[s] + v*e.mass[s]
 	if uu <= 0 {
 		uu = math.SmallestNonzeroFloat64
 	} else if uu >= 1 {
 		uu = 1 - 1e-16
 	}
-	u := stats.ChiSquareQuantile(e.k, uu, e.midQ[s])
+	// Seed the exact quantile from the stratum's node table.
+	t := v * stratSeedN
+	j := int(t)
+	if j >= stratSeedN {
+		j = stratSeedN - 1
+	}
+	row := e.seedQ[s*(stratSeedN+1)+j:]
+	seed := row[0] + (t-float64(j))*(row[1]-row[0])
+	u := stats.ChiSquareQuantile(e.k, uu, seed)
 
 	n := e.d.N
 	mean := 0.0
@@ -209,8 +257,9 @@ func (e *stratified) SampleInto(r *rand.Rand, i int, buf []float64) float64 {
 	if norm2 > 0 {
 		scale = math.Sqrt(u / norm2)
 	}
+	sigma := e.m.Sigma
 	for q := 0; q < n; q++ {
-		buf[q] = e.m.Plan.Target(e.d.Class[q]) + e.m.Sigma*(mean+scale*buf[q])
+		buf[q] = e.mu[q] + sigma*(mean+scale*buf[q])
 	}
 	return e.logW[s]
 }

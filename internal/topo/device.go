@@ -88,9 +88,23 @@ func (d *Device) TargetOf(u, v int) int {
 // its neighbours, each unordered pair of controlled targets. These are
 // the (Qi; Qj, Qk) triples that the Table I Type 5-7 criteria inspect.
 func (d *Device) ControlPairs() []ControlPair {
-	var out []ControlPair
+	// Count, then fill: this runs in per-simulation constructors (the
+	// collision checker, the sampling proposals), where per-qubit append
+	// chains dominated the engine's allocation profile.
+	n := 0
 	for q := 0; q < d.N; q++ {
-		var targets []int
+		c := 0
+		for _, nb := range d.G.Neighbors(q) {
+			if d.ControlOf(q, nb) == q {
+				c++
+			}
+		}
+		n += c * (c - 1) / 2
+	}
+	out := make([]ControlPair, 0, n)
+	var targets []int
+	for q := 0; q < d.N; q++ {
+		targets = targets[:0]
 		for _, nb := range d.G.Neighbors(q) {
 			if d.ControlOf(q, nb) == q {
 				targets = append(targets, nb)

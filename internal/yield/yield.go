@@ -20,9 +20,12 @@ package yield
 import (
 	"context"
 	"fmt"
+	"math"
+	"testing"
 
 	"chipletqc/internal/collision"
 	"chipletqc/internal/fab"
+	"chipletqc/internal/race"
 	"chipletqc/internal/runner"
 	"chipletqc/internal/sampling"
 	"chipletqc/internal/stats"
@@ -231,6 +234,34 @@ func Simulate(ctx context.Context, d *topo.Device, cfg Config) (Result, error) {
 	return res, nil
 }
 
+// freeByConstruction is implemented by estimators whose every
+// finite-weight sample satisfies the collision criteria by construction
+// (the sequential conditioned proposal), letting the engine downgrade
+// its independent per-trial collision check to a sampled audit.
+type freeByConstruction interface{ FreeByConstruction() bool }
+
+// auditEvery is the sampled-audit period for construction-free
+// estimators: every auditEvery-th trial still runs the engine's
+// independent collision checker against the sampled frequencies, so a
+// proposal construction bug is caught within one checkpoint block while
+// the other trials skip the check — the audit tax that used to double
+// the importance path's per-trial cost. Test builds and -race builds
+// audit every trial.
+const auditEvery = 64
+
+// auditPeriod resolves the audit period for one estimator: 1 (check
+// every trial) unless the estimator declares itself free by
+// construction, and always 1 under `go test` or the race detector.
+func auditPeriod(est sampling.Estimator) int {
+	if f, ok := est.(freeByConstruction); ok && f.FreeByConstruction() {
+		if testing.Testing() || race.Enabled {
+			return 1
+		}
+		return auditEvery
+	}
+	return 1
+}
+
 // simulateEstimated is Simulate's pluggable-estimator path: trials carry
 // a log likelihood-ratio weight from the estimator's proposal through
 // the checkpointed stream, the estimator folds outcomes in index order,
@@ -244,6 +275,7 @@ func simulateEstimated(ctx context.Context, d *topo.Device, cfg Config,
 	if err != nil {
 		return Result{}, err
 	}
+	audit := auditPeriod(est)
 	type outcome struct {
 		ok   bool
 		logw float64
@@ -251,7 +283,15 @@ func simulateEstimated(ctx context.Context, d *topo.Device, cfg Config,
 	trial := func(l runner.Scratch, i int) outcome {
 		r := l.RNG.At(cfg.Seed, i)
 		logw := est.SampleInto(r, i, l.Buf)
-		return outcome{ok: checker.Free(l.Buf), logw: logw}
+		// A dead end (-Inf weight) is a failure regardless; otherwise a
+		// construction-free sample passes unless its audit trial says no.
+		// The audit depends only on the trial index, preserving
+		// worker-count invariance.
+		ok := !math.IsInf(logw, -1)
+		if ok && (audit == 1 || i%audit == 0) {
+			ok = checker.Free(l.Buf)
+		}
+		return outcome{ok: ok, logw: logw}
 	}
 	stop := func(int) bool { return false }
 	if adaptive {
