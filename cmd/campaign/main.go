@@ -10,6 +10,8 @@
 //
 //	campaign -experiments fig4,fig8 -scenarios paper,future-fab -store artifacts
 //	campaign -quick -store artifacts            # every experiment, paper scenario, smoke scale
+//	campaign -experiments genyield -generate "topos=hex-3x3-q16;sigmas=0.002,0.004" -store artifacts
+//	                                            # generated-scenario grid (see internal/generate, cmd/explore)
 //	campaign ... -list                          # dry run: print the cell grid + hit/miss status
 //	campaign ... -shard 0/2 & campaign ... -shard 1/2   # split one campaign
 //	campaign ... -resume=false                  # force re-execution, overwriting stored cells
@@ -31,6 +33,7 @@
 // concurrently; further submissions queue FIFO):
 //
 //	campaign -serve -store artifacts -addr :8080        # run the daemon
+//	campaign -serve -generate "topos=..." -addr :8080   # daemon that resolves a generated grid (cmd/explore -addr)
 //	campaign -submit -quick -addr :8080                 # queue a plan, print the job handle
 //	campaign -submit -watch -json -addr :8080           # queue, stream events, print final status
 //	campaign -job job-000001 -addr :8080                # one job's status (+ -watch to stream)
@@ -61,6 +64,8 @@ import (
 
 	"chipletqc/internal/campaign"
 	"chipletqc/internal/daemon"
+	"chipletqc/internal/generate"
+	"chipletqc/internal/scenario"
 	"chipletqc/internal/store"
 )
 
@@ -89,6 +94,7 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	var (
 		experiments = fs.String("experiments", "", "comma-separated experiment names (default: every registered experiment)")
 		scenarios   = fs.String("scenarios", "", "comma-separated device scenario names (default: paper)")
+		genSpec     = fs.String("generate", "", "register a generated scenario grid `topos=...;sigmas=...;thresholds=...;links=...;base=...` and add its scenarios to the plan (with -serve: make the grid's names resolvable to submitted plans)")
 		storeDir    = fs.String("store", "campaign-store", "artifact store directory; empty disables persistence")
 		resume      = fs.Bool("resume", true, "serve cells already in the store instead of re-simulating; -resume=false forces re-execution")
 		shardSpec   = fs.String("shard", "", "run only shard i of n of the cell grid, e.g. 0/2 (default: everything)")
@@ -140,9 +146,17 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	if err != nil {
 		return err
 	}
+	scenarioNames := splitNames(*scenarios)
+	if *genSpec != "" {
+		genNames, err := registerGenerated(*genSpec)
+		if err != nil {
+			return err
+		}
+		scenarioNames = append(scenarioNames, genNames...)
+	}
 	plan := campaign.Plan{
 		Experiments: splitNames(*experiments),
-		Scenarios:   splitNames(*scenarios),
+		Scenarios:   scenarioNames,
 		Seed:        *seed,
 		Quick:       *quick,
 	}
@@ -259,6 +273,27 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	return nil
 }
 
+// registerGenerated expands a -generate grid spec (internal/generate's
+// compact axes syntax) and registers its scenarios in this process's
+// registry, returning their names in grid order. Registration is
+// idempotent, so a daemon restarted with the same grid, or a sharded
+// rerun, resolves the same names to the same fingerprints.
+func registerGenerated(spec string) ([]string, error) {
+	baseName, axes, err := generate.ParseAxesSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	base, err := scenario.Lookup(baseName)
+	if err != nil {
+		return nil, err
+	}
+	gens, err := generate.Scenarios(base, axes)
+	if err != nil {
+		return nil, err
+	}
+	return generate.Ensure(gens)
+}
+
 // splitNames parses a comma-separated name list, dropping empties.
 func splitNames(s string) []string {
 	var out []string
@@ -329,7 +364,7 @@ func checkModeFlags(explicit map[string]bool, serve bool, clientVerb string, cli
 		return errUsage
 	}
 
-	planFlags := []string{"experiments", "scenarios", "quick", "seed", "precision", "maxtrials", "relprecision", "sampling"}
+	planFlags := []string{"experiments", "scenarios", "generate", "quick", "seed", "precision", "maxtrials", "relprecision", "sampling"}
 	allowed := map[string]bool{}
 	add := func(names ...string) {
 		for _, n := range names {
@@ -340,7 +375,7 @@ func checkModeFlags(explicit map[string]bool, serve bool, clientVerb string, cli
 	switch {
 	case serve:
 		mode = "-serve"
-		add("serve", "addr", "slots", "store", "workers")
+		add("serve", "addr", "slots", "store", "workers", "generate")
 	case clientCount == 1:
 		mode = clientVerb
 		add(strings.TrimPrefix(clientVerb, "-"), "addr", "json")

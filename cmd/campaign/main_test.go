@@ -341,3 +341,34 @@ func TestAdminVerbValidation(t *testing.T) {
 		t.Errorf("error stream should demand -store:\n%s", errs)
 	}
 }
+
+// TestGenerateFlagRunsAGeneratedGrid pins -generate: the grid's
+// scenarios register, run like any preset, and cache by fingerprint.
+func TestGenerateFlagRunsAGeneratedGrid(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	args := []string{"-quick", "-experiments", "genyield", "-store", dir,
+		"-generate", "topos=hex-1x2-q6,square-1x2-q6;sigmas=0.004,0.008"}
+
+	out, _, err := runArgs(t, context.Background(), args...)
+	if err != nil {
+		t.Fatalf("generated grid run: %v", err)
+	}
+	if !strings.Contains(out, "4 cells, 4 executed, 0 cached") {
+		t.Errorf("cold generated run summary wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "genyield@gen/hex-1x2-q6/sigma0.004") {
+		t.Errorf("generated scenario names missing from the cell list:\n%s", out)
+	}
+	out, _, err = runArgs(t, context.Background(), args...)
+	if err != nil {
+		t.Fatalf("warm generated run: %v", err)
+	}
+	if !strings.Contains(out, "4 cells, 0 executed, 4 cached") {
+		t.Errorf("warm generated run summary wrong:\n%s", out)
+	}
+
+	if _, _, err := runArgs(t, context.Background(),
+		"-quick", "-generate", "topos=;sigmas=0.004"); err == nil {
+		t.Error("empty -generate topos should fail")
+	}
+}

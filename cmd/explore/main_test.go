@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chipletqc/internal/daemon"
+	"chipletqc/internal/store"
+)
+
+// gridArgs is the test grid: 3 topologies (2 planar families plus a
+// larger hex) x 2 sigmas x 2 threshold scales = 12 cells, small
+// devices so quick scale stays fast.
+func gridArgs(storeDir string, extra ...string) []string {
+	args := []string{
+		"-quick", "-seed", "7", "-store", storeDir,
+		"-topos", "hex-1x2-q6,square-1x2-q6,hex-2x2-q6",
+		"-sigmas", "0.004,0.008",
+		"-thresholds", "0.5,1",
+	}
+	return append(args, extra...)
+}
+
+// frontierDoc mirrors the JSON the explorer emits, loosely: points stay
+// raw maps so the test asserts on the wire names, not on Go structs.
+type frontierDoc struct {
+	Experiment   string           `json:"experiment"`
+	GridSize     int              `json:"grid_size"`
+	ParetoPoints int              `json:"pareto_points"`
+	Points       []map[string]any `json:"points"`
+}
+
+func runExplore(t *testing.T, args []string) (stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	if err := run(context.Background(), args, &out, &errw); err != nil {
+		t.Fatalf("explore %v: %v\nstderr:\n%s", args, err, errw.String())
+	}
+	return out.String(), errw.String()
+}
+
+func parseFrontier(t *testing.T, raw string) frontierDoc {
+	t.Helper()
+	var f frontierDoc
+	if err := json.Unmarshal([]byte(raw), &f); err != nil {
+		t.Fatalf("frontier JSON does not parse: %v\n%s", err, raw)
+	}
+	return f
+}
+
+func TestExploreGridRunsAndCaches(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	out, errw := runExplore(t, gridArgs(dir, "-json"))
+	if !strings.Contains(errw, "12-cell grid, 12 executed, 0 cached") {
+		t.Errorf("first run summary = %q, want 12 executed", strings.TrimSpace(errw))
+	}
+	f := parseFrontier(t, out)
+	if f.Experiment != "genyield" || f.GridSize != 12 || len(f.Points) != 12 {
+		t.Fatalf("frontier identity off: experiment=%q grid=%d points=%d",
+			f.Experiment, f.GridSize, len(f.Points))
+	}
+	if f.ParetoPoints < 1 {
+		t.Fatal("no Pareto-optimal point on a 12-cell grid")
+	}
+	marked := 0
+	for _, p := range f.Points {
+		if p["pareto"] == true {
+			marked++
+		}
+		if p["config_fingerprint"] == "" || p["scenario"] == "" {
+			t.Errorf("point lacks provenance: %v", p)
+		}
+	}
+	if marked != f.ParetoPoints {
+		t.Errorf("pareto_points says %d, %d points are marked", f.ParetoPoints, marked)
+	}
+
+	// An immediate re-run serves every cell from the store and emits
+	// byte-identical frontier JSON.
+	out2, errw2 := runExplore(t, gridArgs(dir, "-json"))
+	if !strings.Contains(errw2, "12-cell grid, 0 executed, 12 cached") {
+		t.Errorf("re-run summary = %q, want 0 executed, 12 cached", strings.TrimSpace(errw2))
+	}
+	if out2 != out {
+		t.Error("re-run frontier JSON differs from the first run's")
+	}
+}
+
+func TestExploreShardsReproduceTheFrontier(t *testing.T) {
+	whole := filepath.Join(t.TempDir(), "whole")
+	unsharded, _ := runExplore(t, gridArgs(whole, "-json"))
+
+	sharded := filepath.Join(t.TempDir(), "sharded")
+	half, errw := runExplore(t, gridArgs(sharded, "-json", "-shard", "0/2"))
+	if !strings.Contains(errw, "6 executed") || !strings.Contains(errw, "awaiting other shards") {
+		t.Errorf("shard 0/2 summary = %q, want 6 executed and a missing-cells note", strings.TrimSpace(errw))
+	}
+	if f := parseFrontier(t, half); len(f.Points) != 6 {
+		t.Errorf("shard 0/2 alone evaluated %d points, want its 6", len(f.Points))
+	}
+	full, errw2 := runExplore(t, gridArgs(sharded, "-json", "-shard", "1/2"))
+	if !strings.Contains(errw2, "6 executed") {
+		t.Errorf("shard 1/2 summary = %q, want 6 executed", strings.TrimSpace(errw2))
+	}
+	if full != unsharded {
+		t.Error("shard 0/2 + 1/2 frontier is not byte-identical to the unsharded run's")
+	}
+}
+
+func TestExploreAgainstDaemon(t *testing.T) {
+	st := store.OpenMem()
+	srv := daemon.New(daemon.Options{Store: st})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer srv.Drain()
+
+	args := []string{
+		"-quick", "-seed", "7", "-addr", hs.URL,
+		"-topos", "hex-1x2-q6,square-1x2-q6",
+		"-sigmas", "0.004,0.008",
+	}
+	var out, errw bytes.Buffer
+	if err := run(context.Background(), args, &out, &errw); err != nil {
+		t.Fatalf("explore against daemon: %v\nstderr:\n%s", err, errw.String())
+	}
+	if !strings.Contains(errw.String(), "daemon") {
+		t.Errorf("summary %q does not name the daemon", strings.TrimSpace(errw.String()))
+	}
+	if !strings.Contains(out.String(), "Design-space frontier") {
+		t.Errorf("daemon run did not render the frontier table:\n%s", out.String())
+	}
+}
+
+func TestExploreListShowsHitsAfterRun(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	out, _ := runExplore(t, gridArgs(dir, "-list"))
+	if !strings.Contains(out, "12 cells (grid 12), 0 store hits") {
+		t.Errorf("cold -list = %q, want 0 hits", lastLine(out))
+	}
+	runExplore(t, gridArgs(dir))
+	out, _ = runExplore(t, gridArgs(dir, "-list"))
+	if !strings.Contains(out, "12 cells (grid 12), 12 store hits") {
+		t.Errorf("warm -list = %q, want 12 hits", lastLine(out))
+	}
+}
+
+func TestExploreUsageErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"no-grid", []string{"-quick"}},
+		{"grid-and-axis-flags", []string{"-grid", "topos=hex-1x2-q6", "-sigmas", "0.004"}},
+		{"bad-topo", []string{"-topos", "moebius-2x2-q6"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errw bytes.Buffer
+			err := run(context.Background(), tc.args, &out, &errw)
+			if err == nil {
+				t.Fatalf("explore %v succeeded, want an error", tc.args)
+			}
+		})
+	}
+}
+
+func lastLine(s string) string {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	return lines[len(lines)-1]
+}

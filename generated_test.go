@@ -1,0 +1,82 @@
+package chipletqc_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"chipletqc"
+)
+
+// TestGeneratedScenarioFacade drives the generated-scenario flow
+// entirely through the public facade: parse a topology token, expand a
+// small grid, register it, run the genyield experiment under a
+// generated name, and mark the Pareto frontier.
+func TestGeneratedScenarioFacade(t *testing.T) {
+	if got := chipletqc.TopologyFamilies(); len(got) != 4 {
+		t.Fatalf("TopologyFamilies() = %v, want the 4 families", got)
+	}
+
+	spec, err := chipletqc.ParseTopoSpec("hex-1x2-q6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Family != chipletqc.TopoFamilyHex || spec.Qubits() != 12 {
+		t.Fatalf("parsed spec %+v, want a 12-qubit hex device", spec)
+	}
+	if _, err := chipletqc.ParseTopoSpec("moebius-1x2-q6"); err == nil {
+		t.Fatal("unknown family parsed clean")
+	}
+	var se *chipletqc.TopoSpecError
+	if err := (chipletqc.TopoSpec{Family: chipletqc.TopoFamilyHex}).Validate(); !errors.As(err, &se) {
+		t.Fatalf("Validate error %v is not a *TopoSpecError", err)
+	}
+
+	gens, err := chipletqc.GenerateScenarios(chipletqc.PaperScenario(), chipletqc.ScenarioAxes{
+		Topos:  []chipletqc.TopoSpec{spec},
+		Sigmas: []float64{0.003, 0.006},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 2 {
+		t.Fatalf("grid expanded to %d scenarios, want 2", len(gens))
+	}
+	names, err := chipletqc.RegisterGeneratedScenarios(gens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again, err := chipletqc.RegisterGeneratedScenarios(gens); err != nil || len(again) != 2 {
+		t.Fatalf("re-registering the same grid: %v", err)
+	}
+
+	exp, ok := chipletqc.LookupExperiment("genyield")
+	if !ok {
+		t.Fatal("genyield experiment is not registered")
+	}
+	scn, err := chipletqc.LookupScenario(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := chipletqc.QuickExperimentConfig(7)
+	cfg.Scenario = &scn
+	art, err := exp.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Scenario != names[0] || art.Trials == 0 {
+		t.Fatalf("artifact %+v does not record the generated scenario run", art)
+	}
+
+	points := []chipletqc.FrontierPoint{
+		{Scenario: names[0], Qubits: 12, Sigma: 0.003, Yield: 0.9},
+		{Scenario: names[1], Qubits: 12, Sigma: 0.006, Yield: 0.4},
+		{Scenario: "dominated", Qubits: 12, Sigma: 0.003, Yield: 0.5},
+	}
+	if n := chipletqc.MarkParetoFrontier(points); n != 2 {
+		t.Fatalf("MarkParetoFrontier marked %d points, want 2", n)
+	}
+	if !points[0].Pareto || !points[1].Pareto || points[2].Pareto {
+		t.Fatalf("wrong frontier marks: %+v", points)
+	}
+}

@@ -1,0 +1,64 @@
+package eval
+
+import (
+	"context"
+
+	"chipletqc/internal/topo"
+	"chipletqc/internal/yield"
+)
+
+// GenYieldPoint is the genyield experiment result: one device — built
+// from the scenario's generated Topology, or the largest catalog
+// chiplet when the scenario carries none — and its collision-free
+// fabrication yield.
+type GenYieldPoint struct {
+	Device string
+	Family string
+	Qubits int
+	Chips  int
+	Links  int
+	// Generated reports whether the device came from a generated
+	// Topology (false: the catalog fallback ran).
+	Generated bool
+	Result    yield.Result
+}
+
+// GenYield simulates the collision-free yield of the scenario's device
+// under the scenario's fabrication model and trial policy. Scenarios
+// minted by internal/generate carry a Topology spec and get exactly
+// that device; preset scenarios fall back to their largest catalog
+// chiplet as a monolithic device, so the experiment runs under every
+// registered scenario.
+func GenYield(ctx context.Context, cfg Config) (GenYieldPoint, error) {
+	scn := cfg.scn()
+	var p GenYieldPoint
+	var d *topo.Device
+	if scn.Topology != nil {
+		dev, err := scn.Topology.Build()
+		if err != nil {
+			return p, err
+		}
+		d = dev
+		p.Family = scn.Topology.Family
+		p.Generated = true
+	} else {
+		best := scn.Catalog[0]
+		for _, c := range scn.Catalog[1:] {
+			if c.Qubits > best.Qubits {
+				best = c
+			}
+		}
+		d = topo.MonolithicDevice(best.Spec)
+		p.Family = topo.FamilyHeavyHex
+	}
+	res, err := yield.Simulate(ctx, d, cfg.yieldConfig(cfg.MonoBatch, cfg.Seed+seedOffGenYield))
+	if err != nil {
+		return p, err
+	}
+	p.Device = d.Name
+	p.Qubits = d.N
+	p.Chips = d.Chips
+	p.Links = len(d.Link)
+	p.Result = res
+	return p, nil
+}

@@ -57,6 +57,10 @@ const (
 	seedOffFig10Mono      = 3300
 	seedOffFig10Circuits  = 3400
 
+	// seedOffGenYield seeds the generated-device yield simulation of the
+	// genyield experiment (internal/generate scenarios).
+	seedOffGenYield = 4100
+
 	// seedOffDetuningModel seeds the shared synthetic calibration run
 	// behind the default detuning model. It sits far outside the
 	// per-figure bands so no figure stage can collide with it.

@@ -1,0 +1,127 @@
+package generate
+
+import (
+	"fmt"
+	"strconv"
+
+	"chipletqc/internal/experiment"
+)
+
+// Point is one evaluated cell of the explorer grid: the generated
+// design point plus the yield result and provenance read back from its
+// stored Artifact. Every field is deterministic for a given grid and
+// seed (no wall times, no executed/cached counters), so frontier JSON
+// is byte-identical across reruns and shardings.
+type Point struct {
+	Scenario       string   `json:"scenario"`
+	Device         string   `json:"device"`
+	Spec           TopoSpec `json:"spec"`
+	Qubits         int      `json:"qubits"`
+	Chips          int      `json:"chips"`
+	Links          int      `json:"links"`
+	Sigma          float64  `json:"sigma"`
+	ThresholdScale float64  `json:"threshold_scale"`
+	LinkMean       *float64 `json:"link_mean,omitempty"`
+
+	Yield     float64 `json:"yield"`
+	CILo      float64 `json:"ci_lo"`
+	CIHi      float64 `json:"ci_hi"`
+	Trials    int     `json:"trials"`
+	Estimator string  `json:"estimator"`
+	ESS       float64 `json:"ess,omitempty"`
+
+	// Fingerprint is the cell's config fingerprint: the store key the
+	// artifact was served under.
+	Fingerprint string `json:"config_fingerprint"`
+	// Pareto marks the point as frontier-optimal (see MarkPareto).
+	Pareto bool `json:"pareto"`
+}
+
+// PointFromArtifact assembles the frontier point for one generated
+// design from its stored genyield artifact, reading the payload columns
+// by header name.
+func PointFromArtifact(g Gen, a experiment.Artifact) (Point, error) {
+	p := Point{
+		Scenario:       g.Scenario.Name,
+		Spec:           g.Spec,
+		Sigma:          g.Sigma,
+		ThresholdScale: g.ThresholdScale,
+		LinkMean:       g.LinkMean,
+		Fingerprint:    a.Fingerprint,
+	}
+	if a.Payload == nil || len(a.Payload.Rows) == 0 {
+		return p, fmt.Errorf("generate: artifact %s/%s has no payload rows", a.Name, a.Fingerprint)
+	}
+	col := func(name string) (string, error) {
+		for i, h := range a.Payload.Headers {
+			if h == name && i < len(a.Payload.Rows[0]) {
+				return a.Payload.Rows[0][i], nil
+			}
+		}
+		return "", fmt.Errorf("generate: artifact %s/%s payload has no %q column", a.Name, a.Fingerprint, name)
+	}
+	var err error
+	str := func(name string) string {
+		if err != nil {
+			return ""
+		}
+		var v string
+		v, err = col(name)
+		return v
+	}
+	num := func(name string) float64 {
+		s := str(name)
+		if err != nil {
+			return 0
+		}
+		var v float64
+		v, err = strconv.ParseFloat(s, 64)
+		return v
+	}
+	p.Device = str(experiment.GenYieldColDevice)
+	p.Qubits = int(num(experiment.GenYieldColQubits))
+	p.Chips = int(num(experiment.GenYieldColChips))
+	p.Links = int(num(experiment.GenYieldColLinks))
+	p.Yield = num(experiment.GenYieldColYield)
+	p.CILo = num(experiment.GenYieldColCILo)
+	p.CIHi = num(experiment.GenYieldColCIHi)
+	p.Trials = int(num(experiment.GenYieldColTrials))
+	p.Estimator = str(experiment.GenYieldColEstimator)
+	p.ESS = num(experiment.GenYieldColESS)
+	if err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+// MarkPareto marks the Pareto-optimal points of the explorer's
+// objective — maximize yield, maximize device size (qubits), and
+// maximize tolerated fabrication spread (sigma: a design that survives
+// a sloppier process dominates one that needs a tighter one) — and
+// returns how many it marked. A point is dominated when another is at
+// least as good on all three axes and strictly better on one.
+func MarkPareto(points []Point) int {
+	n := 0
+	for i := range points {
+		points[i].Pareto = !dominated(points, i)
+		if points[i].Pareto {
+			n++
+		}
+	}
+	return n
+}
+
+func dominated(points []Point, i int) bool {
+	p := points[i]
+	for j := range points {
+		if j == i {
+			continue
+		}
+		q := points[j]
+		if q.Yield >= p.Yield && q.Qubits >= p.Qubits && q.Sigma >= p.Sigma &&
+			(q.Yield > p.Yield || q.Qubits > p.Qubits || q.Sigma > p.Sigma) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,53 @@
+package generate_test
+
+import (
+	"errors"
+	"testing"
+
+	"chipletqc/internal/generate"
+)
+
+// FuzzTopoSpec drives random dims/counts/family names through the
+// generator contract: Validate never panics and either passes clean or
+// returns a typed *SpecError; every spec that validates must build a
+// device that honours the spec's own qubit-count, connectivity, and
+// degree promises.
+func FuzzTopoSpec(f *testing.F) {
+	f.Add("hex", 2, 2, 0, 16)
+	f.Add("square", 1, 1, 0, 2)
+	f.Add("heavy-hex", 1, 1, 0, 10)
+	f.Add("heavy-hex", 3, 2, 1, 60)
+	f.Add("stack3d", 2, 2, 3, 9)
+	f.Add("square", 64, 64, 0, 2048)
+	f.Add("moebius", -1, 0, 7, -5)
+	f.Fuzz(func(t *testing.T, family string, rows, cols, layers, chipq int) {
+		spec := generate.TopoSpec{Family: family, Rows: rows, Cols: cols, Layers: layers, ChipQubits: chipq}
+		err := spec.Validate()
+		if err != nil {
+			var se *generate.SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("Validate(%+v) returned untyped error %v", spec, err)
+			}
+			if se.Field == "" {
+				t.Fatalf("Validate(%+v) error names no field: %v", spec, err)
+			}
+			if _, berr := spec.Build(); berr == nil {
+				t.Fatalf("invalid spec %+v built a device", spec)
+			}
+			return
+		}
+		d, err := spec.Build()
+		if err != nil {
+			t.Fatalf("valid spec %s failed to build: %v", spec.Canonical(), err)
+		}
+		if d.N != spec.Qubits() {
+			t.Fatalf("spec %s: device has %d qubits, spec promises %d", spec.Canonical(), d.N, spec.Qubits())
+		}
+		if !d.G.Connected() {
+			t.Fatalf("spec %s: generated device is disconnected", spec.Canonical())
+		}
+		if got, want := d.G.MaxDegree(), spec.MaxDegree(); got > want {
+			t.Fatalf("spec %s: max degree %d exceeds bound %d", spec.Canonical(), got, want)
+		}
+	})
+}

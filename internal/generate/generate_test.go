@@ -1,0 +1,255 @@
+package generate_test
+
+import (
+	"errors"
+	"testing"
+
+	"chipletqc/internal/experiment"
+	"chipletqc/internal/generate"
+	"chipletqc/internal/generate/generatortest"
+	"chipletqc/internal/report"
+	"chipletqc/internal/scenario"
+)
+
+// TestEveryFamilyPassesConformance holds each registered topology
+// family to the generatortest contract (run under -race in CI).
+func TestEveryFamilyPassesConformance(t *testing.T) {
+	for _, family := range generate.Families() {
+		family := family
+		t.Run(family, func(t *testing.T) {
+			t.Parallel()
+			generatortest.Run(t, family)
+		})
+	}
+}
+
+func TestParseTopoSpecRoundTrip(t *testing.T) {
+	for _, family := range generate.Families() {
+		for _, spec := range generatortest.Specs(family) {
+			got, err := generate.ParseTopoSpec(spec.Canonical())
+			if err != nil {
+				t.Fatalf("ParseTopoSpec(%q): %v", spec.Canonical(), err)
+			}
+			if got != spec {
+				t.Errorf("ParseTopoSpec(%q) = %+v, want %+v", spec.Canonical(), got, spec)
+			}
+		}
+	}
+	for _, bad := range []string{"", "hex", "moebius-2x2-q9", "hex-2x2", "hex-2x2-qX", "hex-2-q9", "hex-0x2-q9"} {
+		if _, err := generate.ParseTopoSpec(bad); err == nil {
+			t.Errorf("ParseTopoSpec(%q) validated clean", bad)
+		}
+	}
+}
+
+func TestScenariosGridOrderAndNames(t *testing.T) {
+	base := scenario.Paper()
+	axes := generate.Axes{
+		Topos: []generate.TopoSpec{
+			{Family: generate.FamilyHex, Rows: 3, Cols: 3, ChipQubits: 16},
+			{Family: generate.FamilySquare, Rows: 2, Cols: 2, ChipQubits: 16},
+		},
+		Sigmas: []float64{0.004, 0.014},
+	}
+	gens, err := generate.Scenarios(base, axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != axes.Size() || len(gens) != 4 {
+		t.Fatalf("got %d scenarios, want 4 (axes.Size() = %d)", len(gens), axes.Size())
+	}
+	wantNames := []string{
+		"gen/hex-3x3-q16/sigma0.004",
+		"gen/hex-3x3-q16/sigma0.014",
+		"gen/square-2x2-q16/sigma0.004",
+		"gen/square-2x2-q16/sigma0.014",
+	}
+	fps := map[string]bool{}
+	for i, g := range gens {
+		if g.Scenario.Name != wantNames[i] {
+			t.Errorf("scenario %d named %q, want %q", i, g.Scenario.Name, wantNames[i])
+		}
+		if err := g.Scenario.Validate(); err != nil {
+			t.Errorf("scenario %q: %v", g.Scenario.Name, err)
+		}
+		if g.Scenario.Fab.Sigma != g.Sigma {
+			t.Errorf("scenario %q carries sigma %g, label says %g", g.Scenario.Name, g.Scenario.Fab.Sigma, g.Sigma)
+		}
+		fp := g.Scenario.Fingerprint()
+		if fps[fp] {
+			t.Errorf("scenario %q shares a fingerprint with an earlier grid cell", g.Scenario.Name)
+		}
+		fps[fp] = true
+	}
+}
+
+func TestScenariosAxisSegments(t *testing.T) {
+	base := scenario.Paper()
+	gens, err := generate.Scenarios(base, generate.Axes{
+		Topos:           []generate.TopoSpec{{Family: generate.FamilySquare, Rows: 1, Cols: 2, ChipQubits: 9}},
+		Sigmas:          []float64{0.01},
+		ThresholdScales: []float64{0.5},
+		LinkMeans:       []float64{0.0075},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "gen/square-1x2-q9/sigma0.01/th0.5/link0.0075"
+	if gens[0].Scenario.Name != want {
+		t.Fatalf("name %q, want %q", gens[0].Scenario.Name, want)
+	}
+	if gens[0].Scenario.Params.T1 != base.Params.T1*0.5 {
+		t.Errorf("threshold scale not applied: T1 = %g", gens[0].Scenario.Params.T1)
+	}
+
+	// Non-paper bases get a disambiguating suffix so the same grid over
+	// two bases never collides in the registry.
+	future := scenario.MustLookup(scenario.FutureFabName)
+	gens, err = generate.Scenarios(future, generate.Axes{
+		Topos: []generate.TopoSpec{{Family: generate.FamilySquare, Rows: 1, Cols: 2, ChipQubits: 9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = "gen/square-1x2-q9/sigma0.006/base-future-fab"
+	if gens[0].Scenario.Name != want {
+		t.Fatalf("future-fab name %q, want %q", gens[0].Scenario.Name, want)
+	}
+}
+
+func TestEnsureIsIdempotentAndConflictSafe(t *testing.T) {
+	gens, err := generate.Scenarios(scenario.Paper(), generate.Axes{
+		Topos:  []generate.TopoSpec{{Family: generate.FamilyHex, Rows: 1, Cols: 2, ChipQubits: 8}},
+		Sigmas: []float64{0.0123},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := generate.Ensure(gens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scenario.Lookup(names[0]); err != nil {
+		t.Fatalf("Ensure did not register %q: %v", names[0], err)
+	}
+	// Same grid again: no panic, no error.
+	if _, err := generate.Ensure(gens); err != nil {
+		t.Fatalf("re-Ensure of an identical grid: %v", err)
+	}
+	// Same name, different device world: refused.
+	conflict := gens
+	conflict[0].Scenario.Params.T1 *= 2
+	if _, err := generate.Ensure(conflict); err == nil {
+		t.Fatal("Ensure accepted a conflicting redefinition")
+	}
+}
+
+func TestParseAxesSpec(t *testing.T) {
+	baseName, axes, err := generate.ParseAxesSpec(
+		"topos=hex-2x2-q10,square-2x2-q10;sigmas=0.01,0.014;thresholds=0.5,1;links=0.0075;base=future-fab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseName != scenario.FutureFabName {
+		t.Errorf("base %q, want future-fab", baseName)
+	}
+	if len(axes.Topos) != 2 || len(axes.Sigmas) != 2 || len(axes.ThresholdScales) != 2 || len(axes.LinkMeans) != 1 {
+		t.Errorf("axes parsed as %+v", axes)
+	}
+	if axes.Size() != 8 {
+		t.Errorf("axes.Size() = %d, want 8", axes.Size())
+	}
+	for _, bad := range []string{
+		"sigmas=0.01",                      // no topos
+		"topos=hex-2x2-q10;sigmas=-1",      // bad sigma
+		"topos=hex-2x2-q10;phase=0.5",      // unknown axis
+		"topos=hex-2x2-q10;thresholds",     // not key=value
+		"topos=moebius-2x2-q10",            // unknown family
+		"topos=hex-2x2-q10;links=1.5",      // out of range
+		"topos=hex-2x2-q10;sigmas=0.01,xy", // bad number
+	} {
+		if _, _, err := generate.ParseAxesSpec(bad); err == nil {
+			t.Errorf("ParseAxesSpec(%q) validated clean", bad)
+		}
+	}
+}
+
+func TestMarkPareto(t *testing.T) {
+	points := []generate.Point{
+		{Scenario: "a", Yield: 0.9, Qubits: 64, Sigma: 0.004},
+		{Scenario: "b", Yield: 0.5, Qubits: 64, Sigma: 0.004},  // dominated by a
+		{Scenario: "c", Yield: 0.2, Qubits: 144, Sigma: 0.004}, // bigger: frontier
+		{Scenario: "d", Yield: 0.1, Qubits: 64, Sigma: 0.014},  // sloppier fab: frontier
+		{Scenario: "e", Yield: 0.1, Qubits: 64, Sigma: 0.004},  // dominated by a and d
+	}
+	n := generate.MarkPareto(points)
+	if n != 3 {
+		t.Fatalf("MarkPareto marked %d points, want 3", n)
+	}
+	want := map[string]bool{"a": true, "c": true, "d": true}
+	for _, p := range points {
+		if p.Pareto != want[p.Scenario] {
+			t.Errorf("point %s: pareto = %t, want %t", p.Scenario, p.Pareto, want[p.Scenario])
+		}
+	}
+}
+
+func TestMarkParetoDuplicatesSurviveTogether(t *testing.T) {
+	points := []generate.Point{
+		{Scenario: "a", Yield: 0.5, Qubits: 64, Sigma: 0.004},
+		{Scenario: "b", Yield: 0.5, Qubits: 64, Sigma: 0.004},
+	}
+	if n := generate.MarkPareto(points); n != 2 {
+		t.Fatalf("equal points should both stay on the frontier, marked %d", n)
+	}
+}
+
+func TestPointFromArtifact(t *testing.T) {
+	gens, err := generate.Scenarios(scenario.Paper(), generate.Axes{
+		Topos:  []generate.TopoSpec{{Family: generate.FamilyHex, Rows: 2, Cols: 2, ChipQubits: 16}},
+		Sigmas: []float64{0.014},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := report.New("t",
+		experiment.GenYieldColDevice, experiment.GenYieldColFamily, experiment.GenYieldColQubits,
+		experiment.GenYieldColChips, experiment.GenYieldColLinks, experiment.GenYieldColYield,
+		experiment.GenYieldColTrials, experiment.GenYieldColCILo, experiment.GenYieldColCIHi,
+		experiment.GenYieldColEstimator, experiment.GenYieldColESS)
+	tb.Add("gen-hex-2x2-q16", "hex", 64, 4, 8, report.F(0.25, 6), 500,
+		report.F(0.21, 6), report.F(0.29, 6), "inline", report.F(0, 1))
+	a := experiment.Artifact{Name: experiment.GenYieldName, Fingerprint: "abc123", Payload: tb}
+	p, err := generate.PointFromArtifact(gens[0], a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Device != "gen-hex-2x2-q16" || p.Qubits != 64 || p.Chips != 4 || p.Links != 8 {
+		t.Errorf("device columns misread: %+v", p)
+	}
+	if p.Yield != 0.25 || p.Trials != 500 || p.Estimator != "inline" {
+		t.Errorf("yield columns misread: %+v", p)
+	}
+	if p.Sigma != 0.014 || p.Fingerprint != "abc123" || p.Scenario != gens[0].Scenario.Name {
+		t.Errorf("provenance misread: %+v", p)
+	}
+
+	if _, err := generate.PointFromArtifact(gens[0], experiment.Artifact{Name: "genyield"}); err == nil {
+		t.Error("artifact without payload should not parse")
+	}
+	short := experiment.Artifact{Name: "genyield", Payload: report.New("t", "device")}
+	short.Payload.Add("x")
+	if _, err := generate.PointFromArtifact(gens[0], short); err == nil {
+		t.Error("artifact missing columns should not parse")
+	}
+}
+
+// TestSpecErrorIsTyped pins the fuzz contract: every validation failure
+// surfaces as *SpecError.
+func TestSpecErrorIsTyped(t *testing.T) {
+	spec := generate.TopoSpec{Family: "nope"}
+	var se *generate.SpecError
+	if err := spec.Validate(); !errors.As(err, &se) {
+		t.Fatalf("Validate() = %v, want *SpecError", err)
+	}
+}

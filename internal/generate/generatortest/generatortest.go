@@ -1,0 +1,292 @@
+// Package generatortest is the conformance/property suite every
+// generated topology family must pass (the generator analogue of
+// store/storetest). A family's tests call
+//
+//	generatortest.Run(t, generate.FamilyHex)
+//
+// and the suite checks, for a deterministic set of specs in the family:
+// generated catalogs are connected, degree bounds are respected,
+// coupler lists are symmetric and duplicate-free, qubit and chip counts
+// match the spec, Validate rejects degenerate specs with typed errors
+// naming the bad field, and same-spec generation is bit-identical —
+// fingerprint-stable — across repeated and concurrent builds.
+package generatortest
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"chipletqc/internal/generate"
+	"chipletqc/internal/graph"
+	"chipletqc/internal/scenario"
+	"chipletqc/internal/topo"
+)
+
+// Specs returns the deterministic conformance specs for a family:
+// a minimal, a moderate, and a non-square member (plus a deeper stack
+// for stack3d).
+func Specs(family string) []generate.TopoSpec {
+	switch family {
+	case generate.FamilyHeavyHex:
+		return []generate.TopoSpec{
+			{Family: family, Rows: 1, Cols: 1, ChipQubits: 10},
+			{Family: family, Rows: 2, Cols: 2, ChipQubits: 20},
+			{Family: family, Rows: 1, Cols: 3, ChipQubits: 60},
+		}
+	case generate.FamilyStack3D:
+		return []generate.TopoSpec{
+			{Family: family, Rows: 1, Cols: 1, ChipQubits: 4, Layers: 2},
+			{Family: family, Rows: 2, Cols: 2, ChipQubits: 9, Layers: 3},
+			{Family: family, Rows: 1, Cols: 2, ChipQubits: 12, Layers: 4},
+		}
+	default:
+		return []generate.TopoSpec{
+			{Family: family, Rows: 1, Cols: 1, ChipQubits: 9},
+			{Family: family, Rows: 2, Cols: 2, ChipQubits: 16},
+			{Family: family, Rows: 2, Cols: 3, ChipQubits: 10},
+		}
+	}
+}
+
+// Run exercises the full conformance contract for one topology family.
+func Run(t *testing.T, family string) {
+	t.Helper()
+	for _, spec := range Specs(family) {
+		spec := spec
+		t.Run(spec.Canonical(), func(t *testing.T) {
+			if err := spec.Validate(); err != nil {
+				t.Fatalf("conformance spec %+v does not validate: %v", spec, err)
+			}
+			d, err := spec.Build()
+			if err != nil {
+				t.Fatalf("Build(%s): %v", spec.Canonical(), err)
+			}
+			checkCounts(t, spec, d)
+			checkGraph(t, spec, d)
+			checkLinks(t, d)
+			checkClasses(t, d)
+			checkControlPairs(t, d)
+			checkDeterminism(t, spec, d)
+			checkFingerprint(t, spec)
+		})
+	}
+	t.Run("degenerate-specs", func(t *testing.T) { checkDegenerate(t, family) })
+}
+
+// checkCounts verifies qubit and chip bookkeeping against the spec.
+func checkCounts(t *testing.T, spec generate.TopoSpec, d *topo.Device) {
+	t.Helper()
+	if d.N != spec.Qubits() {
+		t.Errorf("device has %d qubits, spec promises %d", d.N, spec.Qubits())
+	}
+	if d.Chips != spec.Chips() {
+		t.Errorf("device has %d chips, spec promises %d", d.Chips, spec.Chips())
+	}
+	if d.N != d.G.N() {
+		t.Errorf("device N=%d but graph has %d vertices", d.N, d.G.N())
+	}
+	perChip := make(map[int]int)
+	for q := 0; q < d.N; q++ {
+		if c := d.ChipOf[q]; c < 0 || c >= d.Chips {
+			t.Fatalf("qubit %d assigned to chip %d outside [0, %d)", q, c, d.Chips)
+		}
+		perChip[d.ChipOf[q]]++
+	}
+	if len(perChip) != d.Chips {
+		t.Errorf("only %d of %d chips hold qubits", len(perChip), d.Chips)
+	}
+	for c, n := range perChip {
+		if n != spec.ChipQubits {
+			t.Errorf("chip %d holds %d qubits, spec promises %d per chiplet", c, n, spec.ChipQubits)
+		}
+	}
+}
+
+// checkGraph verifies connectivity, the family degree bound, and that
+// the coupler list is symmetric, duplicate-free, and loop-free.
+func checkGraph(t *testing.T, spec generate.TopoSpec, d *topo.Device) {
+	t.Helper()
+	if !d.G.Connected() {
+		t.Error("coupling graph is disconnected")
+	}
+	if got, want := d.G.MaxDegree(), spec.MaxDegree(); got > want {
+		t.Errorf("max coupling degree %d exceeds the %s bound %d", got, spec.Family, want)
+	}
+	seen := make(map[graph.Edge]bool)
+	for _, e := range d.G.Edges() {
+		if e.U == e.V {
+			t.Errorf("self-loop coupler on qubit %d", e.U)
+		}
+		if seen[e] {
+			t.Errorf("duplicate coupler %d-%d", e.U, e.V)
+		}
+		seen[e] = true
+		if !contains(d.G.Neighbors(e.U), e.V) || !contains(d.G.Neighbors(e.V), e.U) {
+			t.Errorf("coupler %d-%d is not symmetric in the adjacency lists", e.U, e.V)
+		}
+	}
+}
+
+// checkLinks verifies that the inter-chip link set is exactly the
+// chip-boundary-crossing couplers.
+func checkLinks(t *testing.T, d *topo.Device) {
+	t.Helper()
+	for _, e := range d.G.Edges() {
+		crosses := d.ChipOf[e.U] != d.ChipOf[e.V]
+		if crosses != d.Link[e] {
+			t.Errorf("coupler %d-%d: crosses chips %t but Link marks %t", e.U, e.V, crosses, d.Link[e])
+		}
+	}
+	for e := range d.Link {
+		if !d.G.HasEdge(e.U, e.V) {
+			t.Errorf("link %d-%d is not a coupler", e.U, e.V)
+		}
+	}
+}
+
+// checkClasses verifies every coupler pairs two distinct frequency
+// classes, so CR control/target resolution is tie-free.
+func checkClasses(t *testing.T, d *topo.Device) {
+	t.Helper()
+	for _, e := range d.G.Edges() {
+		if d.Class[e.U] == d.Class[e.V] {
+			t.Errorf("coupler %d-%d pairs two %v qubits", e.U, e.V, d.Class[e.U])
+		}
+	}
+}
+
+// checkControlPairs verifies no control qubit sees two same-class
+// targets — the same-class degeneracy that would make Type 5-7
+// collisions systematic rather than statistical.
+func checkControlPairs(t *testing.T, d *topo.Device) {
+	t.Helper()
+	for _, cp := range d.ControlPairs() {
+		if d.Class[cp.T1] == d.Class[cp.T2] {
+			t.Errorf("control %d has two %v targets (%d, %d)",
+				cp.Control, d.Class[cp.T1], cp.T1, cp.T2)
+		}
+	}
+}
+
+// checkDeterminism verifies bit-identical generation across repeated
+// and concurrent builds (the suite runs under -race, so the concurrent
+// builds also prove the builder shares no mutable state).
+func checkDeterminism(t *testing.T, spec generate.TopoSpec, d *topo.Device) {
+	t.Helper()
+	again, err := spec.Build()
+	if err != nil {
+		t.Fatalf("second Build(%s): %v", spec.Canonical(), err)
+	}
+	if !reflect.DeepEqual(d, again) {
+		t.Error("two sequential builds of the same spec differ")
+	}
+	const workers = 8
+	devs := make([]*topo.Device, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			devs[i], _ = spec.Build()
+		}(i)
+	}
+	wg.Wait()
+	for i, dev := range devs {
+		if dev == nil {
+			t.Fatalf("concurrent build %d failed", i)
+		}
+		if !reflect.DeepEqual(d, dev) {
+			t.Errorf("concurrent build %d differs from the sequential build", i)
+		}
+	}
+}
+
+// checkFingerprint verifies generated scenarios are fingerprint-stable:
+// equal for equal specs, distinct across specs, and distinct from the
+// topology-free base.
+func checkFingerprint(t *testing.T, spec generate.TopoSpec) {
+	t.Helper()
+	base := scenario.Paper()
+	withTopo := func(s generate.TopoSpec) string {
+		scn := base
+		scn.Topology = &s
+		return scn.Fingerprint()
+	}
+	fp := withTopo(spec)
+	if again := withTopo(spec); again != fp {
+		t.Errorf("same-spec fingerprints differ: %s != %s", fp, again)
+	}
+	if fp == base.Fingerprint() {
+		t.Error("topology-bearing scenario fingerprints like the bare base")
+	}
+	other := spec
+	other.Rows++
+	if other.Validate() == nil && withTopo(other) == fp {
+		t.Errorf("distinct specs %s and %s share a fingerprint", spec.Canonical(), other.Canonical())
+	}
+}
+
+// checkDegenerate verifies Validate rejects broken specs with a typed
+// *SpecError naming the offending field.
+func checkDegenerate(t *testing.T, family string) {
+	t.Helper()
+	good := Specs(family)[0]
+	type degenerate struct {
+		name   string
+		mutate func(*generate.TopoSpec)
+		field  string
+	}
+	cases := []degenerate{
+		{"unknown-family", func(s *generate.TopoSpec) { s.Family = "moebius" }, "Family"},
+		{"zero-rows", func(s *generate.TopoSpec) { s.Rows = 0 }, "Rows"},
+		{"negative-cols", func(s *generate.TopoSpec) { s.Cols = -1 }, "Cols"},
+		{"zero-chip-qubits", func(s *generate.TopoSpec) { s.ChipQubits = 0 }, "ChipQubits"},
+		{"oversized-grid", func(s *generate.TopoSpec) { s.Rows = 1 << 20 }, "Rows"},
+	}
+	if family == generate.FamilyHeavyHex {
+		cases = append(cases, degenerate{"non-multiple-of-5",
+			func(s *generate.TopoSpec) { s.ChipQubits = 7 }, "ChipQubits"})
+	}
+	if family == generate.FamilyStack3D {
+		cases = append(cases, degenerate{"single-layer-stack",
+			func(s *generate.TopoSpec) { s.Layers = 1 }, "Layers"})
+	} else {
+		cases = append(cases, degenerate{"layers-on-planar",
+			func(s *generate.TopoSpec) { s.Layers = 3 }, "Layers"})
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := good
+			tc.mutate(&spec)
+			err := spec.Validate()
+			if err == nil {
+				t.Fatalf("degenerate spec %+v validated clean", spec)
+			}
+			var se *generate.SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("degenerate spec error %v is not a *SpecError", err)
+			}
+			if se.Field != tc.field {
+				t.Errorf("error names field %q, want %q", se.Field, tc.field)
+			}
+			if !strings.Contains(err.Error(), tc.field) {
+				t.Errorf("error %q does not mention field %q", err, tc.field)
+			}
+			if _, err := spec.Build(); err == nil {
+				t.Error("degenerate spec built a device")
+			}
+		})
+	}
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

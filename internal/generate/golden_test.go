@@ -1,0 +1,119 @@
+package generate_test
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"chipletqc/internal/eval"
+	"chipletqc/internal/generate"
+	"chipletqc/internal/scenario"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with freshly computed values")
+
+// genGolden pins one generated scenario's quick-scale yield at a fixed
+// seed, proving generated scenarios honour the determinism contract
+// exactly like the presets (see internal/eval's golden figures).
+type genGolden struct {
+	Scenario string  `json:"scenario"`
+	Device   string  `json:"device"`
+	Family   string  `json:"family"`
+	Qubits   int     `json:"qubits"`
+	Chips    int     `json:"chips"`
+	Links    int     `json:"links"`
+	Yield    float64 `json:"yield"`
+	Trials   int     `json:"trials"`
+	CILo     float64 `json:"ci_lo"`
+	CIHi     float64 `json:"ci_hi"`
+}
+
+// goldenSeed pins the golden run; unrelated to any experiment default.
+const goldenSeed = 424242
+
+func goldenPoint(t *testing.T, workers int) (string, eval.GenYieldPoint) {
+	t.Helper()
+	gens, err := generate.Scenarios(scenario.Paper(), generate.Axes{
+		Topos:  []generate.TopoSpec{{Family: generate.FamilyHex, Rows: 2, Cols: 2, ChipQubits: 16}},
+		Sigmas: []float64{0.004},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := eval.QuickConfigFor(gens[0].Scenario, goldenSeed)
+	cfg.Workers = workers
+	p, err := eval.GenYield(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gens[0].Scenario.Name, p
+}
+
+func TestGoldenGeneratedHexYield(t *testing.T) {
+	name, p := goldenPoint(t, 0)
+	got := genGolden{
+		Scenario: name,
+		Device:   p.Device,
+		Family:   p.Family,
+		Qubits:   p.Qubits,
+		Chips:    p.Chips,
+		Links:    p.Links,
+		Yield:    p.Result.Fraction(),
+		Trials:   p.Result.Batch,
+		CILo:     p.Result.CILo,
+		CIHi:     p.Result.CIHi,
+	}
+	path := filepath.Join("testdata", "golden_genyield.json")
+	if *update {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to regenerate): %v", err)
+	}
+	var want genGolden
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if got.Scenario != want.Scenario || got.Device != want.Device || got.Family != want.Family {
+		t.Errorf("identity drifted: got %+v, want %+v", got, want)
+	}
+	if got.Qubits != want.Qubits || got.Chips != want.Chips || got.Links != want.Links || got.Trials != want.Trials {
+		t.Errorf("structure drifted: got %+v, want %+v", got, want)
+	}
+	for _, m := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"yield", got.Yield, want.Yield},
+		{"ci_lo", got.CILo, want.CILo},
+		{"ci_hi", got.CIHi, want.CIHi},
+	} {
+		if math.Abs(m.got-m.want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", m.name, m.got, m.want)
+		}
+	}
+}
+
+// TestGoldenWorkerInvariance proves the generated-scenario yield is
+// bit-identical at different worker counts, the same guarantee the
+// preset pipelines make.
+func TestGoldenWorkerInvariance(t *testing.T) {
+	_, p1 := goldenPoint(t, 1)
+	_, p7 := goldenPoint(t, 7)
+	if p1.Result != p7.Result {
+		t.Fatalf("worker-count variance: 1 worker %+v, 7 workers %+v", p1.Result, p7.Result)
+	}
+}

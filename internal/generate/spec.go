@@ -1,0 +1,117 @@
+package generate
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"chipletqc/internal/topo"
+)
+
+// TopoSpec parameterizes one generated topology: grid dims, qubits per
+// chiplet, and the coupler topology family. It is topo.LatticeSpec —
+// the builder lives with the other device constructors — re-exported
+// here because generate is its user-facing API.
+type TopoSpec = topo.LatticeSpec
+
+// SpecError is the typed validation error a TopoSpec reports, naming
+// the offending field.
+type SpecError = topo.SpecError
+
+// The generated topology families.
+const (
+	FamilySquare   = topo.FamilySquare
+	FamilyHex      = topo.FamilyHex
+	FamilyHeavyHex = topo.FamilyHeavyHex
+	FamilyStack3D  = topo.FamilyStack3D
+)
+
+// Families lists every registered topology family, in canonical order.
+// Each must pass the generatortest conformance suite.
+func Families() []string { return topo.LatticeFamilies() }
+
+// ParseTopoSpec parses a canonical topology token — the inverse of
+// TopoSpec.Canonical — e.g. "hex-3x3-q16", "heavy-hex-2x2-q20", or
+// "stack3d-2x2x3-q9". The parsed spec is validated.
+func ParseTopoSpec(s string) (TopoSpec, error) {
+	var spec TopoSpec
+	rest := ""
+	for _, fam := range Families() {
+		if strings.HasPrefix(s, fam+"-") {
+			spec.Family = fam
+			rest = strings.TrimPrefix(s, fam+"-")
+			break
+		}
+	}
+	if spec.Family == "" {
+		return spec, fmt.Errorf("generate: topology %q does not start with a known family (%s)",
+			s, strings.Join(Families(), ", "))
+	}
+	dims, qpart, ok := strings.Cut(rest, "-q")
+	if !ok {
+		return spec, fmt.Errorf("generate: topology %q is missing the -q<qubits> suffix", s)
+	}
+	q, err := strconv.Atoi(qpart)
+	if err != nil {
+		return spec, fmt.Errorf("generate: topology %q: bad qubit count %q", s, qpart)
+	}
+	spec.ChipQubits = q
+	parts := strings.Split(dims, "x")
+	if len(parts) != 2 && len(parts) != 3 {
+		return spec, fmt.Errorf("generate: topology %q: dims %q want RxC or RxCxL", s, dims)
+	}
+	ints := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return spec, fmt.Errorf("generate: topology %q: bad dimension %q", s, p)
+		}
+		ints[i] = v
+	}
+	spec.Rows, spec.Cols = ints[0], ints[1]
+	if len(ints) == 3 {
+		spec.Layers = ints[2]
+	}
+	if err := spec.Validate(); err != nil {
+		return spec, fmt.Errorf("generate: topology %q: %w", s, err)
+	}
+	return spec, nil
+}
+
+// ParseTopoList parses a comma-separated list of canonical topology
+// tokens.
+func ParseTopoList(s string) ([]TopoSpec, error) {
+	var out []TopoSpec
+	for _, tok := range splitList(s) {
+		spec, err := ParseTopoSpec(tok)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}
+
+// splitList splits a comma-separated list, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+// parseFloatList parses a comma-separated float list.
+func parseFloatList(s string) ([]float64, error) {
+	var out []float64
+	for _, tok := range splitList(s) {
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, fmt.Errorf("generate: bad number %q in %q", tok, s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

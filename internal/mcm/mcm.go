@@ -12,7 +12,6 @@ package mcm
 import (
 	"fmt"
 
-	"chipletqc/internal/graph"
 	"chipletqc/internal/topo"
 )
 
@@ -43,85 +42,16 @@ func (g Grid) String() string {
 }
 
 // Build assembles the MCM device: chiplet copies at each grid position
-// plus inter-chip link edges. The resulting Device satisfies the same
-// structural invariants as a monolithic device (Device.Validate).
+// plus inter-chip link edges (the composition itself lives in
+// topo.TileGrid so generated lattice families can reuse it). The
+// resulting Device satisfies the same structural invariants as a
+// monolithic device (Device.Validate).
 func Build(g Grid) (*topo.Device, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	chip := topo.BuildChip(g.Spec)
-	nPer := chip.N
-	total := g.Qubits()
-
-	d := &topo.Device{
-		Name:     g.String(),
-		N:        total,
-		Class:    make([]topo.Class, total),
-		IsBridge: make([]bool, total),
-		Coord:    make([][2]int, total),
-		ChipOf:   make([]int, total),
-		Chips:    g.Chips(),
-		G:        graph.New(total),
-		Link:     map[graph.Edge]bool{},
-	}
-
-	// Global footprint of one chip in grid cells: width w columns,
-	// height 2r rows (dense+sparse interleaved).
-	w := g.Spec.Width
-	h := 2 * g.Spec.DenseRows
-
-	chipBase := func(row, col int) int {
-		return (row*g.Cols + col) * nPer
-	}
-
-	// Instantiate chip copies.
-	for row := 0; row < g.Rows; row++ {
-		for col := 0; col < g.Cols; col++ {
-			base := chipBase(row, col)
-			idx := row*g.Cols + col
-			for q := 0; q < nPer; q++ {
-				gq := base + q
-				d.Class[gq] = chip.Class[q]
-				d.IsBridge[gq] = chip.IsBridge[q]
-				d.Coord[gq] = [2]int{chip.Coord[q][0] + col*w, chip.Coord[q][1] + row*h}
-				d.ChipOf[gq] = idx
-			}
-			for _, e := range chip.G.Edges() {
-				d.G.AddEdge(base+e.U, base+e.V)
-			}
-		}
-	}
-
-	// Horizontal links: right edge of (row, col) to left edge of
-	// (row, col+1).
-	right := chip.RightEdge()
-	left := chip.LeftEdge()
-	for row := 0; row < g.Rows; row++ {
-		for col := 0; col+1 < g.Cols; col++ {
-			a, b := chipBase(row, col), chipBase(row, col+1)
-			for i := range right {
-				u, v := a+right[i], b+left[i]
-				d.G.AddEdge(u, v)
-				d.Link[graph.NewEdge(u, v)] = true
-			}
-		}
-	}
-
-	// Vertical links: bottom bridges of (row, col) to top acceptors of
-	// (row+1, col).
-	bridges := chip.BottomBridges()
-	acceptors := chip.TopAcceptors()
-	for row := 0; row+1 < g.Rows; row++ {
-		for col := 0; col < g.Cols; col++ {
-			a, b := chipBase(row, col), chipBase(row+1, col)
-			for i := range bridges {
-				u, v := a+bridges[i], b+acceptors[i]
-				d.G.AddEdge(u, v)
-				d.Link[graph.NewEdge(u, v)] = true
-			}
-		}
-	}
-
+	d := topo.TileGrid(g.Spec, g.Rows, g.Cols)
+	d.Name = g.String()
 	return d, nil
 }
 

@@ -144,6 +144,13 @@ type Scenario struct {
 	Assembly AssemblyPolicy
 	// Trials is the default Monte Carlo budget.
 	Trials TrialPolicy
+
+	// Topology, when non-nil, pins the scenario to one generated device
+	// (internal/generate): single-device experiments (genyield) build it
+	// instead of walking the catalog, and its canonical token is folded
+	// into the fingerprint. nil keeps the hand-written preset behaviour
+	// and leaves historical fingerprints untouched.
+	Topology *topo.LatticeSpec
 }
 
 // Validate reports the first invalid scenario field.
@@ -212,6 +219,11 @@ func (s Scenario) Validate() error {
 	if err := s.Trials.Sampling.Validate(); err != nil {
 		return fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
+	if s.Topology != nil {
+		if err := s.Topology.Validate(); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+	}
 	return nil
 }
 
@@ -240,6 +252,9 @@ func (s Scenario) Fingerprint() string {
 	}
 	if sp := s.Trials.Sampling.String(); sp != "" {
 		fmt.Fprintf(&sb, "sampling=%s;", sp)
+	}
+	if s.Topology != nil {
+		fmt.Fprintf(&sb, "topology=%s;", s.Topology.Canonical())
 	}
 	sum := sha256.Sum256([]byte(sb.String()))
 	return fmt.Sprintf("%x", sum[:6])

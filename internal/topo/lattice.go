@@ -1,0 +1,302 @@
+package topo
+
+import (
+	"fmt"
+	"strings"
+
+	"chipletqc/internal/graph"
+)
+
+// Lattice family names: the coupler topologies LatticeSpec can generate.
+// FamilyHeavyHex reuses the paper's (r, w) chip family and MCM tiling;
+// the other families are regular qubit lattices partitioned into
+// rectangular chiplet tiles with seam couplings promoted to inter-chip
+// links.
+const (
+	FamilySquare   = "square"
+	FamilyHex      = "hex"
+	FamilyHeavyHex = "heavy-hex"
+	FamilyStack3D  = "stack3d"
+)
+
+// LatticeFamilies lists every topology family LatticeSpec understands,
+// in canonical order.
+func LatticeFamilies() []string {
+	return []string{FamilySquare, FamilyHex, FamilyHeavyHex, FamilyStack3D}
+}
+
+// Generator guard rails: specs beyond these bounds are rejected by
+// Validate so fuzzed or scripted grids cannot request devices too large
+// to build. They are caps on the spec, not physical claims.
+const (
+	maxLatticeDim    = 64
+	maxLatticeLayers = 16
+	maxChipQubits    = 2048
+	maxLatticeQubits = 1 << 16
+)
+
+// SpecError is the typed validation error returned by
+// LatticeSpec.Validate: it names the offending spec field so generator
+// front-ends (CLI flags, fuzzers, conformance suites) can report and
+// assert on exactly what was wrong.
+type SpecError struct {
+	Field  string // the LatticeSpec field that is invalid
+	Reason string
+}
+
+// Error renders "topo: lattice spec Field: reason".
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("topo: lattice spec %s: %s", e.Field, e.Reason)
+}
+
+// LatticeSpec is a parameterized multi-chip device generator: Rows x
+// Cols chiplet tiles (per layer) of ChipQubits qubits each, coupled in
+// the named family's lattice. It is plain comparable data so it can be
+// validated, fingerprinted, and embedded in a Scenario like every other
+// device-world field.
+type LatticeSpec struct {
+	// Family is the coupler topology: square, hex, heavy-hex, stack3d.
+	Family string
+	// Rows and Cols are the chiplet tile grid dimensions per layer.
+	Rows, Cols int
+	// ChipQubits is the qubit count of one chiplet tile. heavy-hex
+	// requires a positive multiple of 5 (the (r, w) family); the other
+	// families accept any count >= 2 and tile it as the most-square
+	// rectangle.
+	ChipQubits int
+	// Layers stacks that many square-lattice planes with a vertical
+	// coupler at every qubit (stack3d only, >= 2). Planar families
+	// leave it 0.
+	Layers int
+}
+
+// Validate checks the spec against its family's constraints and the
+// generator guard rails, returning a *SpecError naming the first
+// invalid field.
+func (s LatticeSpec) Validate() error {
+	switch s.Family {
+	case FamilySquare, FamilyHex, FamilyHeavyHex, FamilyStack3D:
+	default:
+		return &SpecError{"Family", fmt.Sprintf("unknown family %q (known: %s)",
+			s.Family, strings.Join(LatticeFamilies(), ", "))}
+	}
+	if s.Rows < 1 {
+		return &SpecError{"Rows", fmt.Sprintf("must be >= 1, got %d", s.Rows)}
+	}
+	if s.Rows > maxLatticeDim {
+		return &SpecError{"Rows", fmt.Sprintf("%d exceeds the generator cap %d", s.Rows, maxLatticeDim)}
+	}
+	if s.Cols < 1 {
+		return &SpecError{"Cols", fmt.Sprintf("must be >= 1, got %d", s.Cols)}
+	}
+	if s.Cols > maxLatticeDim {
+		return &SpecError{"Cols", fmt.Sprintf("%d exceeds the generator cap %d", s.Cols, maxLatticeDim)}
+	}
+	if s.Family == FamilyHeavyHex {
+		if s.ChipQubits < 5 || s.ChipQubits%5 != 0 {
+			return &SpecError{"ChipQubits",
+				fmt.Sprintf("heavy-hex chiplets need a positive multiple of 5 qubits, got %d", s.ChipQubits)}
+		}
+	} else if s.ChipQubits < 2 {
+		return &SpecError{"ChipQubits", fmt.Sprintf("must be >= 2, got %d", s.ChipQubits)}
+	}
+	if s.ChipQubits > maxChipQubits {
+		return &SpecError{"ChipQubits", fmt.Sprintf("%d exceeds the generator cap %d", s.ChipQubits, maxChipQubits)}
+	}
+	if s.Family == FamilyStack3D {
+		if s.Layers < 2 {
+			return &SpecError{"Layers", fmt.Sprintf("stack3d needs >= 2 layers, got %d", s.Layers)}
+		}
+		if s.Layers > maxLatticeLayers {
+			return &SpecError{"Layers", fmt.Sprintf("%d exceeds the generator cap %d", s.Layers, maxLatticeLayers)}
+		}
+	} else if s.Layers != 0 && s.Layers != 1 {
+		return &SpecError{"Layers", fmt.Sprintf("%s lattices are planar; leave Layers 0, got %d", s.Family, s.Layers)}
+	}
+	if q := s.Qubits(); q > maxLatticeQubits {
+		return &SpecError{"ChipQubits",
+			fmt.Sprintf("total device size %d qubits exceeds the generator cap %d", q, maxLatticeQubits)}
+	}
+	return nil
+}
+
+// layers returns the effective layer count: 1 for planar families.
+func (s LatticeSpec) layers() int {
+	if s.Family == FamilyStack3D && s.Layers > 1 {
+		return s.Layers
+	}
+	return 1
+}
+
+// Qubits returns the total qubit count of the generated device.
+func (s LatticeSpec) Qubits() int {
+	return s.Rows * s.Cols * s.layers() * s.ChipQubits
+}
+
+// Chips returns the number of chiplet tiles composing the device.
+func (s LatticeSpec) Chips() int {
+	return s.Rows * s.Cols * s.layers()
+}
+
+// MaxDegree returns the family's coupling-degree bound, the invariant
+// the generator conformance suite holds every build to.
+func (s LatticeSpec) MaxDegree() int {
+	switch s.Family {
+	case FamilySquare:
+		return 4
+	case FamilyHex, FamilyHeavyHex:
+		return 3
+	case FamilyStack3D:
+		return 6
+	}
+	return 0
+}
+
+// Canonical renders the spec's canonical token, e.g. "hex-3x3-q16" or
+// "stack3d-2x2x3-q9". It is the inverse of generate.ParseTopoSpec and
+// is folded into scenario fingerprints, so its format is frozen.
+func (s LatticeSpec) Canonical() string {
+	if s.Family == FamilyStack3D {
+		return fmt.Sprintf("%s-%dx%dx%d-q%d", s.Family, s.Rows, s.Cols, s.Layers, s.ChipQubits)
+	}
+	return fmt.Sprintf("%s-%dx%d-q%d", s.Family, s.Rows, s.Cols, s.ChipQubits)
+}
+
+// DeviceName is the generated Device.Name, "gen-" + Canonical().
+func (s LatticeSpec) DeviceName() string {
+	return "gen-" + s.Canonical()
+}
+
+// HeavyHexChip derives the (r, w) chip spec for a heavy-hex tile of
+// ChipQubits qubits: among the factorizations 5rk/... = ChipQubits with
+// w = 4k, the most square footprint (minimal |2r - w|) wins, ties
+// breaking toward fewer dense rows.
+func (s LatticeSpec) HeavyHexChip() (ChipSpec, error) {
+	if s.ChipQubits < 5 || s.ChipQubits%5 != 0 {
+		return ChipSpec{}, &SpecError{"ChipQubits",
+			fmt.Sprintf("heavy-hex chiplets need a positive multiple of 5 qubits, got %d", s.ChipQubits)}
+	}
+	rk := s.ChipQubits / 5 // r*k with w = 4k
+	best := ChipSpec{}
+	bestPenalty := -1
+	for r := 1; r <= rk; r++ {
+		if rk%r != 0 {
+			continue
+		}
+		spec := ChipSpec{DenseRows: r, Width: 4 * (rk / r)}
+		if p := diffAbs(2*spec.DenseRows, spec.Width); bestPenalty < 0 || p < bestPenalty {
+			best, bestPenalty = spec, p
+		}
+	}
+	return best, nil
+}
+
+// tileDims factors q into the most-square tr x tc rectangle (tr <= tc).
+func tileDims(q int) (tr, tc int) {
+	for tr = 1; (tr+1)*(tr+1) <= q; tr++ {
+	}
+	for ; tr >= 1; tr-- {
+		if q%tr == 0 {
+			return tr, q / tr
+		}
+	}
+	return 1, q
+}
+
+// Build generates the device for the spec. The result is a pure
+// function of the spec: bit-identical across calls, platforms, and
+// worker counts, which is what lets generated scenarios share the
+// campaign cache and shard-equivalence guarantees of the presets.
+func (s LatticeSpec) Build() (*Device, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if s.Family == FamilyHeavyHex {
+		spec, err := s.HeavyHexChip()
+		if err != nil {
+			return nil, err
+		}
+		d := TileGrid(spec, s.Rows, s.Cols)
+		d.Name = s.DeviceName()
+		return d, nil
+	}
+	return s.buildPlanar(), nil
+}
+
+// MustBuild is Build for static specs known to be valid.
+func (s LatticeSpec) MustBuild() *Device {
+	d, err := s.Build()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// buildPlanar generates the square, hex, and stack3d families: a
+// W x H x L qubit lattice cut into Rows x Cols chiplet tiles per layer.
+//
+// Frequency classes come from the family's modular ladder — (x + 2y)
+// mod 4 for hex, mod 5 for square, (x + 2y + 3l) mod 7 for stack3d —
+// chosen so every qubit's neighbours carry pairwise-distinct classes.
+// That gives every coupling two distinct classes (tie-free CR
+// control/target resolution) and no control two same-class targets (no
+// systematic Type 5-7 collisions). Higher-degree lattices genuinely
+// need the taller frequency ladders (FreqPlan.Target extends above F2
+// at the F1 -> F2 spacing): with only three frequencies, any degree-3
+// lattice hands some control two same-class targets — which is the
+// paper's case for heavy-hex.
+func (s LatticeSpec) buildPlanar() *Device {
+	tr, tc := tileDims(s.ChipQubits)
+	W, H, L := s.Cols*tc, s.Rows*tr, s.layers()
+	n := W * H * L
+	d := &Device{
+		Name:     s.DeviceName(),
+		N:        n,
+		Class:    make([]Class, n),
+		IsBridge: make([]bool, n),
+		Coord:    make([][2]int, n),
+		ChipOf:   make([]int, n),
+		Chips:    s.Chips(),
+		G:        graph.New(n),
+		Link:     map[graph.Edge]bool{},
+	}
+	ladder := map[string]int{FamilyHex: 4, FamilySquare: 5, FamilyStack3D: 7}[s.Family]
+	id := func(x, y, l int) int { return (l*H+y)*W + x }
+	for l := 0; l < L; l++ {
+		for y := 0; y < H; y++ {
+			for x := 0; x < W; x++ {
+				q := id(x, y, l)
+				// Layers render side by side: offset x by one gap column.
+				d.Coord[q] = [2]int{x + l*(W+1), y}
+				d.Class[q] = Class((x + 2*y + 3*l) % ladder)
+				d.ChipOf[q] = (l*s.Rows+y/tr)*s.Cols + x/tc
+			}
+		}
+	}
+	couple := func(u, v int) {
+		d.G.AddEdge(u, v)
+		if d.ChipOf[u] != d.ChipOf[v] {
+			d.Link[graph.NewEdge(u, v)] = true
+		}
+	}
+	for l := 0; l < L; l++ {
+		for y := 0; y < H; y++ {
+			for x := 0; x < W; x++ {
+				q := id(x, y, l)
+				if x+1 < W {
+					couple(q, id(x+1, y, l))
+				}
+				// hex is the brick-wall lattice: a vertical coupler only
+				// on alternating columns, phase-shifted per row, so every
+				// qubit has exactly one vertical neighbour (degree <= 3).
+				if y+1 < H && (s.Family != FamilyHex || (x+y)%2 == 0) {
+					couple(q, id(x, y+1, l))
+				}
+				if l+1 < L {
+					couple(q, id(x, y, l+1))
+				}
+			}
+		}
+	}
+	return d
+}

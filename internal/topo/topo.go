@@ -88,18 +88,28 @@ func AsymmetricPlan(base, stepLow, stepHigh float64) FreqPlan {
 	return FreqPlan{Base: base, Step: stepLow, StepHigh: stepHigh}
 }
 
-// Target returns the ideal frequency of class c under the plan.
+// Target returns the ideal frequency of class c under the plan. The
+// paper's devices use only F0..F2; classes above F2 (the extended
+// ladders of generated square/hex/3D lattices, which need more than
+// three frequencies for collision-free CR control) continue upward at
+// the F1 -> F2 spacing, so F0..F2 targets are untouched.
 func (p FreqPlan) Target(c Class) float64 {
 	switch c {
 	case F0:
 		return p.Base
 	case F1:
 		return p.Base + p.Step
-	default:
+	case F2:
 		if p.StepHigh == 0 {
 			return p.Base + 2*p.Step
 		}
 		return p.Base + p.Step + p.StepHigh
+	default:
+		stepHigh := p.StepHigh
+		if stepHigh == 0 {
+			stepHigh = p.Step
+		}
+		return p.Target(F2) + float64(c-2)*stepHigh
 	}
 }
 
